@@ -1,0 +1,51 @@
+"""Ablation: bit-packed XNOR/popcount vs ±1-matmul BNN evaluation.
+
+This measures the functional simulator itself (both paths are bit-exact;
+the hardware argument for XNOR/popcount is §2.2).  It is the one bench
+that exercises pytest-benchmark's repeated timing, since the workload is
+microseconds rather than minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bnn import BinaryGate
+
+#: EESEN-like gate geometry: 320 neurons, 640-bit operands.
+NEURONS, INPUT, RECURRENT = 320, 320, 320
+
+
+@pytest.fixture(scope="module")
+def gate_operands():
+    rng = np.random.default_rng(0)
+    w_x = rng.standard_normal((NEURONS, INPUT))
+    w_h = rng.standard_normal((NEURONS, RECURRENT))
+    x = rng.standard_normal((1, INPUT))
+    h = rng.standard_normal((1, RECURRENT))
+    return w_x, w_h, x, h
+
+
+def test_bnn_matmul_path(benchmark, gate_operands):
+    w_x, w_h, x, h = gate_operands
+    gate = BinaryGate(w_x, w_h, use_packed=False)
+    result = benchmark(gate.evaluate, x, h)
+    assert result.shape == (1, NEURONS)
+
+
+def test_bnn_packed_path(benchmark, gate_operands):
+    w_x, w_h, x, h = gate_operands
+    gate = BinaryGate(w_x, w_h, use_packed=True)
+    result = benchmark(gate.evaluate, x, h)
+    assert result.shape == (1, NEURONS)
+
+
+def test_paths_agree(benchmark, gate_operands):
+    w_x, w_h, x, h = gate_operands
+    plain = BinaryGate(w_x, w_h, use_packed=False)
+    packed = BinaryGate(w_x, w_h, use_packed=True)
+
+    def both():
+        return plain.evaluate(x, h), packed.evaluate(x, h)
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    np.testing.assert_array_equal(a, b)

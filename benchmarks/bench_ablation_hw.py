@@ -1,0 +1,64 @@
+"""Ablation: accelerator design-parameter sensitivity.
+
+Varies the DPU width and the FMU issue overhead around Table 2's values
+and reports how the paper's headline speedup responds — wide DPUs shrink
+the per-neuron dot-product latency and therefore the benefit of skipping
+it; a slower (non-pipelined) FMU eats the gains on low-reuse networks.
+"""
+
+import numpy as np
+from conftest import emit
+from dataclasses import replace
+
+from repro.accel.config import DEFAULT_CONFIG, FMUConfig
+from repro.accel.epur import compare
+from repro.accel.trace import ReuseTrace
+from repro.analysis.figures import render_table
+from repro.models.specs import PAPER_NETWORKS
+
+DPU_WIDTHS = (8, 16, 32, 64)
+FMU_ISSUE = (1, 3, 5)
+
+
+def _avg_speedup(config):
+    speedups = []
+    for spec in PAPER_NETWORKS.values():
+        trace = ReuseTrace.uniform(spec.paper_reuse_percent / 100.0, spec.layers)
+        speedups.append(compare(spec, trace, config=config).speedup)
+    return float(np.mean(speedups))
+
+
+def test_hw_sensitivity(benchmark):
+    def run():
+        by_width = {
+            w: _avg_speedup(replace(DEFAULT_CONFIG, dpu_width=w))
+            for w in DPU_WIDTHS
+        }
+        by_issue = {
+            i: _avg_speedup(
+                replace(DEFAULT_CONFIG, fmu=FMUConfig(issue_cycles=i))
+            )
+            for i in FMU_ISSUE
+        }
+        return by_width, by_issue
+
+    by_width, by_issue = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [["dpu_width", w, f"{s:.2f}x"] for w, s in by_width.items()]
+    rows += [["fmu_issue", i, f"{s:.2f}x"] for i, s in by_issue.items()]
+    emit(
+        benchmark,
+        "Ablation (hardware sensitivity, avg speedup at paper reuse)",
+        render_table(["parameter", "value", "avg speedup"], rows),
+    )
+
+    # Wider DPUs leave less dot-product time to skip -> smaller speedup.
+    widths = sorted(by_width)
+    for a, b in zip(widths, widths[1:]):
+        assert by_width[a] >= by_width[b] - 1e-9
+    # A slower FMU can only hurt.
+    issues = sorted(by_issue)
+    for a, b in zip(issues, issues[1:]):
+        assert by_issue[a] >= by_issue[b] - 1e-9
+    # Table 2's design point still shows a clear gain.
+    assert by_width[16] > 1.2

@@ -1,0 +1,56 @@
+"""Ablation: memoization is orthogonal to weight quantization (§2.2).
+
+E-PUR stores FP16 weights; the related work compresses further with
+linear quantization.  This bench quantizes the IMDB network's weights
+(FP16 and INT8) and re-runs the memoization pipeline: reuse and accuracy
+loss should be essentially unchanged, showing the two techniques stack.
+"""
+
+import copy
+
+from conftest import emit
+
+from repro.analysis.figures import render_table
+from repro.core.engine import MemoizationScheme
+from repro.core.quantization import quantize_module
+
+SCHEMES = (("none", None, 0), ("fp16", "fp16", 0), ("int8", "linear", 8))
+
+
+def test_quantization_orthogonal_to_memoization(benchmark, cache):
+    bench = cache.benchmark("imdb")
+
+    def run():
+        results = {}
+        saved = bench.model.state_dict()
+        try:
+            for label, scheme, bits in SCHEMES:
+                bench.model.load_state_dict(saved)
+                if scheme is not None:
+                    quantize_module(bench.model, scheme=scheme, bits=bits)
+                quality = bench.evaluate()
+                memo = bench.evaluate_memoized(MemoizationScheme(theta=0.3))
+                results[label] = (quality, memo.quality_loss, memo.reuse_percent)
+        finally:
+            bench.model.load_state_dict(saved)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [label, f"{q:.2f}", f"{loss:.2f}", f"{reuse:.1f}%"]
+        for label, (q, loss, reuse) in results.items()
+    ]
+    emit(
+        benchmark,
+        "Ablation (quantization x memoization, IMDB)",
+        render_table(["weights", "accuracy", "memo loss", "reuse"], rows),
+    )
+
+    base_quality, _, base_reuse = results["none"]
+    # FP16 rounding is invisible at this scale.
+    assert abs(results["fp16"][0] - base_quality) < 1.0
+    assert abs(results["fp16"][2] - base_reuse) < 3.0
+    # INT8 costs little accuracy and leaves reuse in the same band.
+    assert results["int8"][0] > base_quality - 5.0
+    assert abs(results["int8"][2] - base_reuse) < 8.0

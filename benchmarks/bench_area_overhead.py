@@ -1,0 +1,27 @@
+"""§5 area analysis: 64.6 mm² baseline -> 66.8 mm² with memoization
+(~4% overhead, dominated by the extra scratchpad memory)."""
+
+import pytest
+from conftest import emit
+
+from repro.accel.area import DEFAULT_AREA_MODEL
+from repro.analysis.figures import render_table
+
+
+def test_area_overhead(benchmark):
+    def run():
+        return DEFAULT_AREA_MODEL
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, f"{mm2:.1f}"] for name, mm2 in model.breakdown().items()]
+    rows.append(["E-PUR total", f"{model.baseline_mm2:.1f}"])
+    rows.append(["E-PUR+BM total", f"{model.memoized_mm2:.1f}"])
+    rows.append(["overhead", f"{100 * model.overhead_fraction:.1f}%"])
+    emit(benchmark, "Area (mm^2 at 28 nm)", render_table(
+        ["component", "mm^2"], rows
+    ))
+
+    assert model.baseline_mm2 == pytest.approx(64.6, abs=0.05)
+    assert model.memoized_mm2 == pytest.approx(66.8, abs=0.05)
+    assert model.overhead_fraction < 0.05

@@ -1,0 +1,81 @@
+"""Cross-check: event-level pipeline simulator vs the analytical model.
+
+Replays the per-neuron reuse masks of a real memoized run through the
+FMU/DPU pipeline model, at both the functional (scaled) geometry and the
+paper's EESEN geometry.  The analytical model only sees the reuse
+*fraction*; agreement between the two validates that the fraction is a
+sufficient statistic at paper-scale dot-product widths — and the scaled
+geometry shows §5's warning case, where the per-neuron FMU overhead can
+consume the gains when dot products are short.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.accel.config import DEFAULT_CONFIG
+from repro.accel.eventsim import collect_layer_dims, replay_trace
+from repro.accel.timing import TimingReport
+from repro.core.engine import MemoizationScheme, memoized
+from repro.core.stats import DetailedReuseStats
+
+PAPER_WIDTH = (320, 320)  # EESEN-like operand geometry
+
+
+def _analytical_speedup(reuse, operands, config):
+    """The closed-form per-gate-pass speedup the timing model implies."""
+    dot = math.ceil(sum(operands) / config.dpu_width)
+    neurons = 1.0  # ratio is per neuron
+    base = neurons * dot
+    memo = neurons * config.fmu.issue_cycles + neurons * (1.0 - reuse) * dot
+    return base / memo
+
+
+def test_eventsim_crosscheck(benchmark, cache):
+    bench = cache.benchmark("eesen")
+
+    def run():
+        stats = DetailedReuseStats()
+        dims = collect_layer_dims(bench.model)
+        with memoized(bench.model, MemoizationScheme(theta=0.3), stats):
+            bench.evaluate()
+        scaled = replay_trace(stats, dims, DEFAULT_CONFIG)
+        paper_dims = {name: PAPER_WIDTH for name in dims}
+        paper = replay_trace(stats, paper_dims, DEFAULT_CONFIG)
+        return stats, scaled, paper
+
+    stats, (memo_s, base_s), (memo_p, base_p) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    reuse = stats.reuse_fraction()
+    analytical = _analytical_speedup(reuse, PAPER_WIDTH, DEFAULT_CONFIG)
+    event_paper = memo_p.speedup_over(base_p)
+    event_scaled = memo_s.speedup_over(base_s)
+
+    emit(
+        benchmark,
+        "Event-sim cross-check (EESEN trace)",
+        f"reuse fraction          : {reuse:.3f}\n"
+        f"event speedup @paper dims : {event_paper:.3f}x\n"
+        f"analytical speedup        : {analytical:.3f}x (assumes balanced "
+        "gates)\n"
+        f"event speedup @toy dims   : {event_scaled:.3f}x (short dot "
+        "products, FMU-overhead bound)\n"
+        f"DPU utilization base/memo : {base_p.dpu_utilization:.2f} / "
+        f"{memo_p.dpu_utilization:.2f}\n"
+        "The gap between event and analytical speedup is inter-gate load\n"
+        "imbalance: the four gates reuse different neurons each step and\n"
+        "the slowest gate bounds the cell, which the fraction-based\n"
+        "analytical model cannot see.",
+    )
+
+    # At paper widths the two models agree within ~20%; the residual is
+    # the (real) inter-gate imbalance effect, with the event model the
+    # more pessimistic of the two.
+    assert abs(event_paper - analytical) / analytical < 0.20
+    assert event_paper <= analytical + 1e-9
+    # Memoization gains at paper widths; the toy geometry shows §5's
+    # overhead-bound regime (speedup can dip below the analytical value).
+    if reuse > 0.2:
+        assert event_paper > 1.1
+    assert memo_p.dpu_utilization < base_p.dpu_utilization

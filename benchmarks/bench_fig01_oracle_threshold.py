@@ -1,0 +1,50 @@
+"""Figure 1: accuracy loss and computation reuse vs threshold, with an
+oracle predictor, for the four RNNs.
+
+Paper's observation: thresholds in the 0.3-0.5 range keep accuracy loss
+under ~1% while an oracle-guided memoization avoids >30% of computations.
+"""
+
+from conftest import THETAS, emit
+
+from repro.analysis.figures import render_series
+from repro.models.specs import BENCHMARK_NAMES
+
+
+def test_fig01_oracle_threshold_curves(benchmark, cache):
+    def run():
+        return {
+            name: cache.sweep(name, predictor="oracle") for name in BENCHMARK_NAMES
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for name, sweep in sweeps.items():
+        metric = cache.benchmark(name).spec.quality_metric
+        lines.append(
+            render_series(
+                f"{name} {metric} loss", sweep.thetas, sweep.losses, unit="pts"
+            )
+        )
+        lines.append(
+            render_series(
+                f"{name} reuse",
+                sweep.thetas,
+                [100 * r for r in sweep.reuses],
+                unit="%",
+            )
+        )
+    emit(benchmark, "Figure 1 (oracle threshold sweep)", "\n".join(lines))
+
+    for name, sweep in sweeps.items():
+        # Reuse must grow with the threshold...
+        assert sweep.reuses[-1] >= sweep.reuses[0]
+        # ...and an oracle at theta=0 only reuses exact repeats: no loss.
+        assert sweep.losses[0] == 0.0
+    # Paper: with the right threshold the oracle avoids >=30% of the
+    # computations on at least some networks at small loss.
+    best = max(
+        sweep.reuse_at_loss(1.0) for sweep in sweeps.values()
+    )
+    assert best >= 0.25, f"expected >=25% oracle reuse somewhere, got {best:.2%}"

@@ -1,0 +1,58 @@
+"""Figure 5: relative change in neuron output between consecutive input
+elements (CDF over neurons).
+
+Paper's observations: ~25% of neurons change by less than 10% between
+consecutive inputs, and the average change is ~23%.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.figures import render_table
+from repro.core.stats import output_change_profile, profile_summary
+from repro.models.specs import BENCHMARK_NAMES
+
+
+def test_fig05_output_change_profile(benchmark, cache):
+    def run():
+        profiles = {}
+        for name in BENCHMARK_NAMES:
+            bench = cache.benchmark(name)
+            profiles[name] = output_change_profile(bench.hidden_sequences())
+        return profiles
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, profile in profiles.items():
+        summary = profile_summary(profile)
+        percentiles = [
+            float(np.percentile(profile, p)) for p in (10, 25, 50, 75, 90)
+        ]
+        rows.append(
+            [
+                name,
+                summary["mean_percent"],
+                100.0 * summary["fraction_below_10pct"],
+                *percentiles,
+            ]
+        )
+    emit(
+        benchmark,
+        "Figure 5 (per-neuron relative output change, %)",
+        render_table(
+            ["network", "mean", "%neurons<10%", "p10", "p25", "p50", "p75", "p90"],
+            rows,
+        ),
+    )
+
+    pooled = np.concatenate(list(profiles.values()))
+    summary = profile_summary(pooled)
+    # Paper: the average change is small (~23% in the paper's networks).
+    # Our scaled networks land at 22-30% for three of the four; the MNMT
+    # stand-in is higher (token-level inputs change faster than audio).
+    assert summary["mean_percent"] <= 60.0
+    small_means = [
+        profile_summary(p)["mean_percent"] <= 35.0 for p in profiles.values()
+    ]
+    assert sum(small_means) >= 2, "expected paper-like means on most networks"

@@ -1,0 +1,33 @@
+"""Figure 7: correlation between binarized and full-precision neuron
+outputs on the EESEN network.
+
+Paper's observation: although BNN output magnitudes are very different
+from the RNN's, the two are strongly linearly correlated (R = 0.96 on
+EESEN).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.correlation import collect_gate_samples
+
+
+def test_fig07_eesen_pooled_correlation(benchmark, cache):
+    bench = cache.benchmark("eesen")
+
+    def run():
+        pooled = []
+        for layer, inputs in bench.layer_io_pairs():
+            samples = collect_gate_samples(layer, inputs)
+            pooled.extend(s.pooled() for s in samples.values())
+        return pooled
+
+    pooled = benchmark.pedantic(run, rounds=1, iterations=1)
+    overall = float(np.mean(pooled))
+    emit(
+        benchmark,
+        "Figure 7 (EESEN BNN vs RNN output correlation)",
+        f"pooled correlation per gate: {[round(r, 3) for r in pooled]}\n"
+        f"mean pooled R = {overall:.3f} (paper: 0.96)",
+    )
+    assert overall > 0.7, f"expected strong pooled correlation, got {overall:.3f}"

@@ -1,0 +1,46 @@
+"""Figure 16: computation reuse vs accuracy loss, oracle vs BNN
+predictor, for the four networks.
+
+Paper's observations: for losses under ~2% the BNN predictor achieves
+reuse extremely close to the oracle; EESEN and IMDB tolerate the most;
+MNMT's BNN tracks the oracle only up to ~23% reuse (weakest correlation).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_series
+from repro.models.specs import BENCHMARK_NAMES
+
+
+def test_fig16_oracle_vs_bnn(benchmark, cache):
+    def run():
+        return {
+            name: {
+                "oracle": cache.sweep(name, predictor="oracle"),
+                "bnn": cache.sweep(name, predictor="bnn"),
+            }
+            for name in BENCHMARK_NAMES
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for name, by_pred in sweeps.items():
+        for pred, sweep in by_pred.items():
+            lines.append(
+                render_series(
+                    f"{name} {pred} (reuse% , loss)",
+                    [100 * r for r in sweep.reuses],
+                    sweep.losses,
+                )
+            )
+    emit(benchmark, "Figure 16 (reuse vs accuracy loss)", "\n".join(lines))
+
+    for name, by_pred in sweeps.items():
+        oracle_reuse = by_pred["oracle"].reuse_at_loss(2.0)
+        bnn_reuse = by_pred["bnn"].reuse_at_loss(2.0)
+        # The oracle upper-bounds the practical predictor at a loss
+        # budget (allow small measurement noise on tiny test sets).
+        assert bnn_reuse <= oracle_reuse + 0.08, name
+    # The BNN must be useful: >=15% reuse at <=2% loss somewhere.
+    assert max(b["bnn"].reuse_at_loss(2.0) for b in sweeps.values()) >= 0.15

@@ -1,0 +1,62 @@
+"""Figure 17: energy savings and computation reuse of E-PUR+BM over
+E-PUR at 1%, 2% and 3% accuracy loss.
+
+Paper's numbers: 18.5% average savings at 1% loss (reuse 24.2%); 25.5%
+at 2% (reuse 31%); IMDB and EESEN save the most.
+"""
+
+import numpy as np
+from conftest import LOSS_TARGETS, emit
+
+from repro.analysis.figures import render_table
+from repro.models.specs import BENCHMARK_NAMES
+
+
+def test_fig17_energy_savings(benchmark, cache):
+    def run():
+        return {
+            (name, target): cache.end_to_end(name, target)
+            for name in BENCHMARK_NAMES
+            for target in LOSS_TARGETS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in BENCHMARK_NAMES:
+        row = [name]
+        for target in LOSS_TARGETS:
+            r = results[(name, target)]
+            row.append(f"{r.energy_savings_percent:.1f}%/{r.reuse_percent:.1f}%")
+        rows.append(row)
+    averages = ["average"]
+    for target in LOSS_TARGETS:
+        save = np.mean(
+            [results[(n, target)].energy_savings_percent for n in BENCHMARK_NAMES]
+        )
+        reuse = np.mean(
+            [results[(n, target)].reuse_percent for n in BENCHMARK_NAMES]
+        )
+        averages.append(f"{save:.1f}%/{reuse:.1f}%")
+    rows.append(averages)
+    emit(
+        benchmark,
+        "Figure 17 (energy savings / computation reuse)",
+        render_table(
+            ["network", *(f"@{t:.0f}% loss (sav/reuse)" for t in LOSS_TARGETS)],
+            rows,
+        )
+        + "\npaper averages: 18.5%/24.2% @1%, 25.5%/31% @2%",
+    )
+
+    avg_save_1 = np.mean(
+        [results[(n, 1.0)].energy_savings_percent for n in BENCHMARK_NAMES]
+    )
+    # Shape check: positive, paper-magnitude savings at 1% loss.
+    assert 5.0 <= avg_save_1 <= 45.0
+    # Savings should not shrink when the loss budget is relaxed.
+    for name in BENCHMARK_NAMES:
+        assert (
+            results[(name, 3.0)].energy_savings_percent
+            >= results[(name, 1.0)].energy_savings_percent - 1e-6
+        )

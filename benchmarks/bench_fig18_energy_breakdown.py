@@ -1,0 +1,49 @@
+"""Figure 18: energy breakdown (static + dynamic) for E-PUR and
+E-PUR+BM at 1% accuracy loss.
+
+Paper's observations: scratchpad memories and pipeline operations
+dominate; both shrink under memoization; DRAM energy is unchanged; the
+FMU overhead is negligible.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_table
+from repro.models.specs import BENCHMARK_NAMES
+
+COMPONENTS = ("scratchpad", "operations", "dram", "fmu")
+
+
+def test_fig18_energy_breakdown(benchmark, cache):
+    def run():
+        return {
+            name: cache.end_to_end(name, 1.0).comparison.breakdown_percent()
+            for name in BENCHMARK_NAMES
+        }
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, b in breakdowns.items():
+        for config in ("epur", "epur_bm"):
+            rows.append(
+                [f"{name} {config}"]
+                + [f"{b[config][c]:.1f}" for c in COMPONENTS]
+                + [f"{sum(b[config].values()):.1f}"]
+            )
+    emit(
+        benchmark,
+        "Figure 18 (energy breakdown, % of baseline total)",
+        render_table(["config", *COMPONENTS, "total"], rows),
+    )
+
+    for name, b in breakdowns.items():
+        base, memo = b["epur"], b["epur_bm"]
+        # Scratchpad dominates the baseline (§3.1: up to 80% is fetching).
+        assert base["scratchpad"] == max(base[c] for c in COMPONENTS), name
+        # Memoization reduces scratchpad and operations energy...
+        assert memo["scratchpad"] <= base["scratchpad"], name
+        assert memo["operations"] <= base["operations"], name
+        # ...leaves DRAM untouched, and adds only a small FMU overhead.
+        assert abs(memo["dram"] - base["dram"]) < 1e-9, name
+        assert base["fmu"] == 0.0 and memo["fmu"] < 12.0, name

@@ -1,0 +1,64 @@
+"""Table 1: the four RNNs — paper geometry, our scaled instance, the
+measured base quality and the measured reuse at 1% loss."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_table
+from repro.models.specs import BENCHMARK_NAMES, PAPER_NETWORKS
+
+
+def test_table1_networks(benchmark, cache):
+    def run():
+        return {
+            name: (
+                cache.benchmark(name),
+                cache.end_to_end(name, 1.0),
+            )
+            for name in BENCHMARK_NAMES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (bench, e2e) in results.items():
+        spec = PAPER_NETWORKS[name]
+        rows.append(
+            [
+                name,
+                spec.app_domain,
+                spec.cell_type.upper() + ("-bi" if spec.bidirectional else ""),
+                spec.layers,
+                spec.neurons,
+                f"{spec.base_quality} {spec.quality_metric}",
+                f"{bench.base_quality:.2f}",
+                f"{spec.paper_reuse_percent}%",
+                f"{e2e.reuse_percent:.1f}%",
+            ]
+        )
+    emit(
+        benchmark,
+        "Table 1 (networks: paper vs measured)",
+        render_table(
+            [
+                "network",
+                "domain",
+                "cell",
+                "layers",
+                "neurons",
+                "paper base",
+                "our base",
+                "paper reuse@1%",
+                "our reuse@1%",
+            ],
+            rows,
+        ),
+    )
+
+    for name, (bench, _) in results.items():
+        spec = PAPER_NETWORKS[name]
+        # The scaled instance preserves the architecture class.
+        cells = {
+            "imdb": "lstm", "deepspeech2": "gru", "eesen": "lstm", "mnmt": "lstm",
+        }
+        assert spec.cell_type == cells[name]
+        assert bench.base_quality is not None

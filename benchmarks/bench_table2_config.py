@@ -1,0 +1,41 @@
+"""Table 2: configuration parameters of E-PUR and the memoization unit."""
+
+from conftest import emit
+
+from repro.accel.config import DEFAULT_CONFIG, KIB, MIB
+from repro.analysis.figures import render_table
+
+
+def test_table2_configuration(benchmark):
+    def run():
+        return DEFAULT_CONFIG
+
+    config = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["Technology", f"{config.technology_nm} nm"],
+        ["Frequency", f"{config.frequency_hz / 1e6:.0f} MHz"],
+        ["Intermediate Memory", f"{config.intermediate_memory_bytes // MIB} MiB"],
+        ["Weight Buffer", f"{config.weight_buffer_bytes // MIB} MiB per CU"],
+        ["Input Buffer", f"{config.input_buffer_bytes // KIB} KiB per CU"],
+        ["DPU Width", f"{config.dpu_width} operations"],
+        ["BDPU Width", f"{config.fmu.bdpu_width_bits} bits"],
+        ["FMU Latency", f"{config.fmu.latency_cycles} cycles"],
+        ["Integer Width", f"{config.fmu.integer_width_bytes} bytes"],
+        ["Memoization Buffer", f"{config.fmu.memo_buffer_bytes // KIB} KiB"],
+    ]
+    emit(benchmark, "Table 2 (configuration parameters)", render_table(
+        ["parameter", "value"], rows
+    ))
+
+    # Table 2 verbatim.
+    assert config.technology_nm == 28
+    assert config.frequency_hz == 500e6
+    assert config.intermediate_memory_bytes == 6 * MIB
+    assert config.weight_buffer_bytes == 2 * MIB
+    assert config.input_buffer_bytes == 8 * KIB
+    assert config.dpu_width == 16
+    assert config.fmu.bdpu_width_bits == 2048
+    assert config.fmu.latency_cycles == 5
+    assert config.fmu.integer_width_bytes == 2
+    assert config.fmu.memo_buffer_bytes == 8 * KIB

@@ -1,0 +1,77 @@
+"""Shared fixtures for the reproduction benches.
+
+Training the four bench-scale networks takes ~30-60 s; it happens once
+per session, and the sweep/end-to-end results that several figures share
+are cached in :class:`ResultCache` so e.g. Figures 16, 17 and 19 do not
+re-run the same threshold sweeps.
+
+Every bench prints the rows/series the corresponding paper figure or
+table reports (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them) and also attaches them to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import pytest
+
+from repro.analysis.sweep import EndToEndResult, end_to_end, network_sweep
+from repro.core.calibration import ThresholdSweep
+from repro.core.engine import MemoizationScheme
+from repro.models.benchmark import Benchmark
+from repro.models.specs import BENCHMARK_NAMES
+from repro.models.zoo import load_benchmark
+
+#: Threshold grid used by the figure sweeps (x-axis of Figures 1 and 16;
+#: the paper's IMDB plot extends to 1.0).
+THETAS: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+#: Accuracy-loss budgets evaluated by Figures 17-19.
+LOSS_TARGETS: Sequence[float] = (1.0, 2.0, 3.0)
+
+
+class ResultCache:
+    """Lazy, session-wide cache of trained benchmarks and sweep results."""
+
+    def __init__(self, scale: str = "bench"):
+        self.scale = scale
+        self._sweeps: Dict[Tuple[str, str, bool], ThresholdSweep] = {}
+        self._e2e: Dict[Tuple[str, float], EndToEndResult] = {}
+
+    def benchmark(self, name: str) -> Benchmark:
+        return load_benchmark(name, scale=self.scale)
+
+    def benchmarks(self):
+        return [self.benchmark(name) for name in BENCHMARK_NAMES]
+
+    def sweep(
+        self, name: str, predictor: str = "bnn", throttle: bool = True
+    ) -> ThresholdSweep:
+        key = (name, predictor, throttle)
+        if key not in self._sweeps:
+            scheme = MemoizationScheme(predictor=predictor, throttle=throttle)
+            self._sweeps[key] = network_sweep(
+                self.benchmark(name), scheme, thetas=THETAS
+            )
+        return self._sweeps[key]
+
+    def end_to_end(self, name: str, loss_target: float) -> EndToEndResult:
+        key = (name, loss_target)
+        if key not in self._e2e:
+            self._e2e[key] = end_to_end(
+                self.benchmark(name), loss_target, thetas=THETAS
+            )
+        return self._e2e[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    return ResultCache()
+
+
+def emit(benchmark, title: str, text: str) -> None:
+    """Print a reproduced figure/table and attach it to the bench record."""
+    block = f"\n=== {title} ===\n{text}"
+    print(block)
+    benchmark.extra_info[title] = text

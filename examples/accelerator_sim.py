@@ -1,0 +1,50 @@
+"""What-if analysis on the E-PUR accelerator model alone.
+
+No neural network needs to run for this one: the cycle/energy model
+answers "if my network reused X% of neuron evaluations, what would
+E-PUR+BM buy me?" for all four Table 1 geometries, and prints the area
+story (§5: 64.6 -> 66.8 mm²).
+
+Run:  python examples/accelerator_sim.py
+"""
+
+from repro.accel import DEFAULT_AREA_MODEL, ReuseTrace, compare
+from repro.models import PAPER_NETWORKS
+
+
+def main():
+    print("Energy savings / speedup vs hypothetical reuse:")
+    header = "network      " + "".join(f"   reuse={r:>3.0%}" for r in (0.1, 0.2, 0.3, 0.4, 0.5))
+    print(header)
+    for name, spec in PAPER_NETWORKS.items():
+        cells = []
+        for reuse in (0.1, 0.2, 0.3, 0.4, 0.5):
+            c = compare(spec, ReuseTrace.uniform(reuse, spec.layers))
+            cells.append(
+                f"{c.energy_savings_percent:4.1f}%/{c.speedup:4.2f}x"
+            )
+        print(f"{name:<12} " + "  ".join(cells))
+
+    print("\nEnergy breakdown at the paper's reuse (EESEN, 30.5%):")
+    spec = PAPER_NETWORKS["eesen"]
+    c = compare(spec, ReuseTrace.uniform(0.305, spec.layers))
+    breakdown = c.breakdown_percent()
+    for config in ("epur", "epur_bm"):
+        parts = "  ".join(
+            f"{k}={v:5.1f}%" for k, v in breakdown[config].items()
+        )
+        print(f"  {config:<8} {parts}")
+
+    print("\nArea (28 nm):")
+    for component, mm2 in DEFAULT_AREA_MODEL.breakdown().items():
+        print(f"  {component:<22} {mm2:6.1f} mm^2")
+    print(f"  {'E-PUR total':<22} {DEFAULT_AREA_MODEL.baseline_mm2:6.1f} mm^2")
+    print(f"  {'E-PUR+BM total':<22} {DEFAULT_AREA_MODEL.memoized_mm2:6.1f} mm^2")
+    print(
+        f"  overhead: {100 * DEFAULT_AREA_MODEL.overhead_fraction:.1f}% "
+        "(paper: ~4%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: neuron-level fuzzy memoization on a small LSTM.
+
+Builds a two-layer recurrent network, runs it over a smooth input
+sequence, then re-runs it under the paper's BNN-based memoization scheme
+and reports how many neuron evaluations were avoided and how far the
+outputs drifted.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import MemoizationScheme, ReuseStats, memoized
+from repro.nn import GRULayer, LSTMLayer, RNNStack
+
+
+def main():
+    rng = np.random.default_rng(0)
+    model = RNNStack(
+        [LSTMLayer(16, 32, rng=rng), GRULayer(32, 32, rng=rng)]
+    )
+
+    # A smooth input sequence — the regime RNNs actually see in speech
+    # or video, and the source of the redundancy the paper exploits.
+    batch, steps = 4, 60
+    base = rng.standard_normal((batch, 1, 16))
+    drift = np.cumsum(0.05 * rng.standard_normal((batch, steps, 16)), axis=1)
+    inputs = base + drift
+
+    reference = model(inputs)
+
+    print("theta   predictor  reuse   max|err|  mean|err|")
+    for predictor in ("oracle", "bnn"):
+        for theta in (0.05, 0.2, 0.5):
+            stats = ReuseStats()
+            scheme = MemoizationScheme(theta=theta, predictor=predictor)
+            with memoized(model, scheme, stats):
+                outputs = model(inputs)
+            err = np.abs(outputs - reference)
+            print(
+                f"{theta:<7} {predictor:<10} "
+                f"{stats.reuse_percent():5.1f}%  "
+                f"{err.max():8.4f}  {err.mean():9.5f}"
+            )
+
+    print(
+        "\nHigher thresholds skip more neuron evaluations at the cost of\n"
+        "slowly growing output drift; the BNN predictor approaches the\n"
+        "oracle's reuse without ever computing the true outputs first."
+    )
+
+
+if __name__ == "__main__":
+    main()

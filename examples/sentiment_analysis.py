@@ -1,0 +1,43 @@
+"""Sentiment classification under fuzzy memoization (IMDB-style LSTM).
+
+Trains the single-layer LSTM sentiment benchmark, then compares the
+oracle and BNN predictors across thresholds, including the per-gate
+reuse distribution — input, forget, candidate and output gates do not
+memoize equally well.
+
+Run:  python examples/sentiment_analysis.py
+"""
+
+from repro.core import MemoizationScheme
+from repro.models import load_benchmark
+
+
+def main():
+    print("Training the IMDB stand-in (1-layer LSTM classifier)...")
+    bench = load_benchmark("imdb", scale="tiny")
+    print(f"  base accuracy: {bench.base_quality:.2f}%")
+
+    print("\npredictor  theta  acc.loss  reuse")
+    for predictor in ("oracle", "bnn"):
+        for theta in (0.1, 0.3, 0.5):
+            scheme = MemoizationScheme(theta=theta, predictor=predictor)
+            result = bench.evaluate_memoized(scheme)
+            print(
+                f"{predictor:<10} {theta:<6} {result.quality_loss:7.2f}%  "
+                f"{result.reuse_percent:5.1f}%"
+            )
+
+    print("\nPer-gate reuse at theta=0.3 (BNN predictor):")
+    result = bench.evaluate_memoized(MemoizationScheme(theta=0.3))
+    for gate, fraction in sorted(result.stats.by_gate().items()):
+        print(f"  gate {gate}: {100 * fraction:5.1f}%")
+
+    print(
+        "\nClassification tolerates aggressive memoization: only the\n"
+        "final hidden state matters, so per-step output drift rarely\n"
+        "flips the decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

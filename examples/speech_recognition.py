@@ -1,0 +1,43 @@
+"""Speech recognition under fuzzy memoization (EESEN-style BiLSTM).
+
+Trains the bidirectional-LSTM speech benchmark on the synthetic phoneme
+corpus, sweeps the memoization threshold, and projects the best safe
+operating point onto the E-PUR accelerator model — the full §3.2.1 + §5
+pipeline for one network.
+
+Run:  python examples/speech_recognition.py
+"""
+
+from repro.analysis import end_to_end, network_sweep
+from repro.core import MemoizationScheme
+from repro.models import load_benchmark
+
+
+def main():
+    print("Training the EESEN stand-in (bidirectional LSTM)...")
+    # The "bench" scale takes ~15 s to train but its larger test corpus
+    # makes WER far less noisy than the test-suite-sized "tiny" scale.
+    bench = load_benchmark("eesen", scale="bench")
+    print(f"  base WER: {bench.base_quality:.2f}")
+
+    print("\nThreshold sweep (BNN predictor):")
+    print("  theta   WER loss   reuse")
+    sweep = network_sweep(
+        bench, MemoizationScheme(), thetas=(0.0, 0.1, 0.2, 0.3, 0.5)
+    )
+    for point in sweep.points:
+        print(
+            f"  {point.theta:<7} {point.loss:8.2f}   {100 * point.reuse:5.1f}%"
+        )
+
+    print("\nEnd-to-end at a 1% WER-loss budget:")
+    result = end_to_end(bench, loss_target=1.0)
+    print(f"  calibrated theta : {result.theta}")
+    print(f"  test WER loss    : {result.quality_loss:.2f}")
+    print(f"  computation reuse: {result.reuse_percent:.1f}%")
+    print(f"  E-PUR+BM energy savings: {result.energy_savings_percent:.1f}%")
+    print(f"  E-PUR+BM speedup       : {result.speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

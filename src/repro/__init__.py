@@ -1,0 +1,22 @@
+"""repro — Neuron-Level Fuzzy Memoization in RNNs (MICRO-52 2019).
+
+A full reproduction of Silfa et al.'s neuron-level fuzzy memoization
+scheme: a from-scratch numpy RNN substrate (:mod:`repro.nn`), the
+memoization engine with its BNN predictor (:mod:`repro.core`), the four
+Table 1 benchmark networks (:mod:`repro.models`) on synthetic workloads
+(:mod:`repro.datasets`), the E-PUR accelerator model (:mod:`repro.accel`)
+and the experiment pipelines (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.core import MemoizationScheme, ReuseStats, memoized
+    from repro.models import load_benchmark
+
+    bench = load_benchmark("eesen")          # trains in a few seconds
+    result = bench.evaluate_memoized(MemoizationScheme(theta=0.1))
+    print(result.reuse_percent, result.quality_loss)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,68 @@
+"""Analytical cycle/energy/area simulator of the E-PUR accelerator.
+
+Models §3.3 of the paper: the baseline E-PUR (4 computation units, each
+a 16-lane FP16 dot-product unit plus a multi-functional unit, fed from
+2 MiB weight buffers) and E-PUR+BM, which adds the fuzzy memoization
+unit (sign buffer, 2048-bit binary dot-product unit, memoization buffer,
+comparator).  See DESIGN.md for the substitution notes on the energy
+constants.
+"""
+
+from repro.accel.area import DEFAULT_AREA_MODEL, AreaModel
+from repro.accel.config import DEFAULT_CONFIG, EPURConfig, FMUConfig
+from repro.accel.energy import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyReport,
+    EnergyTable,
+    baseline_energy,
+    memoized_energy,
+)
+from repro.accel.eventsim import (
+    EventSimReport,
+    collect_layer_dims,
+    gate_pass_cycles,
+    replay_trace,
+)
+from repro.accel.epur import (
+    Comparison,
+    SimulationResult,
+    compare,
+    simulate_baseline,
+    simulate_memoized,
+)
+from repro.accel.timing import (
+    TimingReport,
+    baseline_timing,
+    memoized_timing,
+    neuron_dot_cycles,
+    saved_cycles_per_reuse,
+)
+from repro.accel.trace import ReuseTrace
+
+__all__ = [
+    "AreaModel",
+    "Comparison",
+    "DEFAULT_AREA_MODEL",
+    "DEFAULT_CONFIG",
+    "DEFAULT_ENERGY_TABLE",
+    "EPURConfig",
+    "EnergyReport",
+    "EnergyTable",
+    "EventSimReport",
+    "FMUConfig",
+    "collect_layer_dims",
+    "gate_pass_cycles",
+    "replay_trace",
+    "ReuseTrace",
+    "SimulationResult",
+    "TimingReport",
+    "baseline_energy",
+    "baseline_timing",
+    "compare",
+    "memoized_energy",
+    "memoized_timing",
+    "neuron_dot_cycles",
+    "saved_cycles_per_reuse",
+    "simulate_baseline",
+    "simulate_memoized",
+]

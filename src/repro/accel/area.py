@@ -1,0 +1,56 @@
+"""Area model (paper §5: 64.6 mm² baseline, 66.8 mm² with memoization).
+
+Component areas are an explicit table calibrated to the paper's two
+totals: the baseline breaks down into the four CUs' weight buffers (the
+dominant term — 8 MiB of SRAM), the intermediate-results memory, the
+DPU/MU datapaths and control.  E-PUR+BM adds the FMU datapath, the
+memoization scratchpads and the overhead of splitting the weight buffer
+into sign + remainder arrays (the paper attributes the largest share,
+~3 % of the 4 % total, to the extra scratchpad memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Component areas in mm² at 28 nm."""
+
+    baseline_components: Dict[str, float] = field(
+        default_factory=lambda: {
+            "weight_buffers": 33.2,  # 4 x 2 MiB SRAM
+            "intermediate_memory": 21.4,  # 6 MiB SRAM
+            "dpu_mu_datapath": 7.6,  # 4 x (16-lane FP16 DPU + MU)
+            "control": 2.4,
+        }
+    )
+    memoization_components: Dict[str, float] = field(
+        default_factory=lambda: {
+            "memo_scratchpad": 1.9,  # memoization buffers + split sign arrays
+            "fmu_datapath": 0.3,  # BDPU + CMP logic
+        }
+    )
+
+    @property
+    def baseline_mm2(self) -> float:
+        return sum(self.baseline_components.values())
+
+    @property
+    def memoized_mm2(self) -> float:
+        return self.baseline_mm2 + sum(self.memoization_components.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.memoized_mm2 / self.baseline_mm2 - 1.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """All components of E-PUR+BM."""
+        merged = dict(self.baseline_components)
+        merged.update(self.memoization_components)
+        return merged
+
+
+DEFAULT_AREA_MODEL = AreaModel()

@@ -1,0 +1,115 @@
+"""Top-level E-PUR simulation: compare baseline against E-PUR+BM.
+
+``simulate_baseline`` / ``simulate_memoized`` produce a combined
+:class:`SimulationResult` (cycles + energy breakdown) for one network at
+its Table 1 geometry; ``compare`` packages the two into the quantities
+the paper's Figures 17-19 report (energy savings, speedup, breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.config import DEFAULT_CONFIG, EPURConfig
+from repro.accel.energy import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyReport,
+    EnergyTable,
+    baseline_energy,
+    memoized_energy,
+)
+from repro.accel.timing import (
+    TimingReport,
+    baseline_timing,
+    memoized_timing,
+)
+from repro.accel.trace import ReuseTrace
+from repro.models.specs import NetworkSpec
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Timing + energy of one inference on one configuration."""
+
+    spec: NetworkSpec
+    timing: TimingReport
+    energy: EnergyReport
+
+    @property
+    def total_cycles(self) -> int:
+        return self.timing.total_cycles
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """E-PUR+BM vs E-PUR, as reported in Figures 17-19."""
+
+    baseline: SimulationResult
+    memoized: SimulationResult
+    trace: ReuseTrace
+
+    @property
+    def speedup(self) -> float:
+        return self.memoized.timing.speedup_over(self.baseline.timing)
+
+    @property
+    def energy_savings_percent(self) -> float:
+        return 100.0 * self.memoized.energy.savings_over(self.baseline.energy)
+
+    @property
+    def reuse_percent(self) -> float:
+        return 100.0 * self.trace.mean_reuse()
+
+    def breakdown_percent(self) -> Dict[str, Dict[str, float]]:
+        """Figure 18 view: component energies as % of *baseline* total."""
+        base_total = self.baseline.energy.total
+        return {
+            "epur": {
+                name: 100.0 * value / base_total
+                for name, value in self.baseline.energy.by_component.items()
+            },
+            "epur_bm": {
+                name: 100.0 * value / base_total
+                for name, value in self.memoized.energy.by_component.items()
+            },
+        }
+
+
+def simulate_baseline(
+    spec: NetworkSpec,
+    config: EPURConfig = DEFAULT_CONFIG,
+    table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> SimulationResult:
+    timing = baseline_timing(spec, config)
+    energy = baseline_energy(spec, config, table, timing=timing)
+    return SimulationResult(spec, timing, energy)
+
+
+def simulate_memoized(
+    spec: NetworkSpec,
+    trace: ReuseTrace,
+    config: EPURConfig = DEFAULT_CONFIG,
+    table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> SimulationResult:
+    timing = memoized_timing(spec, config, trace)
+    energy = memoized_energy(spec, config, trace, table, timing=timing)
+    return SimulationResult(spec, timing, energy)
+
+
+def compare(
+    spec: NetworkSpec,
+    trace: ReuseTrace,
+    config: EPURConfig = DEFAULT_CONFIG,
+    table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> Comparison:
+    """Full baseline-vs-memoized comparison for one network."""
+    return Comparison(
+        baseline=simulate_baseline(spec, config, table),
+        memoized=simulate_memoized(spec, trace, config, table),
+        trace=trace,
+    )

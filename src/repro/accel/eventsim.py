@@ -1,0 +1,181 @@
+"""Event-level pipeline simulator for one computation unit per gate.
+
+The analytical model in :mod:`repro.accel.timing` assumes a fixed
+per-layer reuse *fraction*; this simulator instead replays the exact
+per-neuron reuse masks recorded by a functional run
+(:class:`~repro.core.stats.DetailedReuseStats`) through the FMU/DPU
+pipeline of §3.3.2:
+
+- the FMU issues one binary-neuron decision per ``issue_cycles``
+  (after a ``latency_cycles`` pipeline fill per gate pass);
+- the DPU evaluates non-reused neurons sequentially, each taking the
+  gate's dot-product latency, starting no earlier than its decision;
+- the MU tail finishes the gate pass.
+
+Gates run on parallel CUs (the slowest gate bounds the cell step);
+layers and timesteps are sequential.  The cross-check bench asserts
+that, fed the same traces, this model and the analytical one agree on
+speedup within a few percent — clustering of reuse within a gate pass is
+what they can legitimately disagree about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.accel.config import DEFAULT_CONFIG, EPURConfig
+from repro.core.stats import DetailedReuseStats
+
+Array = np.ndarray
+
+#: MU tail per gate pass (same constant as the analytical model).
+_MU_TAIL_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class GatePassResult:
+    """Cycle accounting for one gate over one timestep and sequence."""
+
+    cycles: int
+    dpu_busy_cycles: int
+    evaluated: int
+    reused: int
+
+
+@dataclass
+class EventSimReport:
+    """Totals over a replayed trace."""
+
+    total_cycles: int
+    dpu_busy_cycles: int
+    evaluated_neurons: int
+    reused_neurons: int
+    capacity_cycles: int = 0  # total_cycles x parallel CUs occupied
+
+    @property
+    def dpu_utilization(self) -> float:
+        """Fraction of CU-cycles the DPUs spent on surviving dot products."""
+        if self.capacity_cycles == 0:
+            return 0.0
+        return self.dpu_busy_cycles / self.capacity_cycles
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.evaluated_neurons + self.reused_neurons
+        return self.reused_neurons / total if total else 0.0
+
+    def speedup_over(self, baseline: "EventSimReport") -> float:
+        if self.total_cycles <= 0:
+            raise ValueError("cannot compute speedup of an empty run")
+        return baseline.total_cycles / self.total_cycles
+
+
+def gate_pass_cycles(
+    reuse_mask: Array, dot_cycles: int, config: EPURConfig
+) -> GatePassResult:
+    """One gate pass (all neurons of one gate, one timestep, one sequence).
+
+    Vectorised pipeline recurrence: the DPU finish time after the k-th
+    evaluated neuron is ``max_j (decision_j + (k - j + 1) * dot)`` where
+    ``decision_j`` is when the FMU delivered the j-th surviving neuron's
+    verdict.
+    """
+    mask = np.asarray(reuse_mask, dtype=bool).reshape(-1)
+    neurons = mask.size
+    issue = config.fmu.issue_cycles
+    fill = config.fmu.latency_cycles
+    fmu_done = fill + neurons * issue
+
+    evaluated_idx = np.flatnonzero(~mask)
+    evaluated = evaluated_idx.size
+    dpu_busy = evaluated * dot_cycles
+    if evaluated == 0:
+        cycles = fmu_done + _MU_TAIL_CYCLES
+        return GatePassResult(cycles, 0, 0, neurons)
+
+    decisions = fill + (evaluated_idx + 1) * issue
+    k = np.arange(evaluated)
+    # Finish time of the last eval: each candidate start j pays the
+    # remaining (evaluated - j) dot latencies back to back.
+    finish = np.max(decisions + (evaluated - k) * dot_cycles)
+    cycles = int(max(finish, fmu_done)) + _MU_TAIL_CYCLES
+    return GatePassResult(cycles, dpu_busy, evaluated, neurons - evaluated)
+
+
+def baseline_gate_pass_cycles(neurons: int, dot_cycles: int) -> int:
+    """Gate pass on plain E-PUR: no FMU, every neuron evaluated."""
+    return neurons * dot_cycles + _MU_TAIL_CYCLES
+
+
+def replay_trace(
+    stats: DetailedReuseStats,
+    layer_dims: Dict[str, Tuple[int, int]],
+    config: EPURConfig = DEFAULT_CONFIG,
+) -> Tuple[EventSimReport, EventSimReport]:
+    """Replay a functional run's masks through the pipeline model.
+
+    Args:
+        stats: detailed stats recorded under :func:`repro.core.memoized`.
+        layer_dims: ``layer name -> (input_size, hidden_size)`` of the
+            functional (scaled) model; see :func:`collect_layer_dims`.
+
+    Returns:
+        ``(memoized_report, baseline_report)`` over the same workload.
+    """
+    by_layer: Dict[str, List[str]] = {}
+    for layer, gate in stats.masks:
+        by_layer.setdefault(layer, []).append(gate)
+    if not by_layer:
+        raise ValueError("stats contain no recorded masks")
+
+    memo = EventSimReport(0, 0, 0, 0)
+    base = EventSimReport(0, 0, 0, 0)
+    for layer, gates in by_layer.items():
+        if layer not in layer_dims:
+            raise KeyError(f"no dimensions recorded for layer {layer!r}")
+        input_size, hidden = layer_dims[layer]
+        dot = math.ceil((input_size + hidden) / config.dpu_width)
+        steps = stats.timesteps(layer, gates[0])
+        for t in range(steps):
+            batch = stats.masks[(layer, gates[0])][t].shape[0]
+            for b in range(batch):
+                gate_cycles = []
+                for gate in gates:
+                    mask = stats.masks[(layer, gate)][t][b]
+                    result = gate_pass_cycles(mask, dot, config)
+                    gate_cycles.append(result.cycles)
+                    memo.dpu_busy_cycles += result.dpu_busy_cycles
+                    memo.evaluated_neurons += result.evaluated
+                    memo.reused_neurons += result.reused
+                    base.dpu_busy_cycles += mask.size * dot
+                    base.evaluated_neurons += mask.size
+                # Gates run on parallel CUs: the slowest bounds the step.
+                step_cycles = max(gate_cycles)
+                memo.total_cycles += step_cycles
+                memo.capacity_cycles += step_cycles * len(gates)
+                base_step = baseline_gate_pass_cycles(
+                    stats.masks[(layer, gates[0])][t][b].size, dot
+                )
+                base.total_cycles += base_step
+                base.capacity_cycles += base_step * len(gates)
+    return memo, base
+
+
+def collect_layer_dims(model) -> Dict[str, Tuple[int, int]]:
+    """Map every recurrent layer's dotted name to (input, hidden) sizes.
+
+    Mirrors the naming used by :func:`repro.core.engine.apply_memoization`
+    so the dims line up with :class:`DetailedReuseStats` keys.
+    """
+    from repro.core.engine import _iter_recurrent_children
+
+    dims: Dict[str, Tuple[int, int]] = {}
+    for _, _, layer, dotted in _iter_recurrent_children(model):
+        dims[dotted] = (layer.input_size, layer.hidden_size)
+    if not dims:
+        raise ValueError("model contains no recurrent layers")
+    return dims

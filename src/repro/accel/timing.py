@@ -1,0 +1,96 @@
+"""Cycle-level timing model of E-PUR and E-PUR+BM (paper §3.3).
+
+Execution model (from §3.3.1): the four gates of a cell are evaluated in
+parallel, one per computation unit, while the neurons *within* a gate are
+sequential.  Each neuron's dot product takes ``ceil((E + R) / dpu_width)``
+DPU cycles (E forward operands, R recurrent operands); the MU's bias,
+peephole and activation work is overlapped with the next neuron's DPU
+work and only contributes a fixed pipeline tail.
+
+With memoization (§3.3.2), every neuron first spends the FMU issue slot
+(the BDPU is pipelined; its 5-cycle latency contributes a per-gate fill,
+not a per-neuron stall), then either skips the DPU entirely (reuse) or
+pays the full dot-product latency.  This reproduces §5's observation that
+each avoided evaluation saves 16-80 cycles depending on the RNN while
+the scheme costs a small constant per neuron.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.config import EPURConfig
+from repro.accel.trace import ReuseTrace
+from repro.models.specs import NetworkSpec
+
+#: MU pipeline tail per gate per timestep (bias/peephole/activation of
+#: the final neuron, not overlapped with anything).
+_MU_TAIL_CYCLES = 4
+
+
+def neuron_dot_cycles(input_size: int, hidden_size: int, config: EPURConfig) -> int:
+    """DPU cycles for one neuron's forward + recurrent dot product."""
+    if input_size <= 0 or hidden_size <= 0:
+        raise ValueError("sizes must be positive")
+    return math.ceil((input_size + hidden_size) / config.dpu_width)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Cycle breakdown for one full-sequence inference."""
+
+    total_cycles: int
+    per_layer_cycles: List[int]
+    frequency_hz: float
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.frequency_hz
+
+    def speedup_over(self, other: "TimingReport") -> float:
+        """How much faster *this* report is than ``other``."""
+        if self.total_cycles <= 0:
+            raise ValueError("cannot compute speedup of an empty run")
+        return other.total_cycles / self.total_cycles
+
+
+def baseline_timing(spec: NetworkSpec, config: EPURConfig) -> TimingReport:
+    """Cycles for E-PUR without memoization."""
+    per_layer = []
+    for input_size in spec.layer_input_sizes():
+        dot = neuron_dot_cycles(input_size, spec.neurons, config)
+        per_timestep = spec.neurons * dot + _MU_TAIL_CYCLES
+        per_layer.append(per_timestep * spec.avg_sequence_length)
+    return TimingReport(sum(per_layer), per_layer, config.frequency_hz)
+
+
+def memoized_timing(
+    spec: NetworkSpec, config: EPURConfig, trace: ReuseTrace
+) -> TimingReport:
+    """Cycles for E-PUR+BM given per-layer reuse fractions."""
+    if trace.num_layers != spec.layers:
+        raise ValueError(
+            f"trace has {trace.num_layers} layers but spec has {spec.layers}"
+        )
+    per_layer = []
+    for input_size, reuse in zip(spec.layer_input_sizes(), trace.layer_reuse):
+        dot = neuron_dot_cycles(input_size, spec.neurons, config)
+        evaluated = spec.neurons * (1.0 - reuse)
+        per_timestep = (
+            spec.neurons * config.fmu.issue_cycles  # BDPU issue per neuron
+            + config.fmu.latency_cycles  # pipeline fill per gate-step
+            + math.ceil(evaluated * dot)  # surviving full evaluations
+            + _MU_TAIL_CYCLES
+        )
+        per_layer.append(per_timestep * spec.avg_sequence_length)
+    return TimingReport(sum(per_layer), per_layer, config.frequency_hz)
+
+
+def saved_cycles_per_reuse(spec: NetworkSpec, config: EPURConfig) -> List[int]:
+    """Cycles one avoided evaluation saves in each layer (§5: 16-80)."""
+    return [
+        neuron_dot_cycles(input_size, spec.neurons, config)
+        for input_size in spec.layer_input_sizes()
+    ]

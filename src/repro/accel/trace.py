@@ -1,0 +1,66 @@
+"""Reuse traces: the bridge from functional memoized inference to the
+accelerator model.
+
+A :class:`ReuseTrace` carries the per-layer reuse fractions the cycle and
+energy models consume.  It can be built three ways: from a functional
+:class:`~repro.core.stats.ReuseStats` run (preferred), from a single
+uniform fraction (what-if analyses), or per-layer explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.stats import ReuseStats
+from repro.models.specs import NetworkSpec
+
+
+@dataclass(frozen=True)
+class ReuseTrace:
+    """Per-directional-layer reuse fractions for one network inference."""
+
+    layer_reuse: Sequence[float]
+
+    def __post_init__(self):
+        if not self.layer_reuse:
+            raise ValueError("trace needs at least one layer")
+        for fraction in self.layer_reuse:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"reuse fraction {fraction} outside [0, 1]")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_reuse)
+
+    def mean_reuse(self) -> float:
+        return sum(self.layer_reuse) / len(self.layer_reuse)
+
+    @classmethod
+    def uniform(cls, reuse_fraction: float, num_layers: int) -> "ReuseTrace":
+        """Same reuse on every layer."""
+        return cls(tuple([reuse_fraction] * num_layers))
+
+    @classmethod
+    def zero(cls, num_layers: int) -> "ReuseTrace":
+        """The baseline (no memoization)."""
+        return cls.uniform(0.0, num_layers)
+
+    @classmethod
+    def from_stats(cls, stats: ReuseStats, spec: NetworkSpec) -> "ReuseTrace":
+        """Project functional reuse statistics onto the paper geometry.
+
+        The functional models are scaled down (fewer layers than the
+        paper network), so per-layer fractions are mapped onto the spec's
+        directional layers by proportional position; this preserves the
+        depth profile of reuse (early layers see raw inputs, late layers
+        see slowly-varying hidden states).
+        """
+        measured = [stats.by_layer()[name] for name in sorted(stats.by_layer())]
+        if not measured:
+            raise ValueError("stats contain no recorded layers")
+        layers = []
+        for i in range(spec.layers):
+            source = int(i * len(measured) / spec.layers)
+            layers.append(measured[source])
+        return cls(tuple(layers))

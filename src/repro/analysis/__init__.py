@@ -1,0 +1,20 @@
+"""Experiment-level orchestration: sweeps, frontiers, figure rendering."""
+
+from repro.analysis.figures import render_series, render_table
+from repro.analysis.report import generate_report
+from repro.analysis.sweep import (
+    EndToEndResult,
+    end_to_end,
+    frontier,
+    network_sweep,
+)
+
+__all__ = [
+    "EndToEndResult",
+    "end_to_end",
+    "frontier",
+    "generate_report",
+    "network_sweep",
+    "render_series",
+    "render_table",
+]

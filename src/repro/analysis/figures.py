@@ -1,0 +1,48 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+The benches print the same rows/series the paper plots; these helpers
+keep the formatting consistent (fixed-width columns, one header row).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], unit: str = ""
+) -> str:
+    """One labelled (x, y) series as a compact text block."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{name}{suffix}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

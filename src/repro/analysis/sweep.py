@@ -1,0 +1,100 @@
+"""Threshold sweeps and end-to-end (functional -> accelerator) pipelines.
+
+``end_to_end`` is the full methodology of §3.2.1 + §5 for one network:
+
+1. sweep thresholds on the *calibration* split and pick the best theta
+   within the accuracy-loss budget;
+2. evaluate that theta on the test split (quality loss + reuse trace);
+3. feed the measured reuse into the E-PUR model for energy and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.accel.config import DEFAULT_CONFIG, EPURConfig
+from repro.accel.epur import Comparison, compare
+from repro.accel.trace import ReuseTrace
+from repro.core.calibration import SweepPoint, ThresholdSweep, sweep_thresholds
+from repro.core.engine import MemoizationScheme
+from repro.models.benchmark import Benchmark, MemoizedResult
+
+#: Default threshold grid; matches the x-axes of Figures 1 and 16.
+DEFAULT_THETAS: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def network_sweep(
+    benchmark: Benchmark,
+    scheme: MemoizationScheme,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    calibration: bool = False,
+) -> ThresholdSweep:
+    """Loss/reuse at every threshold for one network and predictor."""
+    benchmark.ensure_trained()
+    return sweep_thresholds(
+        benchmark.sweep_fn(scheme, calibration=calibration), thetas
+    )
+
+
+def frontier(
+    sweep: ThresholdSweep, loss_targets: Sequence[float]
+) -> Dict[float, Optional[SweepPoint]]:
+    """Best (highest-reuse) sweep point for each loss budget."""
+    return {target: sweep.best_under_loss(target) for target in loss_targets}
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """One network's row in Figures 17-19."""
+
+    network: str
+    loss_target: float
+    theta: float
+    calibration_sweep: ThresholdSweep
+    test_result: MemoizedResult
+    comparison: Comparison
+
+    @property
+    def reuse_percent(self) -> float:
+        return self.test_result.reuse_percent
+
+    @property
+    def quality_loss(self) -> float:
+        return self.test_result.quality_loss
+
+    @property
+    def energy_savings_percent(self) -> float:
+        return self.comparison.energy_savings_percent
+
+    @property
+    def speedup(self) -> float:
+        return self.comparison.speedup
+
+
+def end_to_end(
+    benchmark: Benchmark,
+    loss_target: float,
+    scheme: MemoizationScheme = MemoizationScheme(),
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    config: EPURConfig = DEFAULT_CONFIG,
+) -> EndToEndResult:
+    """The full §3.2.1 + §5 pipeline for one network and loss budget."""
+    benchmark.ensure_trained()
+    calibration_sweep = network_sweep(
+        benchmark, scheme, thetas, calibration=True
+    )
+    best = calibration_sweep.best_under_loss(loss_target)
+    theta = best.theta if best is not None else min(thetas)
+
+    test_result = benchmark.evaluate_memoized(scheme.with_theta(theta))
+    trace = ReuseTrace.from_stats(test_result.stats, benchmark.spec)
+    comparison = compare(benchmark.spec, trace, config=config)
+    return EndToEndResult(
+        network=benchmark.name,
+        loss_target=loss_target,
+        theta=theta,
+        calibration_sweep=calibration_sweep,
+        test_result=test_result,
+        comparison=comparison,
+    )

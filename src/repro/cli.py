@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+- ``sweep``     — threshold sweep on one network (Figures 1/16 style).
+- ``e2e``       — full calibration -> test -> accelerator pipeline.
+- ``simulate``  — accelerator what-if for a hypothetical reuse fraction.
+- ``table1``    — print the benchmark-network table.
+- ``area``      — print the area model.
+- ``report``    — full markdown reproduction report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.accel.area import DEFAULT_AREA_MODEL
+from repro.accel.epur import compare
+from repro.accel.trace import ReuseTrace
+from repro.analysis.figures import render_table
+from repro.analysis.sweep import end_to_end, network_sweep
+from repro.core.engine import MemoizationScheme
+from repro.models.specs import BENCHMARK_NAMES, PAPER_NETWORKS
+from repro.models.zoo import load_benchmark
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neuron-level fuzzy memoization in RNNs (MICRO-52 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="threshold sweep on one network")
+    sweep.add_argument("network", choices=BENCHMARK_NAMES)
+    sweep.add_argument(
+        "--predictor", choices=("bnn", "oracle", "input"), default="bnn"
+    )
+    sweep.add_argument("--no-throttle", action="store_true")
+    sweep.add_argument(
+        "--thetas",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
+    )
+    sweep.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+
+    e2e = sub.add_parser("e2e", help="calibrate, test, project onto E-PUR")
+    e2e.add_argument("network", choices=BENCHMARK_NAMES)
+    e2e.add_argument("--loss-target", type=float, default=1.0)
+    e2e.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+
+    simulate = sub.add_parser(
+        "simulate", help="accelerator what-if at a given reuse fraction"
+    )
+    simulate.add_argument("network", choices=BENCHMARK_NAMES)
+    simulate.add_argument("--reuse", type=float, required=True)
+
+    sub.add_parser("table1", help="print the Table 1 network specs")
+    sub.add_parser("area", help="print the area model")
+
+    report = sub.add_parser("report", help="full markdown reproduction report")
+    report.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    report.add_argument("--loss-target", type=float, default=1.0)
+    report.add_argument(
+        "--networks", nargs="+", default=list(BENCHMARK_NAMES)
+    )
+    return parser
+
+
+def _cmd_sweep(args) -> str:
+    bench = load_benchmark(args.network, scale=args.scale)
+    scheme = MemoizationScheme(
+        predictor=args.predictor, throttle=not args.no_throttle
+    )
+    sweep = network_sweep(bench, scheme, thetas=tuple(args.thetas))
+    rows = [
+        [p.theta, f"{p.loss:.2f}", f"{100 * p.reuse:.1f}%"] for p in sweep.points
+    ]
+    metric = bench.spec.quality_metric
+    return render_table(["theta", f"{metric} loss", "reuse"], rows)
+
+
+def _cmd_e2e(args) -> str:
+    bench = load_benchmark(args.network, scale=args.scale)
+    result = end_to_end(bench, loss_target=args.loss_target)
+    rows = [
+        ["calibrated theta", result.theta],
+        ["test quality loss", f"{result.quality_loss:.2f}"],
+        ["computation reuse", f"{result.reuse_percent:.1f}%"],
+        ["energy savings", f"{result.energy_savings_percent:.1f}%"],
+        ["speedup", f"{result.speedup:.2f}x"],
+    ]
+    return render_table(["quantity", "value"], rows)
+
+
+def _cmd_simulate(args) -> str:
+    if not 0.0 <= args.reuse <= 1.0:
+        raise SystemExit("--reuse must be in [0, 1]")
+    spec = PAPER_NETWORKS[args.network]
+    comparison = compare(spec, ReuseTrace.uniform(args.reuse, spec.layers))
+    rows = [
+        ["network", spec.name],
+        ["reuse", f"{comparison.reuse_percent:.1f}%"],
+        ["energy savings", f"{comparison.energy_savings_percent:.1f}%"],
+        ["speedup", f"{comparison.speedup:.2f}x"],
+    ]
+    return render_table(["quantity", "value"], rows)
+
+
+def _cmd_table1(args) -> str:
+    del args
+    rows = [
+        [
+            spec.name,
+            spec.app_domain,
+            spec.cell_type,
+            spec.layers,
+            spec.neurons,
+            f"{spec.base_quality} {spec.quality_metric}",
+            f"{spec.paper_reuse_percent}%",
+        ]
+        for spec in PAPER_NETWORKS.values()
+    ]
+    return render_table(
+        ["network", "domain", "cell", "layers", "neurons", "base", "reuse@1%"],
+        rows,
+    )
+
+
+def _cmd_report(args) -> str:
+    from repro.analysis.report import generate_report
+
+    return generate_report(
+        scale=args.scale,
+        loss_target=args.loss_target,
+        networks=tuple(args.networks),
+    )
+
+
+def _cmd_area(args) -> str:
+    del args
+    model = DEFAULT_AREA_MODEL
+    rows = [[name, f"{mm2:.1f}"] for name, mm2 in model.breakdown().items()]
+    rows.append(["E-PUR", f"{model.baseline_mm2:.1f}"])
+    rows.append(["E-PUR+BM", f"{model.memoized_mm2:.1f}"])
+    return render_table(["component", "mm^2"], rows)
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "e2e": _cmd_e2e,
+    "simulate": _cmd_simulate,
+    "table1": _cmd_table1,
+    "area": _cmd_area,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Binary gate mirrors of trained full-precision gates (paper Figure 9).
+
+A :class:`BinaryGate` is created by binarizing a gate's concatenated
+forward/recurrent weight matrix ``[W_x | W_h]``.  At inference time it
+binarizes the concatenated operand ``[x_t ; h_{t-1}]`` and produces the
+integer dot product of Equation 8 for every neuron — the signal the
+memoization predictor thresholds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.binarization import (
+    binarize,
+    binary_dot,
+    binary_dot_packed,
+    pack_signs,
+)
+
+Array = np.ndarray
+
+
+class BinaryGate:
+    """The BNN mirror of one RNN gate.
+
+    Args:
+        w_x: full-precision forward weights ``(H, E)``.
+        w_h: full-precision recurrent weights ``(H, R)``.
+        use_packed: evaluate via the XNOR/popcount path instead of the
+            ±1 matmul (identical results; the packed path mirrors the
+            hardware BDPU).
+    """
+
+    def __init__(self, w_x: Array, w_h: Array, use_packed: bool = False):
+        w_x = np.asarray(w_x)
+        w_h = np.asarray(w_h)
+        if w_x.ndim != 2 or w_h.ndim != 2:
+            raise ValueError("gate weights must be 2-D")
+        if w_x.shape[0] != w_h.shape[0]:
+            raise ValueError(
+                f"forward/recurrent neuron counts differ: "
+                f"{w_x.shape[0]} vs {w_h.shape[0]}"
+            )
+        self.neurons = w_x.shape[0]
+        self.input_size = w_x.shape[1]
+        self.recurrent_size = w_h.shape[1]
+        self.n_bits = self.input_size + self.recurrent_size
+        self.use_packed = use_packed
+        full = np.concatenate([w_x, w_h], axis=1)
+        self.weights_bin = binarize(full)
+        self._weights_packed: Optional[Array] = (
+            pack_signs(full) if use_packed else None
+        )
+
+    def evaluate(self, x: Array, h: Array) -> Array:
+        """Binary dot products for operands ``x`` (B, E) and ``h`` (B, R).
+
+        Returns:
+            int32 array of shape ``(B, H)`` (or ``(H,)`` for 1-D input).
+        """
+        x = np.asarray(x)
+        h = np.asarray(h)
+        operand = np.concatenate([x, h], axis=-1)
+        if operand.shape[-1] != self.n_bits:
+            raise ValueError(
+                f"operand width {operand.shape[-1]} != expected {self.n_bits}"
+            )
+        if self.use_packed:
+            return binary_dot_packed(
+                self._weights_packed, pack_signs(operand), self.n_bits
+            )
+        return binary_dot(self.weights_bin, binarize(operand))
+
+    @property
+    def storage_bits(self) -> int:
+        """Sign-buffer footprint of this gate in bits."""
+        return self.neurons * self.n_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BinaryGate(neurons={self.neurons}, n_bits={self.n_bits}, "
+            f"packed={self.use_packed})"
+        )

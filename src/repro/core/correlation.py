@@ -1,0 +1,140 @@
+"""BNN vs full-precision output correlation (paper Figures 7 and 8).
+
+The memoization predictor is sound only because the binarized mirror of a
+gate produces outputs that track the full-precision outputs (Anderson &
+Berg's dot-product preservation).  These utilities measure that claim on
+our networks: for every neuron they collect (full-precision, binary)
+output pairs over a test run and compute per-neuron Pearson correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bnn import BinaryGate
+from repro.metrics.correlation import pearson
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+Array = np.ndarray
+RecurrentLayer = Union[LSTMLayer, GRULayer]
+
+
+@dataclass
+class CorrelationSamples:
+    """Paired (full-precision, binary) outputs for one gate.
+
+    Shapes are ``(samples, neurons)`` with samples pooled over batch and
+    time.
+    """
+
+    full: Array
+    binary: Array
+
+    def per_neuron(self) -> Array:
+        """Pearson correlation per neuron, shape ``(neurons,)``."""
+        return np.array(
+            [
+                pearson(self.full[:, n], self.binary[:, n])
+                for n in range(self.full.shape[1])
+            ]
+        )
+
+    def pooled(self) -> float:
+        """Correlation over all neurons pooled together (Figure 7 view)."""
+        return pearson(self.full.reshape(-1), self.binary.reshape(-1))
+
+
+def collect_gate_samples(
+    layer: RecurrentLayer, inputs: Array
+) -> Dict[str, CorrelationSamples]:
+    """Run ``inputs`` (B, T, E) through ``layer``, pairing full-precision
+    and binary pre-activations for every gate.
+
+    The binary mirrors are built with Figure 9's construction (sign
+    binarization of the gate's concatenated weights).
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 3:
+        raise ValueError(f"expected (B, T, E) inputs, got {inputs.shape}")
+    cell = layer.cell
+    is_lstm = isinstance(layer, LSTMLayer)
+    mirrors = {}
+    for gate in cell.gate_names:
+        w_x, w_h, _ = cell.gate_weights(gate)
+        mirrors[gate] = BinaryGate(w_x, w_h)
+
+    full_samples: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
+    bin_samples: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
+
+    batch, steps, _ = inputs.shape
+    state = layer.start_state(batch)
+    for t in range(steps):
+        x_t = inputs[:, t, :]
+        h_prev = state[0] if is_lstm else state
+        if is_lstm:
+            pre = cell.gate_preacts(x_t, h_prev)
+            operands = {g: (x_t, h_prev) for g in cell.gate_names}
+        else:
+            pre = cell.zr_preacts(x_t, h_prev)
+            # Resolve the reset gate to build the candidate's operand.
+            from repro.nn.activations import sigmoid
+
+            r = sigmoid(pre["r"] + cell.b_r.value)
+            reset_h = r * h_prev
+            pre["g"] = cell.g_preact(x_t, reset_h)
+            operands = {
+                "z": (x_t, h_prev),
+                "r": (x_t, h_prev),
+                "g": (x_t, reset_h),
+            }
+        for gate in cell.gate_names:
+            full_samples[gate].append(pre[gate])
+            x_op, h_op = operands[gate]
+            bin_samples[gate].append(mirrors[gate].evaluate(x_op, h_op))
+        _, state = layer.step(x_t, state)
+
+    return {
+        gate: CorrelationSamples(
+            full=np.concatenate(full_samples[gate], axis=0),
+            binary=np.concatenate(bin_samples[gate], axis=0).astype(np.float64),
+        )
+        for gate in cell.gate_names
+    }
+
+
+def layer_correlations(layer: RecurrentLayer, inputs: Array) -> Array:
+    """Per-neuron correlations pooled over all gates of ``layer``."""
+    samples = collect_gate_samples(layer, inputs)
+    return np.concatenate([s.per_neuron() for s in samples.values()])
+
+
+def correlation_histogram(
+    correlations: Array, bins: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+) -> Tuple[Array, Array]:
+    """Figure 8 histogram: percentage of neurons per correlation bin.
+
+    Negative correlations are clipped to 0 (they occupy the lowest bin,
+    matching the paper's axis).
+    """
+    correlations = np.clip(np.asarray(correlations, dtype=np.float64), 0.0, 1.0)
+    edges = np.asarray(bins, dtype=np.float64)
+    counts, _ = np.histogram(correlations, bins=edges)
+    if correlations.size == 0:
+        raise ValueError("no correlations supplied")
+    percent = 100.0 * counts / correlations.size
+    return percent, edges
+
+
+def fraction_above(correlations: Array, threshold: float) -> float:
+    """Fraction of neurons with correlation above ``threshold``.
+
+    The paper quotes "85% of neurons have R > 0.8" for three networks.
+    """
+    correlations = np.asarray(correlations)
+    if correlations.size == 0:
+        raise ValueError("no correlations supplied")
+    return float(np.mean(correlations > threshold))

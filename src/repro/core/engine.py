@@ -1,0 +1,161 @@
+"""The memoization engine: configure a scheme, apply it to a whole model.
+
+The entry points are :class:`MemoizationScheme` (which predictor, what
+threshold, throttling on/off) and :func:`memoized` — a context manager
+that walks any :class:`~repro.nn.module.Module` tree, swaps every
+recurrent layer for its memoized wrapper, and restores the originals on
+exit.  Model evaluation code does not change at all::
+
+    stats = ReuseStats()
+    with memoized(model, MemoizationScheme(theta=0.05), stats):
+        metric = evaluate(model, test_set)
+    print(stats.reuse_percent())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bnn import BinaryGate
+from repro.core.layers import WRAPPABLE, wrap_layer
+from repro.core.predictors import (
+    BNNGatePredictor,
+    GatePredictor,
+    InputSimilarityGatePredictor,
+    OracleGatePredictor,
+)
+from repro.core.stats import ReuseStats
+from repro.nn.module import Module
+
+Array = np.ndarray
+
+PREDICTOR_KINDS = ("bnn", "oracle", "input")
+
+
+@dataclass(frozen=True)
+class MemoizationScheme:
+    """Configuration of the fuzzy-memoization scheme.
+
+    Attributes:
+        theta: the reuse threshold (the paper's key knob; §3.2.1).
+        predictor: ``"bnn"`` (the contribution), ``"oracle"`` (upper
+            bound), or ``"input"`` (input-similarity strawman).
+        throttle: accumulate relative differences across consecutive
+            reuses (Eq. 13).  Only meaningful for the BNN predictor.
+        use_packed: evaluate BNNs with the XNOR/popcount bit-packed path.
+        layer_thetas: optional per-layer threshold overrides, keyed by
+            the dotted layer name seen in :class:`ReuseStats` (an
+            extension beyond the paper's single global threshold; see
+            ``calibrate_per_layer``).
+    """
+
+    theta: float = 0.05
+    predictor: str = "bnn"
+    throttle: bool = True
+    use_packed: bool = False
+    layer_thetas: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self):
+        if self.theta < 0:
+            raise ValueError("theta must be non-negative")
+        if self.predictor not in PREDICTOR_KINDS:
+            raise ValueError(
+                f"predictor must be one of {PREDICTOR_KINDS}, got "
+                f"{self.predictor!r}"
+            )
+        if self.layer_thetas is not None:
+            if any(value < 0 for value in self.layer_thetas.values()):
+                raise ValueError("layer thresholds must be non-negative")
+
+    def with_theta(self, theta: float) -> "MemoizationScheme":
+        """Copy of the scheme at a different global threshold."""
+        return replace(self, theta=theta)
+
+    def with_layer_thetas(
+        self, layer_thetas: Mapping[str, float]
+    ) -> "MemoizationScheme":
+        """Copy of the scheme with per-layer threshold overrides."""
+        return replace(self, layer_thetas=dict(layer_thetas))
+
+    def theta_for(self, layer_name: str) -> float:
+        """Effective threshold for a (dotted) layer name."""
+        if self.layer_thetas is None:
+            return self.theta
+        return self.layer_thetas.get(layer_name, self.theta)
+
+    def make_predictor(self, w_x: Array, w_h: Array) -> GatePredictor:
+        """Build the per-gate predictor for a gate with these weights."""
+        if self.predictor == "oracle":
+            return OracleGatePredictor(self.theta)
+        if self.predictor == "input":
+            return InputSimilarityGatePredictor(self.theta, neurons=w_x.shape[0])
+        gate = BinaryGate(w_x, w_h, use_packed=self.use_packed)
+        return BNNGatePredictor(gate, self.theta, throttle=self.throttle)
+
+
+@dataclass
+class _Replacement:
+    parent: Module
+    attr: str
+    original: object
+
+
+def _iter_recurrent_children(
+    module: Module, prefix: str = ""
+) -> Iterator[Tuple[Module, str, object, str]]:
+    """Yield ``(parent, attr, layer, dotted_name)`` for wrappable layers."""
+    for attr, child in list(module._children.items()):
+        dotted = f"{prefix}{attr}"
+        if isinstance(child, tuple(WRAPPABLE)):
+            yield module, attr, child, dotted
+        else:
+            yield from _iter_recurrent_children(child, prefix=f"{dotted}.")
+
+
+def apply_memoization(
+    model: Module, scheme: MemoizationScheme, stats: ReuseStats
+) -> List[_Replacement]:
+    """Swap every recurrent layer in ``model`` for a memoized wrapper.
+
+    Returns the replacement records needed by :func:`restore`.
+
+    Raises:
+        ValueError: if the model contains no recurrent layers.
+    """
+    replacements: List[_Replacement] = []
+    for parent, attr, layer, dotted in _iter_recurrent_children(model):
+        layer_scheme = scheme.with_theta(scheme.theta_for(dotted))
+        wrapper = wrap_layer(layer, layer_scheme.make_predictor, stats, name=dotted)
+        replacements.append(_Replacement(parent, attr, layer))
+        # The wrapper is not a Module; remove the child registration so
+        # parameter traversal still sees the original weights through the
+        # record we keep, then restore re-registers the layer.
+        del parent._children[attr]
+        object.__setattr__(parent, attr, wrapper)
+    if not replacements:
+        raise ValueError("model contains no recurrent layers to memoize")
+    return replacements
+
+
+def restore(replacements: List[_Replacement]) -> None:
+    """Undo :func:`apply_memoization`."""
+    for record in reversed(replacements):
+        setattr(record.parent, record.attr, record.original)
+
+
+@contextmanager
+def memoized(model: Module, scheme: MemoizationScheme, stats: ReuseStats):
+    """Context manager: run ``model`` under fuzzy memoization.
+
+    Within the block every recurrent layer routes its gate dot products
+    through the scheme's predictor and records decisions into ``stats``.
+    """
+    replacements = apply_memoization(model, scheme, stats)
+    try:
+        yield stats
+    finally:
+        restore(replacements)

@@ -1,0 +1,176 @@
+"""Memoized drop-in replacements for the recurrent layers.
+
+Each wrapper shares the wrapped layer's cell (and therefore its weights)
+and reproduces its forward contract, but routes every gate's dot product
+through a :class:`~repro.core.predictors.GatePredictor`: reused neurons
+take their cached pre-activation, the rest are evaluated in full.  Reuse
+decisions are recorded into a :class:`~repro.core.stats.ReuseStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.predictors import GatePredictor
+from repro.core.stats import ReuseStats
+from repro.nn.activations import sigmoid
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+Array = np.ndarray
+PredictorFactory = Callable[[Array, Array], GatePredictor]
+
+
+class MemoizedLSTMLayer:
+    """An :class:`LSTMLayer` evaluated under neuron-level fuzzy memoization."""
+
+    def __init__(
+        self,
+        layer: LSTMLayer,
+        predictor_factory: PredictorFactory,
+        stats: ReuseStats,
+        name: str = "lstm",
+    ):
+        self.layer = layer
+        self.cell = layer.cell
+        self.input_size = layer.input_size
+        self.hidden_size = layer.hidden_size
+        self.stats = stats
+        self.name = name
+        self._predictors = {}
+        for gate in self.cell.gate_names:
+            w_x, w_h, _ = self.cell.gate_weights(gate)
+            self._predictors[gate] = predictor_factory(w_x, w_h)
+
+    def start_state(self, batch: int) -> Tuple[Array, Array]:
+        for predictor in self._predictors.values():
+            predictor.begin_sequence(batch)
+        return self.layer.start_state(batch)
+
+    def step(self, x_t: Array, state: Tuple[Array, Array]) -> Tuple[Array, Tuple]:
+        h_prev, c_prev = state
+        preacts = {}
+        for gate, predictor in self._predictors.items():
+            w_x, w_h, _ = self.cell.gate_weights(gate)
+            decision = predictor.step(
+                x_t,
+                h_prev,
+                compute_full=lambda w_x=w_x, w_h=w_h: x_t @ w_x.T + h_prev @ w_h.T,
+            )
+            self.stats.record(self.name, gate, decision.reuse_mask)
+            preacts[gate] = decision.outputs
+        h, c, _ = self.cell.step(x_t, h_prev, c_prev, preacts=preacts)
+        return h, (h, c)
+
+    def forward(self, x: Array) -> Array:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        state = self.start_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, state = self.step(x[:, t, :], state)
+            outputs[:, t, :] = h
+        return outputs
+
+    __call__ = forward
+
+
+class MemoizedGRULayer:
+    """A :class:`GRULayer` evaluated under neuron-level fuzzy memoization.
+
+    The candidate gate's recurrent operand is the reset-gated state
+    ``r_t * h_{t-1}``; its predictor therefore sees that operand (both for
+    binarization and for input-similarity), exactly as the hardware FMU
+    would, since the concatenated vector fed to the binary network is
+    built after the reset gate is resolved.
+    """
+
+    def __init__(
+        self,
+        layer: GRULayer,
+        predictor_factory: PredictorFactory,
+        stats: ReuseStats,
+        name: str = "gru",
+    ):
+        self.layer = layer
+        self.cell = layer.cell
+        self.input_size = layer.input_size
+        self.hidden_size = layer.hidden_size
+        self.stats = stats
+        self.name = name
+        self._predictors = {}
+        for gate in self.cell.gate_names:
+            w_x, w_h, _ = self.cell.gate_weights(gate)
+            self._predictors[gate] = predictor_factory(w_x, w_h)
+
+    def start_state(self, batch: int) -> Array:
+        for predictor in self._predictors.values():
+            predictor.begin_sequence(batch)
+        return self.layer.start_state(batch)
+
+    def step(self, x_t: Array, state: Array) -> Tuple[Array, Array]:
+        h_prev = state
+        preacts = {}
+        for gate in ("z", "r"):
+            w_x, w_h, _ = self.cell.gate_weights(gate)
+            decision = self._predictors[gate].step(
+                x_t,
+                h_prev,
+                compute_full=lambda w_x=w_x, w_h=w_h: x_t @ w_x.T + h_prev @ w_h.T,
+            )
+            self.stats.record(self.name, gate, decision.reuse_mask)
+            preacts[gate] = decision.outputs
+
+        r = sigmoid(preacts["r"] + self.cell.b_r.value)
+        reset_h = r * h_prev
+        w_gx, w_gh, _ = self.cell.gate_weights("g")
+        decision = self._predictors["g"].step(
+            x_t,
+            reset_h,
+            compute_full=lambda: x_t @ w_gx.T + reset_h @ w_gh.T,
+        )
+        self.stats.record(self.name, "g", decision.reuse_mask)
+        preacts["g"] = decision.outputs
+
+        h, _ = self.cell.step(x_t, h_prev, preacts=preacts)
+        return h, h
+
+    def forward(self, x: Array) -> Array:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        state = self.start_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, state = self.step(x[:, t, :], state)
+            outputs[:, t, :] = h
+        return outputs
+
+    __call__ = forward
+
+
+#: Types the engine knows how to wrap, with their wrapper classes.
+WRAPPABLE = {
+    LSTMLayer: MemoizedLSTMLayer,
+    GRULayer: MemoizedGRULayer,
+}
+
+
+def wrap_layer(
+    layer,
+    predictor_factory: PredictorFactory,
+    stats: ReuseStats,
+    name: str,
+    _wrappable=None,
+):
+    """Wrap a recurrent layer in its memoized counterpart."""
+    table = _wrappable or WRAPPABLE
+    for layer_type, wrapper in table.items():
+        if isinstance(layer, layer_type):
+            return wrapper(layer, predictor_factory, stats, name=name)
+    raise TypeError(f"cannot memoize layer of type {type(layer).__name__}")

@@ -1,0 +1,211 @@
+"""Memoization predictors: who decides when a neuron's cached output is
+reused.
+
+Three predictors are implemented:
+
+- :class:`OracleGatePredictor` — the idealised predictor of Figure 6
+  (Equations 9-11): it knows the true current output and reuses whenever
+  the true relative error is under the threshold.  It upper-bounds what
+  any practical predictor can achieve.
+- :class:`BNNGatePredictor` — the paper's contribution (Figure 10,
+  Equations 12-17): a binary mirror of the gate is always evaluated, and
+  the *accumulated* relative change of the binary output since the last
+  full evaluation (the throttling mechanism, Eq. 13) gates reuse.
+- :class:`InputSimilarityGatePredictor` — the strawman discussed in the
+  introduction: reuse when the gate's *input* changed little.  It ignores
+  the weights, which is exactly why the paper rejects it.
+
+All predictors share the same stepping contract so the memoized layers
+can swap them freely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.bnn import BinaryGate
+
+Array = np.ndarray
+ComputeFull = Callable[[], Array]
+
+#: Relative-error floor: |denominator| values below this are treated as
+#: "output too small to compare", forcing a full evaluation.
+_DENOM_FLOOR = 1e-12
+
+
+@dataclass
+class StepDecision:
+    """Result of one predictor step for one gate.
+
+    Attributes:
+        outputs: the gate pre-activations to use, shape ``(B, H)`` —
+            memoized values where reused, fresh values elsewhere.
+        reuse_mask: boolean ``(B, H)``; True where the cached value was
+            reused (i.e. the full-precision evaluation was avoided).
+    """
+
+    outputs: Array
+    reuse_mask: Array
+
+
+class GatePredictor(ABC):
+    """Per-gate memoization state machine."""
+
+    @abstractmethod
+    def begin_sequence(self, batch: int) -> None:
+        """Reset all memoization state for a new batch of sequences."""
+
+    @abstractmethod
+    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
+        """Decide reuse for one timestep.
+
+        Args:
+            x: the gate's forward operand ``(B, E)``.
+            h: the gate's recurrent operand ``(B, R)``.
+            compute_full: computes the true pre-activations ``(B, H)``.
+                The functional simulator may call it even for reused
+                neurons (cost accounting is logical, via ``reuse_mask``),
+                but a predictor must treat its result as unavailable when
+                deciding — only the oracle may peek.
+        """
+
+
+class OracleGatePredictor(GatePredictor):
+    """Figure 6: reuse when the *true* relative output error is <= theta.
+
+    ``delta = |(y_t - y_m) / y_t|``; reuse keeps ``y_m`` unchanged, a full
+    evaluation replaces it (Equations 9-11).  No accumulation is applied —
+    the oracle already sees the true drift.
+    """
+
+    def __init__(self, theta: float):
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.theta = theta
+        self._y_m: Optional[Array] = None
+
+    def begin_sequence(self, batch: int) -> None:
+        self._y_m = None
+
+    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
+        y_t = compute_full()
+        if self._y_m is None:
+            self._y_m = y_t.copy()
+            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+        denom = np.maximum(np.abs(y_t), _DENOM_FLOOR)
+        delta = np.abs(y_t - self._y_m) / denom
+        reuse = delta <= self.theta
+        outputs = np.where(reuse, self._y_m, y_t)
+        self._y_m = np.where(reuse, self._y_m, y_t)
+        return StepDecision(outputs, reuse)
+
+
+class BNNGatePredictor(GatePredictor):
+    """Figure 10: the BNN-based predictor with throttling.
+
+    State per neuron (Equations 12-17):
+
+    - ``y_m``  — memoized full-precision pre-activation,
+    - ``y_b_m`` — memoized binary output (updated only on full evals),
+    - ``delta`` — accumulated relative binary change since the last full
+      evaluation.  With ``throttle=False`` the accumulator is replaced by
+      the instantaneous ``epsilon`` (the ablation of Figure 11).
+    """
+
+    def __init__(
+        self,
+        binary_gate: BinaryGate,
+        theta: float,
+        throttle: bool = True,
+    ):
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.gate = binary_gate
+        self.theta = theta
+        self.throttle = throttle
+        self._y_m: Optional[Array] = None
+        self._y_b_m: Optional[Array] = None
+        self._delta: Optional[Array] = None
+
+    def begin_sequence(self, batch: int) -> None:
+        self._y_m = None
+        self._y_b_m = None
+        self._delta = None
+
+    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
+        y_b = self.gate.evaluate(x, h).astype(np.float64)
+        if self._y_m is None:
+            y_t = compute_full()
+            self._y_m = y_t.copy()
+            self._y_b_m = y_b.copy()
+            self._delta = np.zeros_like(y_b)
+            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+
+        # Eq. 12: relative difference between current and memoized binary
+        # outputs.  A zero binary output cannot be compared relatively;
+        # treat an exact match as zero change, anything else as "changed".
+        diff = np.abs(y_b - self._y_b_m)
+        denom = np.abs(y_b)
+        epsilon = np.where(
+            diff == 0.0, 0.0, diff / np.maximum(denom, 1.0)
+        )
+        # Eq. 13: throttling accumulates epsilon across consecutive reuses.
+        delta_candidate = self._delta + epsilon if self.throttle else epsilon
+        reuse = delta_candidate <= self.theta  # Eq. 14
+
+        y_t = compute_full()
+        outputs = np.where(reuse, self._y_m, y_t)
+        # Eq. 15-17: full evaluations refresh the memo and clear delta;
+        # reuses keep the memo and carry the accumulated delta.
+        self._y_m = np.where(reuse, self._y_m, y_t)
+        self._y_b_m = np.where(reuse, self._y_b_m, y_b)
+        self._delta = np.where(reuse, delta_candidate, 0.0)
+        return StepDecision(outputs, reuse)
+
+
+class InputSimilarityGatePredictor(GatePredictor):
+    """Ablation: reuse when the gate *input* vector barely changed.
+
+    The decision is per gate (all neurons share the input), computed as
+    the L1 relative change of the concatenated operand ``[x ; h]`` against
+    the operand memoized at the last full evaluation.  Small input changes
+    multiplied by large weights still flip outputs — the failure mode the
+    paper calls out — so this predictor trades accuracy for reuse much
+    worse than the BNN, which the ablation bench demonstrates.
+    """
+
+    def __init__(self, theta: float, neurons: int):
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        if neurons <= 0:
+            raise ValueError("neurons must be positive")
+        self.theta = theta
+        self.neurons = neurons
+        self._y_m: Optional[Array] = None
+        self._u_m: Optional[Array] = None
+
+    def begin_sequence(self, batch: int) -> None:
+        self._y_m = None
+        self._u_m = None
+
+    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
+        operand = np.concatenate([x, h], axis=-1)
+        if self._y_m is None:
+            y_t = compute_full()
+            self._y_m = y_t.copy()
+            self._u_m = operand.copy()
+            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+        num = np.abs(operand - self._u_m).sum(axis=-1)
+        den = np.maximum(np.abs(operand).sum(axis=-1), _DENOM_FLOOR)
+        change = num / den  # (B,)
+        reuse_rows = change <= self.theta
+        reuse = np.repeat(reuse_rows[:, None], self.neurons, axis=1)
+        y_t = compute_full()
+        outputs = np.where(reuse, self._y_m, y_t)
+        self._y_m = np.where(reuse, self._y_m, y_t)
+        self._u_m = np.where(reuse_rows[:, None], self._u_m, operand)
+        return StepDecision(outputs, reuse)

@@ -1,0 +1,116 @@
+"""Linear quantization of weights and activations (paper §2.2).
+
+E-PUR computes in FP16/FP32, and the paper's related work reduces memory
+footprint with linear quantization.  This module provides the two
+quantizers the reproduction uses:
+
+- :func:`quantize_fp16` — round weights through IEEE half precision,
+  modelling E-PUR's 16-bit weight storage;
+- :class:`LinearQuantizer` — symmetric ``int-N`` linear quantization
+  (the scheme in [20, 34] of the paper) with explicit scale handling,
+  used by the quantization ablation to show the memoization scheme is
+  orthogonal to weight quantization.
+
+``quantize_module`` applies either to every parameter of a
+:class:`~repro.nn.module.Module` tree in place (values stay float64 —
+the *quantization error* is what matters to the study, not the storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+Array = np.ndarray
+
+
+def quantize_fp16(values: Array) -> Array:
+    """Round through IEEE binary16 and back to float64."""
+    return np.asarray(values, dtype=np.float64).astype(np.float16).astype(
+        np.float64
+    )
+
+
+@dataclass(frozen=True)
+class LinearQuantizer:
+    """Symmetric linear quantizer to ``bits``-wide signed integers.
+
+    ``q = clip(round(x / scale), -2^{b-1}+1, 2^{b-1}-1)``; the scale is
+    chosen per tensor from its max magnitude (the common post-training
+    scheme).  ``dequantize(quantize(x))`` is the value actually used in
+    computation.
+    """
+
+    bits: int = 8
+
+    def __post_init__(self):
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+
+    @property
+    def q_max(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    def scale_for(self, values: Array) -> float:
+        """Per-tensor scale; a zero tensor gets a unit scale."""
+        magnitude = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+        if magnitude == 0.0:
+            return 1.0
+        return magnitude / self.q_max
+
+    def quantize(self, values: Array) -> Array:
+        """Integer codes (int32) for ``values``."""
+        scale = self.scale_for(values)
+        codes = np.round(np.asarray(values, dtype=np.float64) / scale)
+        return np.clip(codes, -self.q_max, self.q_max).astype(np.int32)
+
+    def dequantize(self, codes: Array, scale: float) -> Array:
+        return np.asarray(codes, dtype=np.float64) * scale
+
+    def roundtrip(self, values: Array) -> Array:
+        """The dequantized view of ``values`` (what inference computes on)."""
+        scale = self.scale_for(values)
+        return self.dequantize(self.quantize(values), scale)
+
+    def quantization_error(self, values: Array) -> float:
+        """RMS error introduced by the roundtrip."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        diff = values - self.roundtrip(values)
+        return float(np.sqrt(np.mean(diff * diff)))
+
+
+def quantize_module(module: Module, scheme: str = "fp16", bits: int = 8) -> Dict[str, float]:
+    """Quantize every parameter of ``module`` in place.
+
+    Args:
+        scheme: ``"fp16"`` or ``"linear"`` (symmetric int-``bits``).
+        bits: integer width for the linear scheme.
+
+    Returns:
+        Per-parameter RMS quantization error, keyed by dotted name.
+
+    Raises:
+        ValueError: for an unknown scheme.
+    """
+    if scheme == "fp16":
+        transform = quantize_fp16
+    elif scheme == "linear":
+        quantizer = LinearQuantizer(bits=bits)
+        transform = quantizer.roundtrip
+    else:
+        raise ValueError(f"unknown quantization scheme {scheme!r}")
+
+    errors: Dict[str, float] = {}
+    for name, param in module.named_parameters():
+        original = param.value
+        quantized = transform(original)
+        diff = original - quantized
+        errors[name] = float(np.sqrt(np.mean(diff * diff))) if diff.size else 0.0
+        param.value = quantized
+    return errors

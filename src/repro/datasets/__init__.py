@@ -1,0 +1,22 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper evaluates on LibriSpeech, Tedlium, the IMDB review corpus and
+WMT'15 En->De — none of which are available offline.  Each generator here
+reproduces the *property the experiment depends on*: temporal smoothness
+for the speech tasks (the source of neuron-output redundancy), valence
+structure for sentiment, and deterministic transduction for translation.
+All are seeded and deterministic.
+"""
+
+from repro.datasets.base import Batch, train_test_split
+from repro.datasets.sentiment import SentimentDataset
+from repro.datasets.speech import SpeechDataset
+from repro.datasets.translation import TranslationDataset
+
+__all__ = [
+    "Batch",
+    "SentimentDataset",
+    "SpeechDataset",
+    "TranslationDataset",
+    "train_test_split",
+]

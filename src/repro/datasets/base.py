@@ -1,0 +1,54 @@
+"""Shared dataset utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+Array = np.ndarray
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A generic (inputs, targets) batch."""
+
+    inputs: Array
+    targets: Array
+
+    @property
+    def size(self) -> int:
+        return int(self.inputs.shape[0])
+
+
+def train_test_split(
+    items: Sequence[T], test_fraction: float, rng: np.random.Generator
+) -> Tuple[List[T], List[T]]:
+    """Deterministic shuffled split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if len(items) < 2:
+        raise ValueError("need at least two items to split")
+    order = rng.permutation(len(items))
+    n_test = max(1, int(round(len(items) * test_fraction)))
+    test_idx = set(order[:n_test].tolist())
+    train = [items[i] for i in range(len(items)) if i not in test_idx]
+    test = [items[i] for i in range(len(items)) if i in test_idx]
+    return train, test
+
+
+def batched_indices(
+    count: int, batch_size: int, rng: np.random.Generator | None = None
+) -> Iterator[Array]:
+    """Yield index arrays covering ``range(count)`` in batches.
+
+    With an rng, order is shuffled (training); without, it is sequential
+    (evaluation).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(count) if rng is None else rng.permutation(count)
+    for start in range(0, count, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,109 @@
+"""Synthetic sequence-transduction corpus (MNMT stand-in).
+
+The "translation" is a deterministic transduction: each source token is
+mapped through a fixed random permutation into the target vocabulary and
+the sequence order is reversed — the classic seq2seq toy problem.  An
+encoder-decoder LSTM must learn both the lexical mapping and the
+reordering, exercising the same decode loop (and the same BLEU-loss
+mechanics) as a real NMT system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+#: Special target-side tokens.
+PAD, BOS, EOS = 0, 1, 2
+NUM_SPECIALS = 3
+
+
+@dataclass
+class TranslationDataset:
+    """Deterministic synthetic parallel corpus.
+
+    Source sentences are uniform random token sequences of fixed length;
+    target sentences are the reversed, permuted translation plus EOS.
+
+    Source token statistics mimic natural language: a Zipfian unigram
+    distribution plus bursty local repetition (``burst_rate``).  The
+    repetition matters for the reproduction — consecutive identical
+    tokens are the translation-domain analogue of the frame similarity
+    the memoization scheme exploits in speech.
+
+    Attributes:
+        num_pairs: corpus size.
+        vocab_size: source vocabulary size (target adds 3 specials).
+        length: source sentence length.
+        burst_rate: probability a source token repeats its predecessor.
+        seed: generator seed.
+    """
+
+    num_pairs: int = 96
+    vocab_size: int = 12
+    length: int = 7
+    burst_rate: float = 0.35
+    seed: int = 0
+
+    source: Array = field(init=False, repr=False)
+    target: Array = field(init=False, repr=False)
+    permutation: Array = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if not 0.0 <= self.burst_rate < 1.0:
+            raise ValueError("burst_rate must be in [0, 1)")
+        rng = np.random.default_rng(self.seed)
+        self.permutation = rng.permutation(self.vocab_size)
+        zipf = 1.0 / np.arange(1, self.vocab_size + 1)
+        zipf /= zipf.sum()
+        source = np.empty((self.num_pairs, self.length), dtype=np.int64)
+        for i in range(self.num_pairs):
+            for t in range(self.length):
+                if t > 0 and rng.random() < self.burst_rate:
+                    source[i, t] = source[i, t - 1]
+                else:
+                    source[i, t] = rng.choice(self.vocab_size, p=zipf)
+        self.source = source
+        self.target = np.stack(
+            [self.translate_tokens(row) for row in self.source]
+        ).astype(np.int64)
+
+    @property
+    def target_vocab_size(self) -> int:
+        return self.vocab_size + NUM_SPECIALS
+
+    def translate_tokens(self, source_tokens: Array) -> Array:
+        """Ground-truth transduction: permute lexically, reverse, add EOS."""
+        mapped = self.permutation[np.asarray(source_tokens)] + NUM_SPECIALS
+        return np.concatenate([mapped[::-1], [EOS]])
+
+    def decoder_io(self, indices: Array) -> Tuple[Array, Array]:
+        """Teacher-forcing pairs: ``(decoder_inputs, decoder_targets)``.
+
+        Inputs are BOS-shifted targets; targets include the EOS.
+        """
+        tgt = self.target[np.asarray(indices)]
+        bos = np.full((tgt.shape[0], 1), BOS, dtype=np.int64)
+        return np.concatenate([bos, tgt[:, :-1]], axis=1), tgt
+
+    def split(self, test_fraction: float = 0.25) -> Tuple[Array, Array]:
+        rng = np.random.default_rng(self.seed + 1)
+        order = rng.permutation(self.num_pairs)
+        n_test = max(1, int(round(self.num_pairs * test_fraction)))
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+    def references(self, indices: Array) -> List[Tuple[int, ...]]:
+        """Target token tuples (without EOS) for BLEU scoring."""
+        refs = []
+        for i in np.asarray(indices):
+            row = self.target[i]
+            refs.append(tuple(int(t) for t in row if t != EOS))
+        return refs

@@ -1,0 +1,24 @@
+"""Evaluation metrics used by the paper's four benchmarks.
+
+- WER (word error rate) for the two speech networks (DeepSpeech2, EESEN),
+- BLEU for the machine-translation network (MNMT),
+- classification accuracy for IMDB sentiment,
+- Pearson correlation for the BNN/RNN output-correlation analysis.
+"""
+
+from repro.metrics.accuracy import accuracy, accuracy_loss
+from repro.metrics.bleu import bleu, bleu_loss, corpus_bleu
+from repro.metrics.correlation import pearson
+from repro.metrics.wer import edit_distance, wer, wer_loss
+
+__all__ = [
+    "accuracy",
+    "accuracy_loss",
+    "bleu",
+    "bleu_loss",
+    "corpus_bleu",
+    "edit_distance",
+    "pearson",
+    "wer",
+    "wer_loss",
+]

@@ -1,0 +1,28 @@
+"""Pearson correlation, used for the BNN/RNN output analysis (Fig. 7/8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def pearson(x: Array, y: Array) -> float:
+    """Pearson correlation coefficient between two 1-D samples.
+
+    Returns 0.0 when either sample is (numerically) constant — the
+    convention used when histogramming per-neuron correlation factors,
+    where a dead neuron carries no predictive signal.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if x.shape != y.shape:
+        raise ValueError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two samples")
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denom = np.sqrt(np.sum(x_centered**2) * np.sum(y_centered**2))
+    if denom < 1e-300:
+        return 0.0
+    return float(np.sum(x_centered * y_centered) / denom)

@@ -1,0 +1,167 @@
+"""Benchmark harness: trained model + dataset + quality/loss conventions.
+
+A :class:`Benchmark` bundles everything the experiments need for one of
+the paper's four networks: a scaled functional instance that can be
+trained in seconds, its test split, the quality metric, the loss
+convention (WER *increases*, accuracy/BLEU *decrease*), and memoized
+evaluation under any :class:`~repro.core.engine.MemoizationScheme`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import MemoizationScheme, memoized
+from repro.core.stats import ReuseStats
+from repro.models.specs import NetworkSpec
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer, TrainingLog
+
+Array = np.ndarray
+
+
+def split_validation(
+    train_indices: Array, seed: int, fraction: float = 0.25
+) -> Tuple[Array, Array]:
+    """Carve a calibration/validation subset out of the training indices.
+
+    §3.2.1 explores thresholds on training data; our scaled models
+    memorise their tiny training sets, which would make the exploration
+    blind to memoization damage.  Holding out a slice of the training
+    data (never used for weight updates) restores the paper's intent:
+    thresholds are chosen without touching the test set.
+    """
+    train_indices = np.asarray(train_indices)
+    if len(train_indices) < 2:
+        raise ValueError("need at least two training items to split")
+    rng = np.random.default_rng(seed + 17)
+    order = rng.permutation(len(train_indices))
+    n_val = max(1, int(round(len(train_indices) * fraction)))
+    val = np.sort(train_indices[order[:n_val]])
+    fit = np.sort(train_indices[order[n_val:]])
+    return fit, val
+
+
+@dataclass(frozen=True)
+class MemoizedResult:
+    """Outcome of one memoized evaluation."""
+
+    quality: float
+    quality_loss: float
+    reuse_fraction: float
+    stats: ReuseStats
+
+    @property
+    def reuse_percent(self) -> float:
+        return 100.0 * self.reuse_fraction
+
+
+class Benchmark(ABC):
+    """One of the paper's four networks, scaled to run offline."""
+
+    def __init__(self, spec: NetworkSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.base_quality: Optional[float] = None
+        self._trained = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- subclass surface ---------------------------------------------------
+
+    @property
+    @abstractmethod
+    def model(self):
+        """The underlying repro.nn model."""
+
+    @abstractmethod
+    def training_batches(self, epoch: int) -> Sequence[object]:
+        """Batches for one training epoch."""
+
+    @abstractmethod
+    def evaluate(self) -> float:
+        """Quality on the held-out split (metric per spec)."""
+
+    @abstractmethod
+    def calibration_evaluate(self) -> float:
+        """Quality on the calibration (training) split — §3.2.1 uses the
+        training set to pick thresholds."""
+
+    @abstractmethod
+    def hidden_sequences(self) -> List[Array]:
+        """Per-layer hidden sequences on test inputs (Figure 5)."""
+
+    @abstractmethod
+    def layer_io_pairs(self) -> List[Tuple[object, Array]]:
+        """(recurrent layer, its input) pairs (Figures 7-8)."""
+
+    @abstractmethod
+    def default_epochs(self) -> int:
+        """Epoch budget that reaches a useful base quality."""
+
+    def learning_rate(self) -> float:
+        return 5e-3
+
+    # -- shared behaviour -----------------------------------------------------
+
+    def train(self, epochs: Optional[int] = None) -> TrainingLog:
+        """Train to the base quality; idempotent re-training is allowed."""
+        epochs = epochs if epochs is not None else self.default_epochs()
+        optimizer = Adam(
+            self.model.parameters(), lr=self.learning_rate(), clip_norm=5.0
+        )
+        log = Trainer(self.model, optimizer).fit(self.training_batches, epochs)
+        self._trained = True
+        self.base_quality = self.evaluate()
+        return log
+
+    def ensure_trained(self) -> None:
+        if not self._trained:
+            self.train()
+
+    def quality_loss(self, quality: float) -> float:
+        """The paper's loss convention vs. the base network.
+
+        Accuracy/BLEU losses are drops; WER loss is an increase.  Losses
+        are clamped at zero (noise-induced improvements count as zero).
+        """
+        if self.base_quality is None:
+            raise RuntimeError("train() must run before quality_loss()")
+        if self.spec.higher_is_better:
+            return max(0.0, self.base_quality - quality)
+        return max(0.0, quality - self.base_quality)
+
+    def evaluate_memoized(
+        self, scheme: MemoizationScheme, calibration: bool = False
+    ) -> MemoizedResult:
+        """Quality + reuse under a memoization scheme."""
+        self.ensure_trained()
+        stats = ReuseStats()
+        evaluate = self.calibration_evaluate if calibration else self.evaluate
+        with memoized(self.model, scheme, stats):
+            quality = evaluate()
+        return MemoizedResult(
+            quality=quality,
+            quality_loss=self.quality_loss(quality),
+            reuse_fraction=stats.reuse_fraction(),
+            stats=stats,
+        )
+
+    def sweep_fn(
+        self, scheme: MemoizationScheme, calibration: bool = False
+    ) -> Callable[[float], Tuple[float, float]]:
+        """Closure for :func:`repro.core.calibration.sweep_thresholds`."""
+
+        def evaluate(theta: float) -> Tuple[float, float]:
+            result = self.evaluate_memoized(
+                scheme.with_theta(theta), calibration=calibration
+            )
+            return result.quality_loss, result.reuse_fraction
+
+        return evaluate

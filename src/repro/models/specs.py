@@ -1,0 +1,139 @@
+"""Table 1: the four benchmark RNNs at their paper geometries.
+
+These specs drive the accelerator model (cycle/energy accounting runs at
+the paper's true sizes) and document the scaled-down functional instances
+built by :mod:`repro.models.zoo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """One row of Table 1 (plus the geometry the accelerator model needs).
+
+    Attributes:
+        name: short identifier.
+        app_domain: application domain string from Table 1.
+        cell_type: ``"lstm"`` or ``"gru"``.
+        layers: number of *directional* recurrent layers (Table 1 counts
+            each direction of a bidirectional layer, hence EESEN's 10).
+        neurons: neurons (hidden units) per layer and direction.
+        bidirectional: whether layers come in forward/backward pairs.
+        input_size: feature width feeding the first layer.
+        avg_sequence_length: typical input elements per inference.
+        base_quality: the unmodified network's quality (Table 1).
+        quality_metric: ``"accuracy"`` / ``"wer"`` / ``"bleu"``.
+        paper_reuse_percent: computation reuse the paper reports at 1%
+            accuracy loss (Table 1's "Reuse" column).
+        dataset: dataset named in Table 1.
+    """
+
+    name: str
+    app_domain: str
+    cell_type: str
+    layers: int
+    neurons: int
+    bidirectional: bool
+    input_size: int
+    avg_sequence_length: int
+    base_quality: float
+    quality_metric: str
+    paper_reuse_percent: float
+    dataset: str
+
+    def __post_init__(self):
+        if self.cell_type not in ("lstm", "gru"):
+            raise ValueError(f"unknown cell type {self.cell_type!r}")
+        if self.quality_metric not in ("accuracy", "wer", "bleu"):
+            raise ValueError(f"unknown metric {self.quality_metric!r}")
+        if self.bidirectional and self.layers % 2:
+            raise ValueError("bidirectional networks need an even layer count")
+
+    @property
+    def gates_per_cell(self) -> int:
+        return 4 if self.cell_type == "lstm" else 3
+
+    def layer_input_sizes(self) -> Tuple[int, ...]:
+        """Input width of each directional layer in stack order."""
+        sizes = []
+        width = self.input_size
+        step = 2 if self.bidirectional else 1
+        for depth in range(self.layers // step):
+            for _ in range(step):
+                sizes.append(width)
+            width = self.neurons * step
+            del depth
+        return tuple(sizes)
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.quality_metric in ("accuracy", "bleu")
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_NETWORKS: Dict[str, NetworkSpec] = {
+    "imdb": NetworkSpec(
+        name="imdb",
+        app_domain="Sentiment Classification",
+        cell_type="lstm",
+        layers=1,
+        neurons=128,
+        bidirectional=False,
+        input_size=128,
+        avg_sequence_length=230,
+        base_quality=86.5,
+        quality_metric="accuracy",
+        paper_reuse_percent=36.2,
+        dataset="IMDB dataset",
+    ),
+    "deepspeech2": NetworkSpec(
+        name="deepspeech2",
+        app_domain="Speech Recognition",
+        cell_type="gru",
+        layers=5,
+        neurons=800,
+        bidirectional=False,
+        input_size=800,
+        avg_sequence_length=900,
+        base_quality=10.24,
+        quality_metric="wer",
+        paper_reuse_percent=16.4,
+        dataset="LibriSpeech",
+    ),
+    "eesen": NetworkSpec(
+        name="eesen",
+        app_domain="Speech Recognition",
+        cell_type="lstm",
+        layers=10,
+        neurons=320,
+        bidirectional=True,
+        input_size=320,
+        avg_sequence_length=500,
+        base_quality=23.8,
+        quality_metric="wer",
+        paper_reuse_percent=30.5,
+        dataset="Tedlium V1",
+    ),
+    "mnmt": NetworkSpec(
+        name="mnmt",
+        app_domain="Machine Translation",
+        cell_type="lstm",
+        layers=8,
+        neurons=1024,
+        bidirectional=False,
+        input_size=1024,
+        # ~30 source words, but encoder + beam-search decoder passes make
+        # the effective number of recurrent steps per weight load larger.
+        avg_sequence_length=120,
+        base_quality=29.8,
+        quality_metric="bleu",
+        paper_reuse_percent=19.0,
+        dataset="WMT'15 En->Ge",
+    ),
+}
+
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(PAPER_NETWORKS)

@@ -1,0 +1,66 @@
+"""From-scratch numpy neural-network substrate.
+
+This subpackage provides everything the memoization study needs from a
+deep-learning framework: parameterised layers (dense, embedding, LSTM and
+GRU cells/layers, bidirectional and deep stacks), losses, optimizers and a
+mini-batch BPTT training loop.  All forward passes mirror the equations in
+the paper (Figure 4 for LSTM; Cho et al. for GRU) so the memoization engine
+in :mod:`repro.core` can hook individual gate dot products.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    identity,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.embedding import Embedding
+from repro.nn.gru import GRUCell, GRULayer
+from repro.nn.initializers import orthogonal, uniform, xavier_uniform, zeros
+from repro.nn.linear import Linear
+from repro.nn.losses import (
+    SequenceCrossEntropy,
+    SoftmaxCrossEntropy,
+    masked_sequence_loss,
+)
+from repro.nn.lstm import LSTMCell, LSTMLayer
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.rnn import Bidirectional, RNNStack
+from repro.nn.serialization import load_state, save_state
+from repro.nn.trainer import Trainer, TrainingLog
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "Bidirectional",
+    "Embedding",
+    "GRUCell",
+    "GRULayer",
+    "LSTMCell",
+    "LSTMLayer",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "RNNStack",
+    "SGD",
+    "SequenceCrossEntropy",
+    "SoftmaxCrossEntropy",
+    "Trainer",
+    "TrainingLog",
+    "identity",
+    "load_state",
+    "save_state",
+    "masked_sequence_loss",
+    "orthogonal",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "uniform",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,56 @@
+"""Token embedding lookup with sparse gradient accumulation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+Array = np.ndarray
+
+
+class Embedding(Module):
+    """Dense lookup table mapping integer ids to vectors."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        scale: float = 0.1,
+    ):
+        super().__init__()
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(
+            rng.uniform(-scale, scale, size=(vocab_size, dim)).astype(np.float64)
+        )
+        self._cache: Optional[Array] = None
+
+    def forward(self, ids: Array) -> Array:
+        """Look up ``ids`` (any integer shape) -> ``ids.shape + (dim,)``."""
+        ids = np.asarray(ids)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"embedding ids must be integers, got {ids.dtype}")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise IndexError(
+                f"ids out of range [0, {self.vocab_size}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        self._cache = ids
+        return self.weight.value[ids]
+
+    __call__ = forward
+
+    def backward(self, grad_out: Array) -> None:
+        """Scatter-add gradients into the rows used in the last forward."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._cache.reshape(-1)
+        grads = np.asarray(grad_out, dtype=np.float64).reshape(-1, self.dim)
+        np.add.at(self.weight.grad, ids, grads)

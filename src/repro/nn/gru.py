@@ -1,0 +1,211 @@
+"""GRU cell and sequence layer (paper Figure 3; Cho et al. 2014).
+
+Like :class:`repro.nn.lstm.LSTMCell`, the GRU exposes per-gate weights and
+a pre-activation hook so the memoization engine can substitute cached dot
+products.  The candidate gate's recurrent operand is ``r_t * h_{t-1}``,
+which is why ``gate_preacts`` is split in two stages (``z``/``r`` first,
+then ``g`` once the reset gate is known).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import orthogonal, xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+Array = np.ndarray
+
+#: Gate evaluation order: update, reset, candidate.
+GRU_GATES: Tuple[str, ...] = ("z", "r", "g")
+
+
+class GRUCell(Module):
+    """A single GRU cell::
+
+        z_t = sigmoid(W_zx x_t + W_zh h_{t-1} + b_z)
+        r_t = sigmoid(W_rx x_t + W_rh h_{t-1} + b_r)
+        g_t = tanh   (W_gx x_t + W_gh (r_t * h_{t-1}) + b_g)
+        h_t = (1 - z_t) * h_{t-1} + z_t * g_t
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        for gate in GRU_GATES:
+            setattr(
+                self,
+                f"w_{gate}x",
+                Parameter(xavier_uniform((hidden_size, input_size), rng)),
+            )
+            setattr(
+                self,
+                f"w_{gate}h",
+                Parameter(orthogonal((hidden_size, hidden_size), rng)),
+            )
+            setattr(self, f"b_{gate}", Parameter(zeros((hidden_size,))))
+
+    # -- weight access -------------------------------------------------------
+
+    def gate_weights(self, gate: str) -> Tuple[Array, Array, Array]:
+        """Return ``(W_x, W_h, b)`` for ``gate`` in ``{'z','r','g'}``."""
+        if gate not in GRU_GATES:
+            raise KeyError(f"unknown GRU gate {gate!r}")
+        return (
+            getattr(self, f"w_{gate}x").value,
+            getattr(self, f"w_{gate}h").value,
+            getattr(self, f"b_{gate}").value,
+        )
+
+    @property
+    def gate_names(self) -> Tuple[str, ...]:
+        return GRU_GATES
+
+    # -- forward -------------------------------------------------------------
+
+    def zr_preacts(self, x: Array, h_prev: Array) -> Dict[str, Array]:
+        """Matmul pre-activations for the update and reset gates."""
+        pre = {}
+        for gate in ("z", "r"):
+            w_x, w_h, _ = self.gate_weights(gate)
+            pre[gate] = x @ w_x.T + h_prev @ w_h.T
+        return pre
+
+    def g_preact(self, x: Array, reset_h: Array) -> Array:
+        """Matmul pre-activation for the candidate gate.
+
+        ``reset_h`` is the already-gated recurrent operand ``r_t * h_{t-1}``.
+        """
+        w_x, w_h, _ = self.gate_weights("g")
+        return x @ w_x.T + reset_h @ w_h.T
+
+    def step(
+        self,
+        x: Array,
+        h_prev: Array,
+        preacts: Optional[Dict[str, Array]] = None,
+    ) -> Tuple[Array, dict]:
+        """One timestep; ``preacts`` may substitute any of the three gates."""
+        preacts = dict(preacts) if preacts else {}
+        if "z" not in preacts or "r" not in preacts:
+            preacts.update(
+                {k: v for k, v in self.zr_preacts(x, h_prev).items() if k not in preacts}
+            )
+        z = sigmoid(preacts["z"] + self.b_z.value)
+        r = sigmoid(preacts["r"] + self.b_r.value)
+        reset_h = r * h_prev
+        if "g" not in preacts:
+            preacts["g"] = self.g_preact(x, reset_h)
+        g = tanh(preacts["g"] + self.b_g.value)
+        h = (1.0 - z) * h_prev + z * g
+        cache = {
+            "x": x,
+            "h_prev": h_prev,
+            "z": z,
+            "r": r,
+            "g": g,
+            "reset_h": reset_h,
+        }
+        return h, cache
+
+    def backward_step(self, d_h: Array, cache: dict) -> Tuple[Array, Array]:
+        """Backward through one timestep -> ``(d_x, d_h_prev)``."""
+        x, h_prev = cache["x"], cache["h_prev"]
+        z, r, g, reset_h = cache["z"], cache["r"], cache["g"], cache["reset_h"]
+
+        d_z = d_h * (g - h_prev)
+        d_g = d_h * z
+        d_h_prev = d_h * (1.0 - z)
+
+        d_az = d_z * z * (1.0 - z)
+        d_ag = d_g * (1.0 - g * g)
+
+        # Candidate gate: x path and the reset-gated recurrent path.
+        self.w_gx.grad += d_ag.T @ x
+        self.w_gh.grad += d_ag.T @ reset_h
+        self.b_g.grad += d_ag.sum(axis=0)
+        d_reset_h = d_ag @ self.w_gh.value
+        d_x = d_ag @ self.w_gx.value
+
+        d_r = d_reset_h * h_prev
+        d_h_prev = d_h_prev + d_reset_h * r
+        d_ar = d_r * r * (1.0 - r)
+
+        for gate, d_a in (("z", d_az), ("r", d_ar)):
+            w_x = getattr(self, f"w_{gate}x")
+            w_h = getattr(self, f"w_{gate}h")
+            b = getattr(self, f"b_{gate}")
+            w_x.grad += d_a.T @ x
+            w_h.grad += d_a.T @ h_prev
+            b.grad += d_a.sum(axis=0)
+            d_x += d_a @ w_x.value
+            d_h_prev += d_a @ w_h.value
+        return d_x, d_h_prev
+
+
+class GRULayer(Module):
+    """Runs a :class:`GRUCell` over a batch of sequences (B, T, E)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self._caches: List[dict] = []
+
+    def forward(self, x: Array, h0: Optional[Array] = None) -> Array:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else np.zeros((batch, self.hidden_size))
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, cache = self.cell.step(x[:, t, :], h)
+            self._caches.append(cache)
+            outputs[:, t, :] = h
+        return outputs
+
+    __call__ = forward
+
+    # -- stepping interface (inference-time) ---------------------------------
+
+    def start_state(self, batch: int) -> Array:
+        """Fresh hidden state for a new sequence."""
+        return np.zeros((batch, self.hidden_size))
+
+    def step(self, x_t: Array, state: Array) -> Tuple[Array, Array]:
+        """One inference step; returns ``(h_t, new_state)``."""
+        h, _ = self.cell.step(x_t, state)
+        return h, h
+
+    def backward(self, grad_out: Array) -> Array:
+        if not self._caches:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        steps = len(self._caches)
+        d_h = np.zeros((batch, self.hidden_size))
+        d_x = np.empty((batch, steps, self.input_size))
+        for t in reversed(range(steps)):
+            d_h_total = d_h + grad_out[:, t, :]
+            d_x_t, d_h = self.cell.backward_step(d_h_total, self._caches[t])
+            d_x[:, t, :] = d_x_t
+        return d_x

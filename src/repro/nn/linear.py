@@ -1,0 +1,73 @@
+"""Fully connected layer with manual backward pass."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, identity
+from repro.nn.initializers import xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+Array = np.ndarray
+
+
+class Linear(Module):
+    """Affine map ``y = act(x @ W.T + b)``.
+
+    Weights use the ``(out_features, in_features)`` convention so a row of
+    ``W`` is exactly one neuron's weight vector — the unit the paper's
+    memoization scheme operates on.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Activation = identity,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.use_bias = bias
+        self.weight = Parameter(xavier_uniform((out_features, in_features), rng))
+        if bias:
+            self.bias = Parameter(zeros((out_features,)))
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: Array) -> Array:
+        """Forward over a batch; ``x`` has shape ``(..., in_features)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        pre = x @ self.weight.value.T
+        if self.use_bias:
+            pre = pre + self.bias.value
+        out = self.activation(pre)
+        self._cache = (x, out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: Array) -> Array:
+        """Backprop ``dL/dy`` to ``dL/dx``; accumulates parameter grads."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, out = self._cache
+        grad_pre = grad_out * self.activation.grad_from_output(out)
+        # Collapse all leading (batch/time) axes for the weight gradient.
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad_pre.reshape(-1, self.out_features)
+        self.weight.grad += flat_g.T @ flat_x
+        if self.use_bias:
+            self.bias.grad += flat_g.sum(axis=0)
+        return grad_pre @ self.weight.value

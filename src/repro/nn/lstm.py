@@ -1,0 +1,270 @@
+"""Peephole LSTM cell and sequence layer (paper Figure 4, Equations 1-6).
+
+The cell exposes its per-gate weight matrices and a ``gate_preacts`` hook
+so :mod:`repro.core` can intercept exactly the dot products the paper's
+memoization scheme skips: for each gate, the expensive part of a neuron is
+``W_x @ x_t + W_h @ h_{t-1}``; bias, peephole and activation are applied
+afterwards by the (cheap) multi-functional unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import orthogonal, xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+Array = np.ndarray
+
+#: Gate evaluation order used everywhere (matmuls, memo buffers, traces).
+LSTM_GATES: Tuple[str, ...] = ("i", "f", "g", "o")
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with optional peephole connections.
+
+    Computations follow the paper exactly::
+
+        i_t = sigmoid(W_ix x_t + W_ih h_{t-1} + p_i * c_{t-1} + b_i)
+        f_t = sigmoid(W_fx x_t + W_fh h_{t-1} + p_f * c_{t-1} + b_f)
+        g_t = tanh   (W_gx x_t + W_gh h_{t-1}               + b_g)
+        c_t = f_t * c_{t-1} + i_t * g_t
+        o_t = sigmoid(W_ox x_t + W_oh h_{t-1} + p_o * c_t   + b_o)
+        h_t = o_t * tanh(c_t)
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+        peephole: bool = True,
+        forget_bias: float = 1.0,
+    ):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.peephole = peephole
+
+        for gate in LSTM_GATES:
+            setattr(
+                self,
+                f"w_{gate}x",
+                Parameter(xavier_uniform((hidden_size, input_size), rng)),
+            )
+            setattr(
+                self,
+                f"w_{gate}h",
+                Parameter(orthogonal((hidden_size, hidden_size), rng)),
+            )
+            setattr(self, f"b_{gate}", Parameter(zeros((hidden_size,))))
+        # Bias the forget gate open so gradients flow early in training.
+        self.b_f.value += forget_bias
+        if peephole:
+            for gate in ("i", "f", "o"):
+                setattr(self, f"p_{gate}", Parameter(zeros((hidden_size,))))
+
+    # -- weight access -------------------------------------------------------
+
+    def gate_weights(self, gate: str) -> Tuple[Array, Array, Array]:
+        """Return ``(W_x, W_h, b)`` for ``gate`` in ``{'i','f','g','o'}``."""
+        if gate not in LSTM_GATES:
+            raise KeyError(f"unknown LSTM gate {gate!r}")
+        return (
+            getattr(self, f"w_{gate}x").value,
+            getattr(self, f"w_{gate}h").value,
+            getattr(self, f"b_{gate}").value,
+        )
+
+    @property
+    def gate_names(self) -> Tuple[str, ...]:
+        return LSTM_GATES
+
+    # -- forward -------------------------------------------------------------
+
+    def gate_preacts(self, x: Array, h_prev: Array) -> Dict[str, Array]:
+        """The four matmul results ``W_x x + W_h h`` (no bias/peephole).
+
+        These are exactly the values the memoization scheme caches and
+        reuses; everything downstream of them is recomputed every step.
+        """
+        pre = {}
+        for gate in LSTM_GATES:
+            w_x, w_h, _ = self.gate_weights(gate)
+            pre[gate] = x @ w_x.T + h_prev @ w_h.T
+        return pre
+
+    def step(
+        self,
+        x: Array,
+        h_prev: Array,
+        c_prev: Array,
+        preacts: Optional[Dict[str, Array]] = None,
+    ) -> Tuple[Array, Array, dict]:
+        """One timestep.  Shapes: ``x`` (B, E); ``h_prev``/``c_prev`` (B, H).
+
+        Args:
+            preacts: optional substitute for the gate matmul results — the
+                hook used by the memoization engine.
+
+        Returns:
+            ``(h_t, c_t, cache)`` where ``cache`` holds everything the
+            backward pass needs.
+        """
+        if preacts is None:
+            preacts = self.gate_preacts(x, h_prev)
+
+        a_i = preacts["i"] + self.b_i.value
+        a_f = preacts["f"] + self.b_f.value
+        if self.peephole:
+            a_i = a_i + self.p_i.value * c_prev
+            a_f = a_f + self.p_f.value * c_prev
+        i = sigmoid(a_i)
+        f = sigmoid(a_f)
+        g = tanh(preacts["g"] + self.b_g.value)
+        c = f * c_prev + i * g
+        a_o = preacts["o"] + self.b_o.value
+        if self.peephole:
+            a_o = a_o + self.p_o.value * c
+        o = sigmoid(a_o)
+        tanh_c = tanh(c)
+        h = o * tanh_c
+        cache = {
+            "x": x,
+            "h_prev": h_prev,
+            "c_prev": c_prev,
+            "i": i,
+            "f": f,
+            "g": g,
+            "o": o,
+            "c": c,
+            "tanh_c": tanh_c,
+        }
+        return h, c, cache
+
+    def backward_step(
+        self, d_h: Array, d_c: Array, cache: dict
+    ) -> Tuple[Array, Array, Array]:
+        """Backward through one timestep.
+
+        Args:
+            d_h: gradient w.r.t. ``h_t`` (includes the recurrent carry).
+            d_c: gradient w.r.t. ``c_t`` carried from timestep ``t+1``.
+            cache: the cache produced by :meth:`step`.
+
+        Returns:
+            ``(d_x, d_h_prev, d_c_prev)``; parameter grads are accumulated.
+        """
+        x, h_prev, c_prev = cache["x"], cache["h_prev"], cache["c_prev"]
+        i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+        c, tanh_c = cache["c"], cache["tanh_c"]
+
+        d_o = d_h * tanh_c
+        d_ao = d_o * o * (1.0 - o)
+        d_c_total = d_h * o * (1.0 - tanh_c * tanh_c) + d_c
+        if self.peephole:
+            d_c_total = d_c_total + d_ao * self.p_o.value
+
+        d_i = d_c_total * g
+        d_f = d_c_total * c_prev
+        d_g = d_c_total * i
+        d_ai = d_i * i * (1.0 - i)
+        d_af = d_f * f * (1.0 - f)
+        d_ag = d_g * (1.0 - g * g)
+
+        d_c_prev = d_c_total * f
+        if self.peephole:
+            d_c_prev = d_c_prev + d_ai * self.p_i.value + d_af * self.p_f.value
+            self.p_i.grad += (d_ai * c_prev).sum(axis=0)
+            self.p_f.grad += (d_af * c_prev).sum(axis=0)
+            self.p_o.grad += (d_ao * c).sum(axis=0)
+
+        d_x = np.zeros_like(x)
+        d_h_prev = np.zeros_like(h_prev)
+        for gate, d_a in zip(LSTM_GATES, (d_ai, d_af, d_ag, d_ao)):
+            w_x = getattr(self, f"w_{gate}x")
+            w_h = getattr(self, f"w_{gate}h")
+            b = getattr(self, f"b_{gate}")
+            w_x.grad += d_a.T @ x
+            w_h.grad += d_a.T @ h_prev
+            b.grad += d_a.sum(axis=0)
+            d_x += d_a @ w_x.value
+            d_h_prev += d_a @ w_h.value
+        return d_x, d_h_prev, d_c_prev
+
+
+class LSTMLayer(Module):
+    """Runs an :class:`LSTMCell` over a batch of sequences (B, T, E)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+        peephole: bool = True,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng, peephole=peephole)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self._caches: List[dict] = []
+
+    def forward(
+        self,
+        x: Array,
+        h0: Optional[Array] = None,
+        c0: Optional[Array] = None,
+    ) -> Array:
+        """Full-sequence forward; returns hidden states of shape (B, T, H)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else np.zeros((batch, self.hidden_size))
+        c = c0 if c0 is not None else np.zeros((batch, self.hidden_size))
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, c, cache = self.cell.step(x[:, t, :], h, c)
+            self._caches.append(cache)
+            outputs[:, t, :] = h
+        return outputs
+
+    __call__ = forward
+
+    # -- stepping interface (inference-time, used by decoders and the
+    # -- memoization engine; plain forward keeps its own loop for BPTT) ------
+
+    def start_state(self, batch: int) -> Tuple[Array, Array]:
+        """Fresh ``(h, c)`` state for a new sequence."""
+        return (
+            np.zeros((batch, self.hidden_size)),
+            np.zeros((batch, self.hidden_size)),
+        )
+
+    def step(self, x_t: Array, state: Tuple[Array, Array]) -> Tuple[Array, Tuple]:
+        """One inference step; returns ``(h_t, new_state)``."""
+        h, c = state
+        h, c, _ = self.cell.step(x_t, h, c)
+        return h, (h, c)
+
+    def backward(self, grad_out: Array) -> Array:
+        """BPTT over the cached sequence; returns ``dL/dx`` (B, T, E)."""
+        if not self._caches:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        steps = len(self._caches)
+        d_h = np.zeros((batch, self.hidden_size))
+        d_c = np.zeros((batch, self.hidden_size))
+        d_x = np.empty((batch, steps, self.input_size))
+        for t in reversed(range(steps)):
+            d_h_total = d_h + grad_out[:, t, :]
+            d_x_t, d_h, d_c = self.cell.backward_step(d_h_total, d_c, self._caches[t])
+            d_x[:, t, :] = d_x_t
+        return d_x

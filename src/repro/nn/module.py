@@ -1,0 +1,111 @@
+"""Base class for parameterised layers.
+
+``Module`` keeps an ordered registry of named :class:`Parameter` objects
+(value + gradient accumulator) and of child modules, giving the optimizer
+and the serializer a uniform view of any model tree.  There is no
+autograd: each concrete layer implements its own ``forward``/``backward``
+pair and accumulates into ``Parameter.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Parameter:
+    """A trainable tensor with a gradient accumulator."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: Array):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.value.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; assignment registers them automatically, preserving
+    definition order (which fixes the parameter ordering seen by
+    optimizers and state serialization).
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_children", {})
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ---------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the whole subtree."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._children.values()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the subtree."""
+        return sum(p.value.size for p in self.parameters())
+
+    # -- state (de)serialization -------------------------------------------
+
+    def state_dict(self) -> Dict[str, Array]:
+        """Copy of every parameter value, keyed by dotted name."""
+        return {name: param.value.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, Array]) -> None:
+        """Load values saved by :meth:`state_dict`.
+
+        Raises:
+            KeyError: if ``state`` is missing a parameter.
+            ValueError: if a shape does not match.
+        """
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        if missing:
+            raise KeyError(f"state dict missing parameters: {missing}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {param.value.shape}, got {value.shape}"
+                )
+            param.value = value.copy()
+            param.grad = np.zeros_like(param.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(params={self.num_parameters()})"

@@ -1,0 +1,110 @@
+"""Optimizers operating on :class:`repro.nn.module.Parameter` lists."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+Array = np.ndarray
+
+
+class Optimizer:
+    """Base optimizer: holds the parameter list and a gradient-clip norm."""
+
+    def __init__(self, params: Iterable[Parameter], clip_norm: Optional[float] = None):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.clip_norm = clip_norm
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def _clip(self) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = math.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in self.params))
+        if self.clip_norm is not None and total > self.clip_norm and total > 0:
+            scale = self.clip_norm / total
+            for param in self.params:
+                param.grad *= scale
+        return total
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: Optional[float] = None,
+    ):
+        super().__init__(params, clip_norm=clip_norm)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        self._clip()
+        for param, vel in zip(self.params, self._velocity):
+            if self.momentum:
+                vel *= self.momentum
+                vel += param.grad
+                param.value -= self.lr * vel
+            else:
+                param.value -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: Optional[float] = None,
+    ):
+        super().__init__(params, clip_norm=clip_norm)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        self._clip()
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad * param.grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

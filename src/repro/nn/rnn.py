@@ -1,0 +1,127 @@
+"""Deep and bidirectional RNN composition.
+
+The paper's benchmark networks range from a single LSTM layer (IMDB) to a
+10-layer bidirectional LSTM (EESEN); these wrappers compose the cell
+layers from :mod:`repro.nn.lstm` / :mod:`repro.nn.gru` into those shapes
+while keeping every underlying cell reachable for the memoization engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+from repro.nn.module import Module
+
+Array = np.ndarray
+RecurrentLayer = Union[LSTMLayer, GRULayer]
+
+
+class Bidirectional(Module):
+    """Wraps two recurrent layers into a bidirectional layer.
+
+    The forward layer processes ``x_1 .. x_N`` and the backward layer
+    ``x_N .. x_1``; their hidden states are concatenated per timestep, so
+    the output feature size is ``2 * hidden_size``.
+    """
+
+    def __init__(self, forward_layer: RecurrentLayer, backward_layer: RecurrentLayer):
+        super().__init__()
+        if forward_layer.hidden_size != backward_layer.hidden_size:
+            raise ValueError("forward/backward hidden sizes must match")
+        if forward_layer.input_size != backward_layer.input_size:
+            raise ValueError("forward/backward input sizes must match")
+        self.fwd = forward_layer
+        self.bwd = backward_layer
+        self.input_size = forward_layer.input_size
+        self.hidden_size = forward_layer.hidden_size
+        self.output_size = 2 * forward_layer.hidden_size
+
+    @classmethod
+    def lstm(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+        peephole: bool = True,
+    ) -> "Bidirectional":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return cls(
+            LSTMLayer(input_size, hidden_size, rng=rng, peephole=peephole),
+            LSTMLayer(input_size, hidden_size, rng=rng, peephole=peephole),
+        )
+
+    @classmethod
+    def gru(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Bidirectional":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return cls(
+            GRULayer(input_size, hidden_size, rng=rng),
+            GRULayer(input_size, hidden_size, rng=rng),
+        )
+
+    def forward(self, x: Array) -> Array:
+        out_f = self.fwd(x)
+        out_b = self.bwd(x[:, ::-1, :])[:, ::-1, :]
+        return np.concatenate([out_f, out_b], axis=-1)
+
+    __call__ = forward
+
+    def backward(self, grad_out: Array) -> Array:
+        hidden = self.hidden_size
+        d_f = self.fwd.backward(grad_out[:, :, :hidden])
+        d_b = self.bwd.backward(grad_out[:, ::-1, hidden:])[:, ::-1, :]
+        return d_f + d_b
+
+
+class RNNStack(Module):
+    """A stack of recurrent layers applied in sequence (a "deep RNN")."""
+
+    def __init__(self, layers: Sequence[Union[RecurrentLayer, Bidirectional]]):
+        super().__init__()
+        if not layers:
+            raise ValueError("RNNStack needs at least one layer")
+        self.num_layers = len(layers)
+        for idx, layer in enumerate(layers):
+            expected = getattr(layer, "input_size")
+            if idx > 0:
+                prev_out = _output_size(layers[idx - 1])
+                if expected != prev_out:
+                    raise ValueError(
+                        f"layer {idx} expects input size {expected} but layer "
+                        f"{idx - 1} produces {prev_out}"
+                    )
+            setattr(self, f"layer{idx}", layer)
+
+    @property
+    def layers(self) -> List[Union[RecurrentLayer, Bidirectional]]:
+        return [getattr(self, f"layer{idx}") for idx in range(self.num_layers)]
+
+    @property
+    def output_size(self) -> int:
+        return _output_size(self.layers[-1])
+
+    def forward(self, x: Array) -> Array:
+        out = x
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: Array) -> Array:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+def _output_size(layer: Union[RecurrentLayer, Bidirectional]) -> int:
+    return getattr(layer, "output_size", None) or layer.hidden_size

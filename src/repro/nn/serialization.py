@@ -1,0 +1,44 @@
+"""Save/load model parameters as ``.npz`` archives.
+
+Trained benchmark models are small (tens of kB) but take seconds to
+train; persisting them lets examples and notebooks skip retraining.
+Dotted parameter names are the archive keys, so any module tree with the
+same architecture round-trips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Write every parameter of ``module`` to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: PathLike) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Raises:
+        FileNotFoundError: if the archive does not exist.
+        KeyError / ValueError: on architecture mismatch (propagated from
+            :meth:`Module.load_state_dict`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved state at {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

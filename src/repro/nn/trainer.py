@@ -1,0 +1,100 @@
+"""Generic mini-batch training loop.
+
+Models expose ``compute_loss(batch) -> float`` which runs forward and
+backward (accumulating parameter gradients); the trainer owns the
+zero-grad / step cycle, epoch bookkeeping and optional evaluation hooks.
+This keeps each benchmark model free to define its own batch structure
+(token ids, frames, encoder/decoder pairs, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence
+
+from repro.nn.optim import Optimizer
+
+
+class TrainableModel(Protocol):
+    """Anything the trainer can optimize."""
+
+    def compute_loss(self, batch: object) -> float:
+        """Run forward + backward on ``batch``; return the scalar loss."""
+
+    def zero_grad(self) -> None: ...
+
+
+@dataclass
+class TrainingLog:
+    """Per-epoch record of losses and optional evaluation metrics."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    eval_metrics: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def improved(self) -> bool:
+        """True when the last epoch's loss beats the first epoch's."""
+        return len(self.epoch_losses) >= 2 and (
+            self.epoch_losses[-1] < self.epoch_losses[0]
+        )
+
+
+class Trainer:
+    """Runs epochs of mini-batch optimisation over a batch provider.
+
+    Args:
+        model: the trainable model.
+        optimizer: optimizer already bound to the model's parameters.
+        eval_fn: optional metric callback run after each epoch (e.g.
+            validation accuracy); results land in the log.
+    """
+
+    def __init__(
+        self,
+        model: TrainableModel,
+        optimizer: Optimizer,
+        eval_fn: Optional[Callable[[], float]] = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.eval_fn = eval_fn
+
+    def run_epoch(self, batches: Iterable[object]) -> float:
+        """One pass over ``batches``; returns the mean batch loss."""
+        losses: List[float] = []
+        for batch in batches:
+            self.model.zero_grad()
+            loss = self.model.compute_loss(batch)
+            self.optimizer.step()
+            losses.append(loss)
+        if not losses:
+            raise ValueError("epoch received no batches")
+        return sum(losses) / len(losses)
+
+    def fit(
+        self,
+        batch_provider: Callable[[int], Sequence[object]],
+        epochs: int,
+    ) -> TrainingLog:
+        """Train for ``epochs`` passes.
+
+        Args:
+            batch_provider: called with the epoch index, returns that
+                epoch's batches (allowing reshuffling per epoch).
+            epochs: number of passes.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        log = TrainingLog()
+        for epoch in range(epochs):
+            mean_loss = self.run_epoch(batch_provider(epoch))
+            log.epoch_losses.append(mean_loss)
+            if self.eval_fn is not None:
+                log.eval_metrics.append(float(self.eval_fn()))
+        return log

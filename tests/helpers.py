@@ -1,0 +1,33 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def numeric_grad(fn: Callable[[Array], float], x: Array, eps: float = 1e-6) -> Array:
+    """Central-difference gradient of a scalar function at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for idx in range(flat.size):
+        original = flat[idx]
+        flat[idx] = original + eps
+        plus = fn(x)
+        flat[idx] = original - eps
+        minus = fn(x)
+        flat[idx] = original
+        grad_flat[idx] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_close(
+    analytic: Array, numeric: Array, rtol: float = 1e-4, atol: float = 1e-6
+) -> None:
+    """Assert analytic and numeric gradients agree."""
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,99 @@
+"""Tests for sign binarization and binary dot products (Eq. 7-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binarization import (
+    binarize,
+    binarize_bits,
+    binary_dot,
+    binary_dot_packed,
+    pack_signs,
+    padded_bit_length,
+)
+
+
+class TestBinarize:
+    def test_signs(self):
+        np.testing.assert_array_equal(
+            binarize(np.array([-1.5, -0.0, 0.0, 2.0])), [-1, 1, 1, 1]
+        )
+
+    def test_zero_maps_to_plus_one(self):
+        """Eq. 7: x >= 0 -> +1, so exactly zero binarizes to +1."""
+        assert binarize(np.array([0.0]))[0] == 1
+
+    def test_bits_convention(self):
+        np.testing.assert_array_equal(
+            binarize_bits(np.array([-3.0, 4.0])), [0, 1]
+        )
+
+    def test_dtype(self):
+        assert binarize(np.zeros(4)).dtype == np.int8
+
+
+class TestBinaryDot:
+    def test_known_value(self):
+        w = np.array([[1, -1, 1]], dtype=np.int8)
+        x = np.array([1, 1, 1], dtype=np.int8)
+        assert binary_dot(w, x)[0] == 1
+
+    def test_batched(self):
+        w = np.array([[1, -1], [1, 1]], dtype=np.int8)
+        x = np.array([[1, 1], [-1, 1]], dtype=np.int8)
+        out = binary_dot(w, x)
+        assert out.shape == (2, 2)
+        np.testing.assert_array_equal(out, [[0, 2], [-2, 0]])
+
+    def test_range_bound(self):
+        """|dot| <= D and dot has the parity of D."""
+        rng = np.random.default_rng(0)
+        w = binarize(rng.standard_normal((5, 9)))
+        x = binarize(rng.standard_normal(9))
+        out = binary_dot(w, x)
+        assert np.all(np.abs(out) <= 9)
+        assert np.all((out - 9) % 2 == 0)
+
+
+class TestPackedPath:
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_packed_equals_matmul(self, n_bits, neurons, seed):
+        """The XNOR/popcount path is bit-exact vs the ±1 matmul path."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((neurons, n_bits))
+        x = rng.standard_normal(n_bits)
+        reference = binary_dot(binarize(w), binarize(x))
+        packed = binary_dot_packed(pack_signs(w), pack_signs(x), n_bits)
+        np.testing.assert_array_equal(reference, packed)
+
+    def test_packed_batched(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((4, 20))
+        x = rng.standard_normal((6, 20))
+        reference = binary_dot(binarize(w), binarize(x))
+        packed = binary_dot_packed(pack_signs(w), pack_signs(x), 20)
+        assert packed.shape == (6, 4)
+        np.testing.assert_array_equal(reference, packed)
+
+    def test_padding_cancels(self):
+        """Non-multiple-of-8 widths must not corrupt the dot product."""
+        w = np.ones((1, 3))
+        x = np.ones(3)
+        assert binary_dot_packed(pack_signs(w), pack_signs(x), 3)[0] == 3
+
+
+class TestPaddedBitLength:
+    @pytest.mark.parametrize("n,expected", [(1, 8), (8, 8), (9, 16), (2048, 2048)])
+    def test_values(self, n, expected):
+        assert padded_bit_length(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            padded_bit_length(0)

@@ -1,0 +1,75 @@
+"""Tests for threshold calibration (§3.2.1)."""
+
+import pytest
+
+from repro.core.calibration import (
+    ThresholdSweep,
+    calibrate_threshold,
+    sweep_thresholds,
+)
+
+
+def synthetic_eval(theta):
+    """Monotone toy trade-off: reuse grows with theta, loss kicks in
+    past 0.3."""
+    reuse = min(0.8, theta)
+    loss = 0.0 if theta <= 0.3 else (theta - 0.3) * 10.0
+    return loss, reuse
+
+
+class TestSweep:
+    def test_records_all_points(self):
+        sweep = sweep_thresholds(synthetic_eval, [0.1, 0.2, 0.3])
+        assert sweep.thetas == [0.1, 0.2, 0.3]
+        assert sweep.reuses == [0.1, 0.2, 0.3]
+        assert sweep.losses == [0.0, 0.0, 0.0]
+
+    def test_empty_thetas_raises(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds(synthetic_eval, [])
+
+    def test_negative_theta_raises(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds(synthetic_eval, [-0.1])
+
+
+class TestBestUnderLoss:
+    def test_picks_highest_reuse(self):
+        sweep = sweep_thresholds(synthetic_eval, [0.1, 0.3, 0.5])
+        best = sweep.best_under_loss(1.0)
+        # theta=0.5 has loss 2.0 (> 1.0); theta=0.3 has loss 0, reuse 0.3.
+        assert best.theta == 0.3
+
+    def test_none_when_all_over_budget(self):
+        sweep = ThresholdSweep()
+        sweep.add(0.5, loss=5.0, reuse=0.5)
+        assert sweep.best_under_loss(1.0) is None
+        assert sweep.reuse_at_loss(1.0) == 0.0
+
+    def test_reuse_at_loss(self):
+        sweep = sweep_thresholds(synthetic_eval, [0.1, 0.3, 0.35])
+        # theta=0.35 -> loss 0.5, reuse 0.35: admissible at budget 1.0.
+        assert sweep.reuse_at_loss(1.0) == pytest.approx(0.35)
+
+    def test_non_monotone_losses_handled(self):
+        """The best point is by reuse, not by theta order."""
+        sweep = ThresholdSweep()
+        sweep.add(0.1, loss=0.0, reuse=0.4)
+        sweep.add(0.2, loss=0.0, reuse=0.2)  # noise: lower reuse at higher theta
+        assert sweep.best_under_loss(1.0).reuse == 0.4
+
+
+class TestCalibrate:
+    def test_returns_theta_and_sweep(self):
+        theta, sweep = calibrate_threshold(
+            synthetic_eval, [0.1, 0.3, 0.5], max_loss=1.0
+        )
+        assert theta == 0.3
+        assert len(sweep.points) == 3
+
+    def test_falls_back_to_most_conservative(self):
+        def always_bad(theta):
+            return 99.0, 0.5
+
+        theta, _ = calibrate_threshold(always_bad, [0.2, 0.1, 0.4], max_loss=1.0)
+        assert theta == 0.1

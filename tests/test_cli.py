@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "resnet"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "imdb"])
+        assert args.predictor == "bnn"
+        assert not args.no_throttle
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "deepspeech2" in out and "29.8 bleu" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "64.6" in out and "66.8" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "eesen", "--reuse", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "energy savings" in out
+
+    def test_simulate_rejects_bad_reuse(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "eesen", "--reuse", "1.5"])
+
+    def test_sweep_runs_tiny_network(self, capsys):
+        """Uses the cached tiny IMDB model (trains once per session)."""
+        assert main(["sweep", "imdb", "--thetas", "0.1", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy loss" in out
+        assert "0.1" in out and "0.3" in out
+
+    def test_e2e_runs_tiny_network(self, capsys):
+        assert main(["e2e", "imdb", "--loss-target", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated theta" in out and "speedup" in out

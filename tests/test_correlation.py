@@ -1,0 +1,97 @@
+"""Tests for the BNN/RNN correlation analysis (Figures 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    CorrelationSamples,
+    collect_gate_samples,
+    correlation_histogram,
+    fraction_above,
+    layer_correlations,
+)
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def smooth_inputs(rng, batch=2, steps=25, dim=10):
+    base = rng.standard_normal((batch, 1, dim))
+    drift = np.cumsum(0.1 * rng.standard_normal((batch, steps, dim)), axis=1)
+    return base + drift
+
+
+class TestCorrelationSamples:
+    def test_perfectly_correlated(self):
+        full = np.linspace(0, 1, 20).reshape(-1, 2)
+        samples = CorrelationSamples(full=full, binary=3.0 * full + 1.0)
+        np.testing.assert_allclose(samples.per_neuron(), [1.0, 1.0])
+        assert samples.pooled() == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        full = np.linspace(0, 1, 20).reshape(-1, 1)
+        samples = CorrelationSamples(full=full, binary=-full)
+        np.testing.assert_allclose(samples.per_neuron(), [-1.0])
+
+
+class TestCollectGateSamples:
+    def test_lstm_gates_covered(self, rng):
+        layer = LSTMLayer(10, 8, rng=rng)
+        samples = collect_gate_samples(layer, smooth_inputs(rng))
+        assert set(samples) == {"i", "f", "g", "o"}
+        for gate_samples in samples.values():
+            assert gate_samples.full.shape == gate_samples.binary.shape
+            assert gate_samples.full.shape[1] == 8
+
+    def test_gru_gates_covered(self, rng):
+        layer = GRULayer(10, 8, rng=rng)
+        samples = collect_gate_samples(layer, smooth_inputs(rng))
+        assert set(samples) == {"z", "r", "g"}
+
+    def test_sample_count(self, rng):
+        layer = LSTMLayer(10, 8, rng=rng)
+        x = smooth_inputs(rng, batch=3, steps=7)
+        samples = collect_gate_samples(layer, x)
+        assert samples["i"].full.shape[0] == 3 * 7
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            collect_gate_samples(LSTMLayer(4, 4, rng=rng), rng.standard_normal((4, 4)))
+
+    def test_correlations_are_high_on_real_gates(self, rng):
+        """§3.1.2: trained-like gates show strong BNN/RNN correlation."""
+        layer = LSTMLayer(10, 16, rng=rng)
+        correlations = layer_correlations(layer, smooth_inputs(rng, steps=40))
+        assert correlations.shape == (4 * 16,)
+        assert np.median(correlations) > 0.5
+
+
+class TestHistogram:
+    def test_percentages_sum_to_100(self):
+        rng = np.random.default_rng(0)
+        corr = rng.uniform(0, 1, size=200)
+        percent, edges = correlation_histogram(corr)
+        assert percent.sum() == pytest.approx(100.0)
+        assert len(percent) == len(edges) - 1
+
+    def test_negative_values_clip_to_lowest_bin(self):
+        percent, _ = correlation_histogram(np.array([-0.5, 0.1]))
+        assert percent[0] == pytest.approx(100.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            correlation_histogram(np.array([]))
+
+
+class TestFractionAbove:
+    def test_basic(self):
+        corr = np.array([0.9, 0.85, 0.7, 0.95])
+        assert fraction_above(corr, 0.8) == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_above(np.array([]), 0.5)

@@ -1,0 +1,71 @@
+"""Unit tests for the Embedding layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import Embedding
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestForward:
+    def test_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 4)
+
+    def test_lookup_matches_rows(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([3, 7])
+        np.testing.assert_array_equal(emb(ids), emb.weight.value[[3, 7]])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_float_ids_raise(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(TypeError):
+            emb(np.array([1.0, 2.0]))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Embedding(10, 4, rng=rng).backward(np.zeros((2, 4)))
+
+    def test_scatter_add(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([1, 1, 3])
+        emb(ids)
+        grad = np.ones((3, 4))
+        emb.backward(grad)
+        np.testing.assert_array_equal(emb.weight.grad[1], 2.0 * np.ones(4))
+        np.testing.assert_array_equal(emb.weight.grad[3], np.ones(4))
+        np.testing.assert_array_equal(emb.weight.grad[0], np.zeros(4))
+
+    def test_batched_backward(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([[0, 1], [1, 2]])
+        emb(ids)
+        emb.backward(np.ones((2, 2, 4)))
+        np.testing.assert_array_equal(emb.weight.grad[1], 2.0 * np.ones(4))
+
+    def test_duplicate_heavy_sequence(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        ids = np.zeros(100, dtype=np.int64)
+        emb(ids)
+        emb.backward(np.ones((100, 2)))
+        np.testing.assert_array_equal(emb.weight.grad[0], [100.0, 100.0])

@@ -1,0 +1,158 @@
+"""Tests for the memoization engine (scheme + model-tree wrapping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    MemoizationScheme,
+    apply_memoization,
+    memoized,
+    restore,
+)
+from repro.core.layers import MemoizedGRULayer, MemoizedLSTMLayer
+from repro.core.stats import ReuseStats
+from repro.nn.gru import GRULayer
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMLayer
+from repro.nn.module import Module
+from repro.nn.rnn import Bidirectional, RNNStack
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+def smooth_inputs(rng, batch=2, steps=15, dim=5):
+    base = rng.standard_normal((batch, 1, dim))
+    drift = np.cumsum(0.05 * rng.standard_normal((batch, steps, dim)), axis=1)
+    return base + drift
+
+
+class TestScheme:
+    def test_defaults(self):
+        scheme = MemoizationScheme()
+        assert scheme.predictor == "bnn"
+        assert scheme.throttle is True
+
+    def test_invalid_predictor(self):
+        with pytest.raises(ValueError):
+            MemoizationScheme(predictor="magic")
+
+    def test_negative_theta(self):
+        with pytest.raises(ValueError):
+            MemoizationScheme(theta=-0.5)
+
+    def test_with_theta_copies(self):
+        scheme = MemoizationScheme(theta=0.1, predictor="oracle")
+        other = scheme.with_theta(0.9)
+        assert other.theta == 0.9
+        assert other.predictor == "oracle"
+        assert scheme.theta == 0.1
+
+    @pytest.mark.parametrize("kind", ["bnn", "oracle", "input"])
+    def test_make_predictor(self, rng, kind):
+        scheme = MemoizationScheme(predictor=kind)
+        predictor = scheme.make_predictor(
+            rng.standard_normal((4, 3)), rng.standard_normal((4, 4))
+        )
+        predictor.begin_sequence(1)
+
+
+class TestApplyRestore:
+    def test_wraps_all_recurrent_layers(self, rng):
+        stack = RNNStack(
+            [
+                LSTMLayer(5, 6, rng=rng),
+                GRULayer(6, 4, rng=rng),
+                Bidirectional.lstm(4, 3, rng=rng),
+            ]
+        )
+        stats = ReuseStats()
+        replacements = apply_memoization(stack, MemoizationScheme(), stats)
+        try:
+            assert isinstance(stack.layer0, MemoizedLSTMLayer)
+            assert isinstance(stack.layer1, MemoizedGRULayer)
+            assert isinstance(stack.layer2.fwd, MemoizedLSTMLayer)
+            assert isinstance(stack.layer2.bwd, MemoizedLSTMLayer)
+            assert len(replacements) == 4
+        finally:
+            restore(replacements)
+        assert isinstance(stack.layer0, LSTMLayer)
+        assert isinstance(stack.layer2.fwd, LSTMLayer)
+
+    def test_layer_names_are_dotted_paths(self, rng):
+        stack = RNNStack([Bidirectional.lstm(5, 3, rng=rng)])
+        stats = ReuseStats()
+        replacements = apply_memoization(stack, MemoizationScheme(), stats)
+        try:
+            stack(smooth_inputs(rng))
+            layer_names = {name for (name, _) in stats.total}
+            assert layer_names == {"layer0.fwd", "layer0.bwd"}
+        finally:
+            restore(replacements)
+
+    def test_no_recurrent_layers_raises(self, rng):
+        class Dense(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(3, 3, rng=rng)
+
+        with pytest.raises(ValueError, match="no recurrent layers"):
+            apply_memoization(Dense(), MemoizationScheme(), ReuseStats())
+
+
+class TestContextManager:
+    def test_outputs_restored_after_exit(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
+        x = smooth_inputs(rng)
+        reference = stack(x)
+        with memoized(stack, MemoizationScheme(theta=0.5), ReuseStats()):
+            memo_out = stack(x)
+        after = stack(x)
+        np.testing.assert_array_equal(reference, after)
+        assert memo_out.shape == reference.shape
+
+    def test_restores_on_exception(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
+        with pytest.raises(RuntimeError, match="boom"):
+            with memoized(stack, MemoizationScheme(), ReuseStats()):
+                raise RuntimeError("boom")
+        assert isinstance(stack.layer0, LSTMLayer)
+
+    def test_stats_populated(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng), GRULayer(6, 4, rng=rng)])
+        stats = ReuseStats()
+        with memoized(stack, MemoizationScheme(theta=1.0), stats):
+            stack(smooth_inputs(rng))
+        assert stats.total_evaluations > 0
+        assert stats.reuse_fraction() > 0.0
+
+    def test_oracle_upper_bounds_bnn_loss(self, rng):
+        """At the same theta on the same model, the oracle's outputs are
+        at least as close to the reference as the BNN's (it never makes a
+        wrong reuse decision beyond the threshold)."""
+        x = smooth_inputs(rng, steps=25)
+        stack = RNNStack([LSTMLayer(5, 8, rng=np.random.default_rng(37))])
+        reference = stack(x)
+        errors = {}
+        for predictor in ("oracle", "bnn"):
+            with memoized(
+                stack, MemoizationScheme(theta=0.2, predictor=predictor), ReuseStats()
+            ):
+                out = stack(x)
+            errors[predictor] = float(np.abs(out - reference).mean())
+        assert errors["oracle"] <= errors["bnn"] + 1e-9
+
+    def test_packed_and_plain_bnn_identical(self, rng):
+        x = smooth_inputs(rng)
+        outs = {}
+        for packed in (False, True):
+            stack = RNNStack([LSTMLayer(5, 6, rng=np.random.default_rng(37))])
+            with memoized(
+                stack,
+                MemoizationScheme(theta=0.3, use_packed=packed),
+                ReuseStats(),
+            ):
+                outs[packed] = stack(x)
+        np.testing.assert_array_equal(outs[False], outs[True])

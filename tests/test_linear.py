@@ -1,0 +1,131 @@
+"""Unit tests and gradient checks for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.linear import Linear
+
+from helpers import assert_grad_close, numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestForward:
+    def test_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_handles_time_axis(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(rng.standard_normal((2, 6, 4)))
+        assert out.shape == (2, 6, 3)
+
+    def test_matches_manual_matmul(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(
+            layer(x), x @ layer.weight.value.T + layer.bias.value
+        )
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng=rng, bias=False)
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(layer(x), x @ layer.weight.value.T)
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_activation_applied(self, rng):
+        layer = Linear(4, 3, activation=tanh, rng=rng)
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(
+            layer(x), np.tanh(x @ layer.weight.value.T + layer.bias.value)
+        )
+
+    def test_wrong_input_dim_raises(self, rng):
+        with pytest.raises(ValueError, match="expected last dim"):
+            Linear(4, 3, rng=rng)(rng.standard_normal((5, 7)))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(4, 3, rng=rng).backward(np.zeros((5, 3)))
+
+    @pytest.mark.parametrize("activation", [None, tanh, sigmoid])
+    def test_input_grad_matches_numeric(self, rng, activation):
+        kwargs = {"activation": activation} if activation else {}
+        layer = Linear(4, 3, rng=rng, **kwargs)
+        x = rng.standard_normal((5, 4))
+        probe = rng.standard_normal((5, 3))
+
+        def loss(v):
+            return float(np.sum(layer.forward(v) * probe))
+
+        layer.forward(x)
+        analytic = layer.backward(probe)
+        assert_grad_close(analytic, numeric_grad(loss, x))
+
+    def test_weight_grad_matches_numeric(self, rng):
+        layer = Linear(3, 2, activation=tanh, rng=rng)
+        x = rng.standard_normal((4, 3))
+        probe = rng.standard_normal((4, 2))
+
+        def loss(w):
+            saved = layer.weight.value
+            layer.weight.value = w
+            out = float(np.sum(layer.forward(x) * probe))
+            layer.weight.value = saved
+            return out
+
+        layer.forward(x)
+        layer.backward(probe)
+        assert_grad_close(
+            layer.weight.grad, numeric_grad(loss, layer.weight.value.copy())
+        )
+
+    def test_bias_grad_matches_numeric(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        probe = rng.standard_normal((4, 2))
+
+        def loss(b):
+            saved = layer.bias.value
+            layer.bias.value = b
+            out = float(np.sum(layer.forward(x) * probe))
+            layer.bias.value = saved
+            return out
+
+        layer.forward(x)
+        layer.backward(probe)
+        assert_grad_close(layer.bias.grad, numeric_grad(loss, layer.bias.value.copy()))
+
+    def test_grads_accumulate_across_calls(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        g = np.ones((4, 2))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2.0 * first)
+
+    def test_time_axis_backward(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((2, 5, 3))
+        probe = rng.standard_normal((2, 5, 2))
+
+        def loss(v):
+            return float(np.sum(layer.forward(v) * probe))
+
+        layer.forward(x)
+        analytic = layer.backward(probe)
+        assert_grad_close(analytic, numeric_grad(loss, x))

@@ -1,0 +1,118 @@
+"""Tests for loss functions (values and gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    SequenceCrossEntropy,
+    SoftmaxCrossEntropy,
+    masked_sequence_loss,
+)
+
+from helpers import assert_grad_close, numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert SoftmaxCrossEntropy()(logits, np.array([0])) < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 5))
+        loss = SoftmaxCrossEntropy()(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss, np.log(5.0), rtol=1e-9)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([0, 2, 3])
+        loss_fn = SoftmaxCrossEntropy()
+
+        def loss(v):
+            return SoftmaxCrossEntropy()(v, targets)
+
+        loss_fn(logits, targets)
+        assert_grad_close(loss_fn.backward(), numeric_grad(loss, logits))
+
+    def test_label_smoothing_gradient(self, rng):
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([1, 1, 0])
+        loss_fn = SoftmaxCrossEntropy(label_smoothing=0.1)
+
+        def loss(v):
+            return SoftmaxCrossEntropy(label_smoothing=0.1)(v, targets)
+
+        loss_fn(logits, targets)
+        assert_grad_close(loss_fn.backward(), numeric_grad(loss, logits))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(rng.standard_normal((3, 4)), np.zeros(5, dtype=int))
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy(label_smoothing=1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestSequenceCrossEntropy:
+    def test_matches_flat_when_unmasked(self, rng):
+        logits = rng.standard_normal((2, 3, 4))
+        targets = rng.integers(0, 4, size=(2, 3))
+        seq = SequenceCrossEntropy()(logits, targets)
+        flat = SoftmaxCrossEntropy()(logits.reshape(-1, 4), targets.reshape(-1))
+        np.testing.assert_allclose(seq, flat, rtol=1e-9)
+
+    def test_mask_removes_positions(self, rng):
+        logits = rng.standard_normal((1, 3, 4))
+        targets = np.array([[0, 1, 2]])
+        mask = np.array([[1.0, 1.0, 0.0]])
+        masked = SequenceCrossEntropy()(logits, targets, mask)
+        trimmed = SequenceCrossEntropy()(logits[:, :2], targets[:, :2])
+        np.testing.assert_allclose(masked, trimmed, rtol=1e-9)
+
+    def test_masked_gradient_zero(self, rng):
+        logits = rng.standard_normal((1, 3, 4))
+        targets = np.array([[0, 1, 2]])
+        mask = np.array([[1.0, 0.0, 1.0]])
+        loss_fn = SequenceCrossEntropy()
+        loss_fn(logits, targets, mask)
+        grad = loss_fn.backward()
+        np.testing.assert_array_equal(grad[0, 1], np.zeros(4))
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.standard_normal((2, 3, 4))
+        targets = rng.integers(0, 4, size=(2, 3))
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 1.0]])
+        loss_fn = SequenceCrossEntropy()
+
+        def loss(v):
+            return SequenceCrossEntropy()(v, targets, mask)
+
+        loss_fn(logits, targets, mask)
+        assert_grad_close(loss_fn.backward(), numeric_grad(loss, logits))
+
+    def test_all_masked_raises(self, rng):
+        logits = rng.standard_normal((1, 2, 3))
+        with pytest.raises(ValueError):
+            SequenceCrossEntropy()(logits, np.zeros((1, 2), dtype=int), np.zeros((1, 2)))
+
+    def test_wrong_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            SequenceCrossEntropy()(rng.standard_normal((2, 3)), np.zeros((2,), dtype=int))
+
+
+class TestConvenience:
+    def test_masked_sequence_loss_returns_pair(self, rng):
+        logits = rng.standard_normal((1, 2, 3))
+        targets = np.zeros((1, 2), dtype=int)
+        loss, grad = masked_sequence_loss(logits, targets)
+        assert np.isscalar(loss)
+        assert grad.shape == logits.shape

@@ -1,0 +1,166 @@
+"""Tests for the memoized LSTM/GRU layer wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MemoizationScheme
+from repro.core.layers import MemoizedGRULayer, MemoizedLSTMLayer, wrap_layer
+from repro.core.stats import ReuseStats
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+def smooth_inputs(rng, batch=2, steps=20, dim=6):
+    """Slowly drifting inputs (high reuse potential)."""
+    base = rng.standard_normal((batch, 1, dim))
+    drift = np.cumsum(0.03 * rng.standard_normal((batch, steps, dim)), axis=1)
+    return base + drift
+
+
+def make_scheme(predictor="bnn", theta=0.3, **kwargs):
+    return MemoizationScheme(theta=theta, predictor=predictor, **kwargs)
+
+
+class TestMemoizedLSTM:
+    def test_oracle_theta_zero_is_exact(self, rng):
+        """Oracle at theta=0 reuses only exactly-equal values, so outputs
+        must match the plain layer bit for bit."""
+        layer = LSTMLayer(6, 8, rng=rng)
+        x = smooth_inputs(rng)
+        reference = layer(x)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(
+            layer, make_scheme("oracle", theta=0.0).make_predictor, stats
+        )
+        np.testing.assert_array_equal(wrapped(x), reference)
+
+    def test_bnn_bounded_error_on_smooth_input(self, rng):
+        layer = LSTMLayer(6, 8, rng=rng)
+        x = smooth_inputs(rng)
+        reference = layer(x)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(
+            layer, make_scheme("bnn", theta=0.3).make_predictor, stats
+        )
+        out = wrapped(x)
+        assert stats.reuse_fraction() > 0.05, "smooth input should see reuse"
+        # Hidden states are tanh-bounded; errors must stay moderate.
+        assert np.abs(out - reference).max() < 1.0
+
+    def test_records_all_four_gates(self, rng):
+        layer = LSTMLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(
+            layer, make_scheme().make_predictor, stats, name="L"
+        )
+        wrapped(smooth_inputs(rng))
+        assert {gate for (_, gate) in stats.total} == {"i", "f", "g", "o"}
+        assert all(layer_name == "L" for (layer_name, _) in stats.total)
+
+    def test_evaluation_counts(self, rng):
+        layer = LSTMLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(layer, make_scheme().make_predictor, stats)
+        batch, steps = 2, 20
+        wrapped(smooth_inputs(rng, batch=batch, steps=steps))
+        assert stats.total_evaluations == batch * steps * 8 * 4
+
+    def test_state_resets_between_forwards(self, rng):
+        layer = LSTMLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(layer, make_scheme().make_predictor, stats)
+        x = smooth_inputs(rng)
+        first = wrapped(x)
+        second = wrapped(x)
+        np.testing.assert_array_equal(first, second)
+
+    def test_rejects_non_3d(self, rng):
+        wrapped = MemoizedLSTMLayer(
+            LSTMLayer(6, 8, rng=rng), make_scheme().make_predictor, ReuseStats()
+        )
+        with pytest.raises(ValueError):
+            wrapped(rng.standard_normal((6, 8)))
+
+    def test_step_interface_matches_forward(self, rng):
+        layer = LSTMLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedLSTMLayer(layer, make_scheme().make_predictor, stats)
+        x = smooth_inputs(rng, batch=1, steps=10)
+        full = wrapped(x)
+        state = wrapped.start_state(1)
+        stepped = []
+        for t in range(10):
+            h, state = wrapped.step(x[:, t, :], state)
+            stepped.append(h)
+        np.testing.assert_allclose(full[:, -1, :], stepped[-1])
+
+
+class TestMemoizedGRU:
+    def test_oracle_theta_zero_is_exact(self, rng):
+        layer = GRULayer(6, 8, rng=rng)
+        x = smooth_inputs(rng)
+        reference = layer(x)
+        stats = ReuseStats()
+        wrapped = MemoizedGRULayer(
+            layer, make_scheme("oracle", theta=0.0).make_predictor, stats
+        )
+        np.testing.assert_array_equal(wrapped(x), reference)
+
+    def test_records_all_three_gates(self, rng):
+        layer = GRULayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedGRULayer(layer, make_scheme().make_predictor, stats)
+        wrapped(smooth_inputs(rng))
+        assert {gate for (_, gate) in stats.total} == {"z", "r", "g"}
+
+    def test_candidate_gate_uses_reset_operand(self, rng):
+        """The g-gate predictor must see r*h, not h: with the input-
+        similarity predictor and theta tuned so only the recurrent part
+        matters, a flipped reset gate changes the decision stream."""
+        layer = GRULayer(4, 6, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedGRULayer(
+            layer, make_scheme("bnn", theta=0.2).make_predictor, stats
+        )
+        x = smooth_inputs(rng, dim=4)
+        out = wrapped(x)
+        reference = layer(x)
+        assert out.shape == reference.shape
+
+    def test_reuse_increases_with_theta(self, rng):
+        x = smooth_inputs(rng)
+        fractions = []
+        for theta in (0.0, 0.5, 2.0):
+            layer = GRULayer(6, 8, rng=np.random.default_rng(31))
+            stats = ReuseStats()
+            MemoizedGRULayer(layer, make_scheme(theta=theta).make_predictor, stats)(x)
+            fractions.append(stats.reuse_fraction())
+        assert fractions[0] <= fractions[1] <= fractions[2]
+
+
+class TestWrapLayer:
+    def test_dispatch(self, rng):
+        stats = ReuseStats()
+        factory = make_scheme().make_predictor
+        assert isinstance(
+            wrap_layer(LSTMLayer(4, 4, rng=rng), factory, stats, "a"),
+            MemoizedLSTMLayer,
+        )
+        assert isinstance(
+            wrap_layer(GRULayer(4, 4, rng=rng), factory, stats, "b"),
+            MemoizedGRULayer,
+        )
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            wrap_layer(object(), make_scheme().make_predictor, ReuseStats(), "x")
+
+    def test_weights_are_shared_not_copied(self, rng):
+        layer = LSTMLayer(4, 4, rng=rng)
+        wrapped = wrap_layer(layer, make_scheme().make_predictor, ReuseStats(), "a")
+        assert wrapped.cell is layer.cell

@@ -1,0 +1,103 @@
+"""Unit tests for the Module/Parameter registry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.bias = Parameter(np.zeros(3))
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Leaf()
+        self.second = Leaf()
+        self.gain = Parameter(np.array([2.0]))
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((3,)))
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.ones((3,)))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_value_cast_to_float64(self):
+        p = Parameter(np.ones((2,), dtype=np.float32))
+        assert p.value.dtype == np.float64
+
+    def test_shape(self):
+        assert Parameter(np.zeros((4, 5))).shape == (4, 5)
+
+
+class TestRegistry:
+    def test_named_parameters_ordered_and_nested(self):
+        names = [name for name, _ in Tree().named_parameters()]
+        assert names == [
+            "gain",
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+        ]
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 2 * (6 + 3) + 1
+
+    def test_zero_grad_recurses(self):
+        tree = Tree()
+        for p in tree.parameters():
+            p.grad += 1.0
+        tree.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in tree.parameters())
+
+    def test_children(self):
+        tree = Tree()
+        assert len(list(tree.children())) == 2
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src, dst = Tree(), Tree()
+        for p in src.parameters():
+            p.value += 3.0
+        dst.load_state_dict(src.state_dict())
+        for (n1, p1), (n2, p2) in zip(src.named_parameters(), dst.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.value, p2.value)
+
+    def test_state_dict_is_a_copy(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["gain"][0] = 99.0
+        assert tree.gain.value[0] == 2.0
+
+    def test_missing_key_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["gain"]
+        with pytest.raises(KeyError, match="gain"):
+            tree.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["gain"] = np.zeros((7,))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tree.load_state_dict(state)
+
+    def test_load_resets_grads(self):
+        tree = Tree()
+        tree.gain.grad += 4.0
+        tree.load_state_dict(tree.state_dict())
+        np.testing.assert_array_equal(tree.gain.grad, [0.0])

@@ -1,0 +1,93 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_params():
+    """A single parameter whose loss is ||p - target||^2."""
+    return Parameter(np.array([5.0, -3.0])), np.array([1.0, 2.0])
+
+
+def run_steps(optimizer, param, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad += 2.0 * (param.value - target)
+        optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param, target = quadratic_params()
+        run_steps(SGD([param], lr=0.1), param, target, 200)
+        np.testing.assert_allclose(param.value, target, atol=1e-6)
+
+    def test_momentum_converges(self):
+        param, target = quadratic_params()
+        run_steps(SGD([param], lr=0.05, momentum=0.9), param, target, 300)
+        np.testing.assert_allclose(param.value, target, atol=1e-5)
+
+    def test_single_step_formula(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.5)
+        param.grad += np.array([2.0])
+        opt.step()
+        np.testing.assert_allclose(param.value, [0.0])
+
+    def test_invalid_args(self):
+        param = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_clip_norm_limits_update(self):
+        param = Parameter(np.array([0.0]))
+        opt = SGD([param], lr=1.0, clip_norm=1.0)
+        param.grad += np.array([100.0])
+        opt.step()
+        np.testing.assert_allclose(param.value, [-1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, target = quadratic_params()
+        run_steps(Adam([param], lr=0.1), param, target, 500)
+        np.testing.assert_allclose(param.value, target, atol=1e-4)
+
+    def test_first_step_is_lr_sized(self):
+        """With bias correction the first Adam step ~= lr * sign(grad)."""
+        param = Parameter(np.array([0.0]))
+        opt = Adam([param], lr=0.01)
+        param.grad += np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(param.value, [-0.01], rtol=1e-4)
+
+    def test_invalid_args(self):
+        param = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Adam([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([param], beta1=1.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param])
+        param.grad += 7.0
+        opt.zero_grad()
+        np.testing.assert_array_equal(param.grad, [0.0])
+
+    def test_clip_norm_is_global(self):
+        p1 = Parameter(np.array([0.0]))
+        p2 = Parameter(np.array([0.0]))
+        opt = SGD([p1, p2], lr=1.0, clip_norm=5.0)
+        p1.grad += np.array([3.0])
+        p2.grad += np.array([4.0])
+        opt.step()  # norm is exactly 5: no clipping
+        np.testing.assert_allclose(p1.value, [-3.0])
+        np.testing.assert_allclose(p2.value, [-4.0])

@@ -1,0 +1,93 @@
+"""Tests for per-layer thresholds and their greedy calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_per_layer
+from repro.core.engine import MemoizationScheme, memoized
+from repro.core.stats import ReuseStats
+from repro.nn.lstm import LSTMLayer
+from repro.nn.rnn import RNNStack
+
+
+class TestSchemeOverrides:
+    def test_theta_for_defaults_to_global(self):
+        scheme = MemoizationScheme(theta=0.2)
+        assert scheme.theta_for("layer0") == 0.2
+
+    def test_theta_for_override(self):
+        scheme = MemoizationScheme(theta=0.2, layer_thetas={"layer1": 0.7})
+        assert scheme.theta_for("layer0") == 0.2
+        assert scheme.theta_for("layer1") == 0.7
+
+    def test_with_layer_thetas_copies(self):
+        base = MemoizationScheme(theta=0.2)
+        derived = base.with_layer_thetas({"a": 0.5})
+        assert base.layer_thetas is None
+        assert derived.theta_for("a") == 0.5
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            MemoizationScheme(layer_thetas={"a": -0.1})
+
+    def test_overrides_change_per_layer_reuse(self):
+        rng = np.random.default_rng(0)
+        stack = RNNStack([LSTMLayer(6, 8, rng=rng), LSTMLayer(8, 8, rng=rng)])
+        x = np.cumsum(0.05 * rng.standard_normal((2, 20, 6)), axis=1)
+        stats = ReuseStats()
+        scheme = MemoizationScheme(theta=0.0, layer_thetas={"layer1": 2.0})
+        with memoized(stack, scheme, stats):
+            stack(x)
+        per_layer = stats.by_layer()
+        assert per_layer["layer1"] > per_layer["layer0"]
+
+
+class TestGreedyCalibration:
+    def test_synthetic_heterogeneous_layers(self):
+        """Layer 'a' tolerates theta up to 0.4; layer 'b' up to 0.2; the
+        greedy calibrator should find an assignment near (0.4, 0.2)."""
+        limits = {"a": 0.4, "b": 0.2}
+
+        def evaluate(assignment):
+            loss = sum(
+                max(0.0, (theta - limits[name]) * 50.0)
+                for name, theta in assignment.items()
+            )
+            reuse = sum(assignment.values()) / 2.0
+            return loss, reuse
+
+        assignment, (loss, reuse) = calibrate_per_layer(
+            evaluate, ["a", "b"], thetas=(0.1, 0.2, 0.3, 0.4), max_loss=1.0
+        )
+        assert loss <= 1.0
+        assert assignment["a"] == 0.4
+        assert assignment["b"] == 0.2
+        assert reuse == pytest.approx(0.3)
+
+    def test_beats_best_global_threshold(self):
+        """Per-layer assignment must reuse at least as much as the best
+        single global threshold under the same budget."""
+        limits = {"a": 0.4, "b": 0.1}
+
+        def evaluate(assignment):
+            loss = sum(
+                max(0.0, (theta - limits[name]) * 100.0)
+                for name, theta in assignment.items()
+            )
+            return loss, sum(assignment.values()) / 2.0
+
+        grid = (0.1, 0.2, 0.3, 0.4)
+        best_global = max(
+            (evaluate({"a": t, "b": t}) for t in grid),
+            key=lambda lr: lr[1] if lr[0] <= 0.5 else -1.0,
+        )
+        _, (_, per_layer_reuse) = calibrate_per_layer(
+            evaluate, ["a", "b"], thetas=grid, max_loss=0.5
+        )
+        assert per_layer_reuse >= best_global[1]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_per_layer(lambda a: (0, 0), [], thetas=(0.1,))
+        with pytest.raises(ValueError):
+            calibrate_per_layer(lambda a: (0, 0), ["a"], thetas=())

@@ -1,0 +1,216 @@
+"""Tests for the three memoization predictors (Figures 6 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bnn import BinaryGate
+from repro.core.predictors import (
+    BNNGatePredictor,
+    InputSimilarityGatePredictor,
+    OracleGatePredictor,
+)
+
+
+def make_gate(rng, neurons=6, e=4, r=5):
+    return BinaryGate(
+        rng.standard_normal((neurons, e)), rng.standard_normal((neurons, r))
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(29)
+
+
+class TestOracle:
+    def test_first_step_never_reuses(self, rng):
+        pred = OracleGatePredictor(theta=10.0)
+        pred.begin_sequence(2)
+        decision = pred.step(None, None, lambda: rng.standard_normal((2, 6)))
+        assert not decision.reuse_mask.any()
+
+    def test_reuses_when_identical(self, rng):
+        pred = OracleGatePredictor(theta=0.0)
+        pred.begin_sequence(1)
+        y = rng.standard_normal((1, 6))
+        pred.step(None, None, lambda: y.copy())
+        decision = pred.step(None, None, lambda: y.copy())
+        assert decision.reuse_mask.all()
+        np.testing.assert_array_equal(decision.outputs, y)
+
+    def test_theta_zero_outputs_exact(self, rng):
+        """With theta=0 the oracle only reuses exactly-equal values, so
+        the output stream is bit-identical to no memoization."""
+        pred = OracleGatePredictor(theta=0.0)
+        pred.begin_sequence(1)
+        for _ in range(10):
+            y = rng.standard_normal((1, 6))
+            decision = pred.step(None, None, lambda y=y: y.copy())
+            np.testing.assert_array_equal(decision.outputs, y)
+
+    def test_thresholding_on_relative_error(self):
+        pred = OracleGatePredictor(theta=0.5)
+        pred.begin_sequence(1)
+        pred.step(None, None, lambda: np.array([[1.0, 1.0]]))
+        decision = pred.step(None, None, lambda: np.array([[1.2, 3.0]]))
+        # neuron 0: |1.2-1|/1.2 = 0.167 <= 0.5 -> reuse memoized 1.0
+        # neuron 1: |3-1|/3 = 0.667 > 0.5 -> fresh 3.0
+        np.testing.assert_array_equal(decision.reuse_mask, [[True, False]])
+        np.testing.assert_allclose(decision.outputs, [[1.0, 3.0]])
+
+    def test_memo_updates_only_on_full_eval(self):
+        pred = OracleGatePredictor(theta=0.5)
+        pred.begin_sequence(1)
+        pred.step(None, None, lambda: np.array([[1.0]]))
+        pred.step(None, None, lambda: np.array([[1.2]]))  # reused, memo stays 1.0
+        decision = pred.step(None, None, lambda: np.array([[1.3]]))
+        # delta vs memo 1.0: |1.3-1.0|/1.3 = 0.23 <= 0.5 -> still reuses 1.0
+        np.testing.assert_allclose(decision.outputs, [[1.0]])
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            OracleGatePredictor(theta=-0.1)
+
+    def test_begin_sequence_resets(self, rng):
+        pred = OracleGatePredictor(theta=100.0)
+        pred.begin_sequence(1)
+        pred.step(None, None, lambda: np.ones((1, 3)))
+        pred.begin_sequence(1)
+        decision = pred.step(None, None, lambda: np.ones((1, 3)))
+        assert not decision.reuse_mask.any()
+
+
+class TestBNNPredictor:
+    def test_first_step_never_reuses(self, rng):
+        gate = make_gate(rng)
+        pred = BNNGatePredictor(gate, theta=10.0)
+        pred.begin_sequence(1)
+        x, h = rng.standard_normal((1, 4)), rng.standard_normal((1, 5))
+        decision = pred.step(x, h, lambda: rng.standard_normal((1, 6)))
+        assert not decision.reuse_mask.any()
+
+    def test_identical_inputs_reuse_everything(self, rng):
+        gate = make_gate(rng)
+        pred = BNNGatePredictor(gate, theta=0.0)
+        pred.begin_sequence(1)
+        x, h = rng.standard_normal((1, 4)), rng.standard_normal((1, 5))
+        y = rng.standard_normal((1, 6))
+        pred.step(x, h, lambda: y.copy())
+        decision = pred.step(x, h, lambda: rng.standard_normal((1, 6)))
+        # Binary outputs identical -> epsilon 0 -> reuse the memoized y.
+        assert decision.reuse_mask.all()
+        np.testing.assert_array_equal(decision.outputs, y)
+
+    def test_reuse_monotone_in_theta(self, rng):
+        """Higher theta can only increase total reuse (same input stream)."""
+        inputs = [
+            (rng.standard_normal((1, 4)), rng.standard_normal((1, 5)))
+            for _ in range(30)
+        ]
+        outputs = [rng.standard_normal((1, 6)) for _ in range(30)]
+        counts = []
+        for theta in (0.0, 0.3, 1.0):
+            gate = make_gate(np.random.default_rng(29))
+            pred = BNNGatePredictor(gate, theta=theta)
+            pred.begin_sequence(1)
+            reused = 0
+            for (x, h), y in zip(inputs, outputs):
+                reused += int(pred.step(x, h, lambda y=y: y.copy()).reuse_mask.sum())
+            counts.append(reused)
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_throttle_limits_streaks(self):
+        """Equation 13: oscillating small drifts accumulate under
+        throttling and eventually force a full evaluation, while the
+        unthrottled variant reuses forever (each step's epsilon alone is
+        under the threshold)."""
+        base = np.ones(16)
+        drifted = base.copy()
+        drifted[0] = -1.0  # yb drops 16 -> 14: epsilon = 2/14 ~ 0.143
+
+        def run(throttle):
+            gate = BinaryGate(np.ones((1, 8)), np.ones((1, 8)))
+            pred = BNNGatePredictor(gate, theta=0.3, throttle=throttle)
+            pred.begin_sequence(1)
+            pred.step(base[:8][None], base[8:][None], lambda: np.zeros((1, 1)))
+            flags = []
+            for step in range(6):
+                operand = drifted if step % 2 == 0 else base
+                decision = pred.step(
+                    operand[:8][None], operand[8:][None], lambda: np.zeros((1, 1))
+                )
+                flags.append(bool(decision.reuse_mask[0, 0]))
+            return flags
+
+        unthrottled = run(False)
+        throttled = run(True)
+        assert unthrottled == [True] * 6
+        # Throttled: delta = 0.143, 0.143, 0.286, 0.286, 0.429 -> eval.
+        assert throttled[:4] == [True, True, True, True]
+        assert throttled[4] is False
+
+    def test_zero_binary_output_blocks_reuse(self):
+        """A change to a zero binary output cannot be compared relatively
+        and must not be reused blindly."""
+        gate = BinaryGate(np.ones((1, 1)), np.ones((1, 1)))
+        pred = BNNGatePredictor(gate, theta=0.4)
+        pred.begin_sequence(1)
+        # First step: operands (+1, +1) -> yb = 2.
+        pred.step(np.ones((1, 1)), np.ones((1, 1)), lambda: np.array([[5.0]]))
+        # Second: operands (+1, -1) -> yb = 0; diff=2, denom floor 1 -> eps 2.
+        decision = pred.step(
+            np.ones((1, 1)), -np.ones((1, 1)), lambda: np.array([[7.0]])
+        )
+        assert not decision.reuse_mask.any()
+
+    def test_delta_resets_after_full_eval(self, rng):
+        gate = make_gate(rng, neurons=1, e=2, r=2)
+        pred = BNNGatePredictor(gate, theta=0.05)
+        pred.begin_sequence(1)
+        x0, h0 = np.ones((1, 2)), np.ones((1, 2))
+        pred.step(x0, h0, lambda: np.array([[1.0]]))
+        # Big operand change forces a full evaluation...
+        pred.step(-x0, -h0, lambda: np.array([[2.0]]))
+        assert np.all(pred._delta == 0.0)
+        # ...and identical operands afterwards reuse again.
+        decision = pred.step(-x0, -h0, lambda: np.array([[3.0]]))
+        assert decision.reuse_mask.all()
+        np.testing.assert_array_equal(decision.outputs, [[2.0]])
+
+
+class TestInputSimilarity:
+    def test_identical_input_reuses_whole_gate(self, rng):
+        pred = InputSimilarityGatePredictor(theta=0.0, neurons=4)
+        pred.begin_sequence(1)
+        x, h = rng.standard_normal((1, 3)), rng.standard_normal((1, 2))
+        y = rng.standard_normal((1, 4))
+        pred.step(x, h, lambda: y.copy())
+        decision = pred.step(x, h, lambda: rng.standard_normal((1, 4)))
+        assert decision.reuse_mask.all()
+        np.testing.assert_array_equal(decision.outputs, y)
+
+    def test_changed_input_blocks_reuse(self, rng):
+        pred = InputSimilarityGatePredictor(theta=0.01, neurons=4)
+        pred.begin_sequence(1)
+        x, h = np.ones((1, 3)), np.ones((1, 2))
+        pred.step(x, h, lambda: np.ones((1, 4)))
+        decision = pred.step(-x, -h, lambda: np.zeros((1, 4)))
+        assert not decision.reuse_mask.any()
+
+    def test_decision_is_per_row(self, rng):
+        pred = InputSimilarityGatePredictor(theta=0.01, neurons=3)
+        pred.begin_sequence(2)
+        x = np.ones((2, 2))
+        h = np.ones((2, 2))
+        pred.step(x, h, lambda: np.ones((2, 3)))
+        x2 = x.copy()
+        x2[1] = -5.0  # only row 1 changes
+        decision = pred.step(x2, h, lambda: np.zeros((2, 3)))
+        assert decision.reuse_mask[0].all()
+        assert not decision.reuse_mask[1].any()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            InputSimilarityGatePredictor(theta=-1.0, neurons=3)
+        with pytest.raises(ValueError):
+            InputSimilarityGatePredictor(theta=0.1, neurons=0)

@@ -1,0 +1,109 @@
+"""Tests for linear quantization (paper §2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import (
+    LinearQuantizer,
+    quantize_fp16,
+    quantize_module,
+)
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMLayer
+
+
+class TestFP16:
+    def test_roundtrip_small_values_exact(self):
+        values = np.array([0.5, -0.25, 1.0, 2.0])
+        np.testing.assert_array_equal(quantize_fp16(values), values)
+
+    def test_precision_loss(self):
+        value = np.array([1.0 + 2**-12])
+        assert quantize_fp16(value)[0] != value[0]
+
+    def test_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(1000)
+        error = np.abs(values - quantize_fp16(values))
+        # Half precision has ~3 decimal digits around 1.0.
+        assert error.max() < 2e-3
+
+
+class TestLinearQuantizer:
+    def test_q_max(self):
+        assert LinearQuantizer(bits=8).q_max == 127
+        assert LinearQuantizer(bits=4).q_max == 7
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(bits=1)
+        with pytest.raises(ValueError):
+            LinearQuantizer(bits=17)
+
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(1)
+        q = LinearQuantizer(bits=8)
+        codes = q.quantize(rng.standard_normal(500))
+        assert codes.max() <= 127 and codes.min() >= -127
+
+    def test_max_magnitude_maps_to_qmax(self):
+        q = LinearQuantizer(bits=8)
+        codes = q.quantize(np.array([-2.0, 1.0, 2.0]))
+        assert codes[2] == 127 and codes[0] == -127
+
+    def test_zero_tensor(self):
+        q = LinearQuantizer(bits=8)
+        assert q.scale_for(np.zeros(4)) == 1.0
+        np.testing.assert_array_equal(q.roundtrip(np.zeros(4)), np.zeros(4))
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_error_bounded_by_half_step(self, bits):
+        rng = np.random.default_rng(bits)
+        values = rng.uniform(-3, 3, size=200)
+        q = LinearQuantizer(bits=bits)
+        error = np.abs(values - q.roundtrip(values))
+        assert error.max() <= q.scale_for(values) / 2 + 1e-12
+
+    def test_error_shrinks_with_bits(self):
+        rng = np.random.default_rng(2)
+        values = rng.standard_normal(500)
+        errors = [
+            LinearQuantizer(bits=b).quantization_error(values) for b in (4, 8, 12)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_empty_tensor_error(self):
+        assert LinearQuantizer().quantization_error(np.array([])) == 0.0
+
+
+class TestQuantizeModule:
+    def test_fp16_in_place(self):
+        layer = Linear(8, 4, rng=np.random.default_rng(3))
+        original = layer.weight.value.copy()
+        errors = quantize_module(layer, scheme="fp16")
+        assert set(errors) == {"weight", "bias"}
+        np.testing.assert_array_equal(layer.weight.value, quantize_fp16(original))
+
+    def test_linear_scheme(self):
+        layer = Linear(8, 4, rng=np.random.default_rng(3))
+        errors = quantize_module(layer, scheme="linear", bits=8)
+        assert all(e >= 0.0 for e in errors.values())
+        assert errors["weight"] > 0.0
+
+    def test_unknown_scheme(self):
+        layer = Linear(4, 2)
+        with pytest.raises(ValueError, match="unknown quantization scheme"):
+            quantize_module(layer, scheme="ternary")
+
+    def test_quantized_lstm_still_functional(self):
+        """INT8-quantized weights barely perturb the outputs."""
+        rng = np.random.default_rng(4)
+        layer = LSTMLayer(6, 8, rng=rng)
+        x = rng.standard_normal((2, 10, 6))
+        reference = layer(x)
+        quantize_module(layer, scheme="linear", bits=8)
+        quantized = layer(x)
+        assert np.abs(quantized - reference).max() < 0.15

@@ -1,0 +1,53 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Single cached network keeps this fast in the test suite.
+        return generate_report(
+            scale="tiny", networks=("imdb",), thetas=(0.0, 0.3)
+        )
+
+    def test_contains_sections(self, report):
+        assert "# Reproduction report" in report
+        assert "## Networks (Table 1)" in report
+        assert "## Accelerator projection" in report
+        assert "## Area" in report
+
+    def test_contains_network_row(self, report):
+        assert "imdb" in report
+        assert "86.5 accuracy" in report
+
+    def test_contains_paper_headlines(self, report):
+        assert "18.5%" in report
+        assert "1.35x" in report
+
+    def test_area_totals(self, report):
+        assert "64.6" in report and "66.8" in report
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(networks=("alexnet",))
+
+    def test_empty_networks_raises(self):
+        with pytest.raises(ValueError):
+            generate_report(networks=())
+
+
+class TestReportCLI:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["report", "--scale", "tiny", "--networks", "imdb"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out

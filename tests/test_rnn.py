@@ -1,0 +1,102 @@
+"""Tests for bidirectional wrappers and deep RNN stacks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+from repro.nn.rnn import Bidirectional, RNNStack
+
+from helpers import assert_grad_close, numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestBidirectional:
+    def test_output_concatenates_directions(self, rng):
+        bi = Bidirectional.lstm(4, 3, rng=rng)
+        out = bi(rng.standard_normal((2, 5, 4)))
+        assert out.shape == (2, 5, 6)
+        assert bi.output_size == 6
+
+    def test_backward_direction_sees_future(self, rng):
+        """Perturbing the last input must change the first backward output."""
+        bi = Bidirectional.lstm(4, 3, rng=rng)
+        x = rng.standard_normal((1, 5, 4))
+        base = bi(x)
+        perturbed = x.copy()
+        perturbed[0, -1, :] += 1.0
+        out = bi(perturbed)
+        # Forward half at t=0 unchanged; backward half at t=0 changed.
+        np.testing.assert_allclose(base[0, 0, :3], out[0, 0, :3])
+        assert not np.allclose(base[0, 0, 3:], out[0, 0, 3:])
+
+    def test_gru_factory(self, rng):
+        bi = Bidirectional.gru(4, 3, rng=rng)
+        assert bi(rng.standard_normal((1, 4, 4))).shape == (1, 4, 6)
+
+    def test_mismatched_layers_raise(self, rng):
+        with pytest.raises(ValueError):
+            Bidirectional(LSTMLayer(4, 3, rng=rng), LSTMLayer(4, 5, rng=rng))
+        with pytest.raises(ValueError):
+            Bidirectional(LSTMLayer(4, 3, rng=rng), LSTMLayer(5, 3, rng=rng))
+
+    def test_gradient(self, rng):
+        bi = Bidirectional.lstm(3, 2, rng=rng)
+        x = rng.standard_normal((1, 4, 3))
+        probe = rng.standard_normal((1, 4, 4))
+
+        def loss(v):
+            return float(np.sum(bi.forward(v) * probe))
+
+        bi.forward(x)
+        analytic = bi.backward(probe)
+        assert_grad_close(analytic, numeric_grad(loss, x), rtol=1e-3, atol=1e-6)
+
+
+class TestRNNStack:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RNNStack([])
+
+    def test_size_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="expects input size"):
+            RNNStack([LSTMLayer(4, 6, rng=rng), GRULayer(5, 3, rng=rng)])
+
+    def test_mixed_stack_forward(self, rng):
+        stack = RNNStack(
+            [
+                LSTMLayer(4, 6, rng=rng),
+                GRULayer(6, 5, rng=rng),
+                Bidirectional.lstm(5, 2, rng=rng),
+            ]
+        )
+        out = stack(rng.standard_normal((2, 7, 4)))
+        assert out.shape == (2, 7, 4)
+        assert stack.output_size == 4
+
+    def test_layers_property_order(self, rng):
+        layers = [LSTMLayer(4, 6, rng=rng), GRULayer(6, 5, rng=rng)]
+        stack = RNNStack(layers)
+        assert stack.layers == layers
+
+    def test_gradient_through_stack(self, rng):
+        stack = RNNStack([LSTMLayer(3, 4, rng=rng), GRULayer(4, 2, rng=rng)])
+        x = rng.standard_normal((1, 3, 3))
+        probe = rng.standard_normal((1, 3, 2))
+
+        def loss(v):
+            return float(np.sum(stack.forward(v) * probe))
+
+        stack.forward(x)
+        analytic = stack.backward(probe)
+        assert_grad_close(analytic, numeric_grad(loss, x), rtol=1e-3, atol=1e-6)
+
+    def test_parameters_cover_all_layers(self, rng):
+        stack = RNNStack([LSTMLayer(3, 4, rng=rng), GRULayer(4, 2, rng=rng)])
+        names = {name for name, _ in stack.named_parameters()}
+        assert any(name.startswith("layer0.") for name in names)
+        assert any(name.startswith("layer1.") for name in names)

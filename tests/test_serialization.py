@@ -1,0 +1,61 @@
+"""Tests for .npz model state persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMLayer
+from repro.nn.module import Module
+from repro.nn.rnn import RNNStack
+from repro.nn.serialization import load_state, save_state
+
+
+class TestRoundtrip:
+    def test_linear(self, tmp_path):
+        rng = np.random.default_rng(0)
+        source = Linear(4, 3, rng=rng)
+        target = Linear(4, 3, rng=np.random.default_rng(99))
+        path = tmp_path / "model.npz"
+        save_state(source, path)
+        load_state(target, path)
+        np.testing.assert_array_equal(source.weight.value, target.weight.value)
+        np.testing.assert_array_equal(source.bias.value, target.bias.value)
+
+    def test_deep_stack(self, tmp_path):
+        rng = np.random.default_rng(1)
+        source = RNNStack([LSTMLayer(4, 6, rng=rng), LSTMLayer(6, 5, rng=rng)])
+        target = RNNStack(
+            [
+                LSTMLayer(4, 6, rng=np.random.default_rng(7)),
+                LSTMLayer(6, 5, rng=np.random.default_rng(8)),
+            ]
+        )
+        path = tmp_path / "stack.npz"
+        save_state(source, path)
+        load_state(target, path)
+        x = rng.standard_normal((2, 5, 4))
+        np.testing.assert_array_equal(source(x), target(x))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        save_state(Linear(2, 2), path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(Linear(2, 2), tmp_path / "nope.npz")
+
+    def test_architecture_mismatch(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state(Linear(4, 3), path)
+        with pytest.raises(ValueError):
+            load_state(Linear(3, 4), path)
+
+    def test_empty_module(self, tmp_path):
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            save_state(Empty(), tmp_path / "empty.npz")

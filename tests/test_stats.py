@@ -1,0 +1,132 @@
+"""Tests for reuse accounting and the Figure 5 output-change profile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    ReuseStats,
+    output_change_profile,
+    profile_summary,
+    relative_change,
+)
+
+
+class TestReuseStats:
+    def test_empty_is_zero(self):
+        assert ReuseStats().reuse_fraction() == 0.0
+        assert ReuseStats().total_evaluations == 0
+
+    def test_record_counts(self):
+        stats = ReuseStats()
+        stats.record("layer0", "i", np.array([[True, False], [True, True]]))
+        assert stats.total_evaluations == 4
+        assert stats.total_reused == 3
+        assert stats.reuse_fraction() == pytest.approx(0.75)
+
+    def test_percent(self):
+        stats = ReuseStats()
+        stats.record("l", "g", np.array([True, False]))
+        assert stats.reuse_percent() == pytest.approx(50.0)
+
+    def test_by_layer_and_gate(self):
+        stats = ReuseStats()
+        stats.record("l0", "i", np.array([True, True]))
+        stats.record("l0", "f", np.array([False, False]))
+        stats.record("l1", "i", np.array([True, False]))
+        assert stats.by_layer() == {"l0": 0.5, "l1": 0.5}
+        assert stats.by_gate()["i"] == pytest.approx(0.75)
+        assert stats.by_gate()["f"] == 0.0
+
+    def test_merge(self):
+        a, b = ReuseStats(), ReuseStats()
+        a.record("l", "i", np.array([True]))
+        b.record("l", "i", np.array([False]))
+        b.record("m", "g", np.array([True]))
+        a.merge(b)
+        assert a.total_evaluations == 3
+        assert a.total_reused == 2
+
+    def test_reset(self):
+        stats = ReuseStats()
+        stats.record("l", "i", np.array([True]))
+        stats.reset()
+        assert stats.total_evaluations == 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_bounds(self, flags):
+        stats = ReuseStats()
+        stats.record("l", "i", np.array(flags))
+        assert 0.0 <= stats.reuse_fraction() <= 1.0
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        out = relative_change(np.array([2.0]), np.array([1.0]))
+        np.testing.assert_allclose(out, [0.5])
+
+    def test_zero_denominator_floored(self):
+        out = relative_change(np.array([0.0]), np.array([1.0]), floor=1e-8)
+        assert np.isfinite(out).all()
+
+    def test_identical_is_zero(self):
+        x = np.array([3.0, -4.0])
+        np.testing.assert_array_equal(relative_change(x, x), [0.0, 0.0])
+
+
+class TestOutputChangeProfile:
+    def test_constant_sequence_is_zero(self):
+        seq = np.ones((2, 10, 4))
+        profile = output_change_profile([seq])
+        np.testing.assert_array_equal(profile, np.zeros(4))
+
+    def test_sorted_ascending(self):
+        rng = np.random.default_rng(0)
+        profile = output_change_profile([rng.standard_normal((2, 12, 8))])
+        assert np.all(np.diff(profile) >= 0)
+
+    def test_concatenates_layers(self):
+        rng = np.random.default_rng(0)
+        profile = output_change_profile(
+            [rng.standard_normal((1, 5, 3)), rng.standard_normal((1, 5, 4))]
+        )
+        assert profile.shape == (7,)
+
+    def test_clipping(self):
+        seq = np.zeros((1, 3, 1))
+        seq[0, :, 0] = [1e-9, 1.0, 1e-9]  # enormous relative changes
+        profile = output_change_profile([seq], clip_percent=100.0)
+        assert profile.max() <= 100.0
+
+    def test_needs_two_timesteps(self):
+        with pytest.raises(ValueError):
+            output_change_profile([np.ones((1, 1, 4))])
+
+    def test_needs_3d(self):
+        with pytest.raises(ValueError):
+            output_change_profile([np.ones((4, 4))])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            output_change_profile([])
+
+    def test_smooth_changes_less_than_jumpy(self):
+        """A slowly drifting neuron must profile below a jumpy one."""
+        steps = np.arange(50, dtype=np.float64)
+        smooth = (10.0 + 0.01 * steps).reshape(1, 50, 1)
+        rng = np.random.default_rng(1)
+        jumpy = (10.0 + 5.0 * rng.standard_normal(50)).reshape(1, 50, 1)
+        p_smooth = output_change_profile([smooth])
+        p_jumpy = output_change_profile([jumpy])
+        assert p_smooth[0] < p_jumpy[0]
+
+
+class TestProfileSummary:
+    def test_keys_and_values(self):
+        profile = np.array([1.0, 5.0, 9.0, 50.0])
+        summary = profile_summary(profile)
+        assert summary["mean_percent"] == pytest.approx(16.25)
+        assert summary["fraction_below_10pct"] == pytest.approx(0.75)
+        assert summary["median_percent"] == pytest.approx(7.0)

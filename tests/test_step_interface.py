@@ -1,0 +1,73 @@
+"""Tests for the inference stepping interface shared by plain and
+memoized layers (used by the seq2seq decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRULayer
+from repro.nn.lstm import LSTMLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(47)
+
+
+class TestLSTMStepping:
+    def test_start_state_shapes(self, rng):
+        layer = LSTMLayer(4, 6, rng=rng)
+        h, c = layer.start_state(3)
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+        assert np.all(h == 0.0) and np.all(c == 0.0)
+
+    def test_stepping_matches_forward(self, rng):
+        layer = LSTMLayer(4, 6, rng=rng)
+        x = rng.standard_normal((2, 7, 4))
+        full = layer(x)
+        state = layer.start_state(2)
+        outputs = []
+        for t in range(7):
+            h, state = layer.step(x[:, t, :], state)
+            outputs.append(h)
+        np.testing.assert_allclose(np.stack(outputs, axis=1), full)
+
+    def test_step_state_is_fresh_objects(self, rng):
+        """Stepping must not mutate the caller's state in place (beam
+        search branches states)."""
+        layer = LSTMLayer(4, 6, rng=rng)
+        state0 = layer.start_state(1)
+        saved = (state0[0].copy(), state0[1].copy())
+        layer.step(rng.standard_normal((1, 4)), state0)
+        np.testing.assert_array_equal(state0[0], saved[0])
+        np.testing.assert_array_equal(state0[1], saved[1])
+
+
+class TestGRUStepping:
+    def test_start_state_shape(self, rng):
+        layer = GRULayer(4, 6, rng=rng)
+        h = layer.start_state(5)
+        assert h.shape == (5, 6)
+
+    def test_stepping_matches_forward(self, rng):
+        layer = GRULayer(4, 6, rng=rng)
+        x = rng.standard_normal((2, 7, 4))
+        full = layer(x)
+        state = layer.start_state(2)
+        outputs = []
+        for t in range(7):
+            h, state = layer.step(x[:, t, :], state)
+            outputs.append(h)
+        np.testing.assert_allclose(np.stack(outputs, axis=1), full)
+
+    def test_branched_states_independent(self, rng):
+        """Two hypothetical beams stepping from the same state must not
+        interfere."""
+        layer = GRULayer(4, 6, rng=rng)
+        state = layer.start_state(1)
+        x = rng.standard_normal((1, 4))
+        h1, state1 = layer.step(x, state)
+        h2, state2 = layer.step(-x, state)
+        assert not np.allclose(state1, state2)
+        # Re-stepping from the original state reproduces the first result.
+        h1_again, _ = layer.step(x, state)
+        np.testing.assert_array_equal(h1, h1_again)

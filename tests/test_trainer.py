@@ -1,0 +1,96 @@
+"""Tests for the generic trainer, using a tiny linear-regression model."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer, TrainingLog
+
+
+class RegressionModel:
+    """Minimal TrainableModel: fit y = x @ w."""
+
+    def __init__(self, rng):
+        self.layer = Linear(3, 1, rng=rng)
+
+    def zero_grad(self):
+        self.layer.zero_grad()
+
+    def compute_loss(self, batch):
+        x, y = batch
+        pred = self.layer(x)
+        diff = pred - y
+        self.layer.backward(2.0 * diff / diff.size)
+        return float(np.mean(diff * diff))
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(23)
+    true_w = np.array([[1.0, -2.0, 0.5]])
+    x = rng.standard_normal((64, 3))
+    y = x @ true_w.T
+    return rng, x, y, true_w
+
+
+class TestTrainer:
+    def test_loss_decreases(self, problem):
+        rng, x, y, _ = problem
+        model = RegressionModel(rng)
+        trainer = Trainer(model, SGD(model.layer.parameters(), lr=0.1))
+        log = trainer.fit(lambda epoch: [(x, y)], epochs=30)
+        assert log.improved
+        assert log.final_loss < log.epoch_losses[0] * 0.1
+
+    def test_recovers_weights(self, problem):
+        rng, x, y, true_w = problem
+        model = RegressionModel(rng)
+        trainer = Trainer(model, SGD(model.layer.parameters(), lr=0.2))
+        trainer.fit(lambda epoch: [(x, y)], epochs=200)
+        np.testing.assert_allclose(model.layer.weight.value, true_w, atol=1e-3)
+
+    def test_eval_fn_recorded(self, problem):
+        rng, x, y, _ = problem
+        model = RegressionModel(rng)
+        trainer = Trainer(
+            model, SGD(model.layer.parameters(), lr=0.1), eval_fn=lambda: 0.75
+        )
+        log = trainer.fit(lambda epoch: [(x, y)], epochs=3)
+        assert log.eval_metrics == [0.75, 0.75, 0.75]
+
+    def test_batch_provider_gets_epoch_index(self, problem):
+        rng, x, y, _ = problem
+        seen = []
+
+        def provider(epoch):
+            seen.append(epoch)
+            return [(x, y)]
+
+        model = RegressionModel(rng)
+        Trainer(model, SGD(model.layer.parameters(), lr=0.01)).fit(provider, epochs=3)
+        assert seen == [0, 1, 2]
+
+    def test_empty_epoch_raises(self, problem):
+        rng, x, y, _ = problem
+        model = RegressionModel(rng)
+        trainer = Trainer(model, SGD(model.layer.parameters(), lr=0.01))
+        with pytest.raises(ValueError):
+            trainer.fit(lambda epoch: [], epochs=1)
+
+    def test_zero_epochs_raises(self, problem):
+        rng, x, y, _ = problem
+        model = RegressionModel(rng)
+        trainer = Trainer(model, SGD(model.layer.parameters(), lr=0.01))
+        with pytest.raises(ValueError):
+            trainer.fit(lambda epoch: [(x, y)], epochs=0)
+
+
+class TestTrainingLog:
+    def test_final_loss_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingLog().final_loss
+
+    def test_improved_needs_two_epochs(self):
+        log = TrainingLog(epoch_losses=[1.0])
+        assert not log.improved

@@ -1,0 +1,102 @@
+"""Trained-benchmark behaviour for the three non-IMDB networks.
+
+Training the tiny-scale instances takes a few seconds each and happens
+once per session (module-scoped via the zoo cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MemoizationScheme
+from repro.models.zoo import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def deepspeech():
+    return load_benchmark("deepspeech2", scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def eesen():
+    return load_benchmark("eesen", scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def mnmt():
+    return load_benchmark("mnmt", scale="tiny")
+
+
+class TestDeepSpeech:
+    def test_base_quality_is_low_wer(self, deepspeech):
+        assert deepspeech.base_quality is not None
+        assert deepspeech.base_quality < 50.0
+
+    def test_memoized_reuse_grows_with_theta(self, deepspeech):
+        low = deepspeech.evaluate_memoized(MemoizationScheme(theta=0.05))
+        high = deepspeech.evaluate_memoized(MemoizationScheme(theta=0.5))
+        assert high.reuse_fraction >= low.reuse_fraction
+
+    def test_stats_cover_gru_gates(self, deepspeech):
+        result = deepspeech.evaluate_memoized(MemoizationScheme(theta=0.3))
+        gates = {gate for (_, gate) in result.stats.total}
+        assert gates == {"z", "r", "g"}
+
+    def test_hidden_sequences_per_layer(self, deepspeech):
+        hidden = deepspeech.hidden_sequences()
+        assert len(hidden) == deepspeech.model.stack.num_layers
+
+
+class TestEESEN:
+    def test_base_quality_is_low_wer(self, eesen):
+        assert eesen.base_quality < 50.0
+
+    def test_bidirectional_layers_recorded_separately(self, eesen):
+        result = eesen.evaluate_memoized(MemoizationScheme(theta=0.3))
+        layers = {layer for (layer, _) in result.stats.total}
+        assert any(name.endswith(".fwd") for name in layers)
+        assert any(name.endswith(".bwd") for name in layers)
+
+    def test_oracle_zero_theta_no_loss(self, eesen):
+        result = eesen.evaluate_memoized(
+            MemoizationScheme(theta=0.0, predictor="oracle")
+        )
+        assert result.quality_loss == 0.0
+
+    def test_speech_tolerance_vs_translation(self, eesen, mnmt):
+        """The paper's qualitative ordering: bidirectional speech
+        tolerates far more reuse per unit loss than translation."""
+        theta = 0.3
+        speech = eesen.evaluate_memoized(MemoizationScheme(theta=theta))
+        translation = mnmt.evaluate_memoized(MemoizationScheme(theta=theta))
+        speech_ratio = speech.reuse_fraction / (1.0 + speech.quality_loss)
+        translation_ratio = translation.reuse_fraction / (
+            1.0 + translation.quality_loss
+        )
+        assert speech_ratio > translation_ratio
+
+
+class TestMNMT:
+    def test_base_quality_is_high_bleu(self, mnmt):
+        assert mnmt.base_quality > 60.0
+
+    def test_memoized_decode_produces_tokens(self, mnmt):
+        from repro.core.engine import memoized
+        from repro.core.stats import ReuseStats
+
+        src = mnmt.dataset.source[mnmt.test_idx[:4]]
+        with memoized(mnmt.model, MemoizationScheme(theta=0.2), ReuseStats()):
+            hyps = mnmt.model.translate(src, max_len=mnmt.dataset.length + 2)
+        assert len(hyps) == 4
+        assert all(isinstance(h, tuple) for h in hyps)
+
+    def test_encoder_and_decoder_both_memoized(self, mnmt):
+        result = mnmt.evaluate_memoized(MemoizationScheme(theta=0.2))
+        layers = {layer for (layer, _) in result.stats.total}
+        assert layers == {"encoder", "decoder"}
+
+    def test_loss_grows_substantially_at_high_theta(self, mnmt):
+        """Figure 16's MNMT story: accuracy collapses at high reuse."""
+        gentle = mnmt.evaluate_memoized(MemoizationScheme(theta=0.05))
+        harsh = mnmt.evaluate_memoized(MemoizationScheme(theta=1.0))
+        assert harsh.reuse_fraction > gentle.reuse_fraction
+        assert harsh.quality_loss >= gentle.quality_loss
