@@ -6,7 +6,6 @@ linear quantization.  This bench quantizes the IMDB network's weights
 loss should be essentially unchanged, showing the two techniques stack.
 """
 
-import copy
 
 from conftest import emit
 

@@ -15,7 +15,6 @@ from conftest import emit
 
 from repro.accel.config import DEFAULT_CONFIG
 from repro.accel.eventsim import collect_layer_dims, replay_trace
-from repro.accel.timing import TimingReport
 from repro.core.engine import MemoizationScheme, memoized
 from repro.core.stats import DetailedReuseStats
 

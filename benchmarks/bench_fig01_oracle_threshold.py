@@ -5,7 +5,7 @@ Paper's observation: thresholds in the 0.3-0.5 range keep accuracy loss
 under ~1% while an oracle-guided memoization avoids >30% of computations.
 """
 
-from conftest import THETAS, emit
+from conftest import emit
 
 from repro.analysis.figures import render_series
 from repro.models.specs import BENCHMARK_NAMES

@@ -4,6 +4,10 @@ predictor, for the four networks.
 Paper's observations: for losses under ~2% the BNN predictor achieves
 reuse extremely close to the oracle; EESEN and IMDB tolerate the most;
 MNMT's BNN tracks the oracle only up to ~23% reuse (weakest correlation).
+
+Executes via :mod:`repro.runner`: all 8 (network, predictor) sweeps are
+independent jobs, so ``REPRO_BENCH_JOBS=N`` fans their points across
+workers and a warm ``.repro_cache/`` re-run evaluates nothing.
 """
 
 from conftest import emit
@@ -22,6 +26,7 @@ def test_fig16_oracle_vs_bnn(benchmark, cache):
             for name in BENCHMARK_NAMES
         }
 
+    counters = cache.runner_counters()
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
 
     lines = []
@@ -34,6 +39,7 @@ def test_fig16_oracle_vs_bnn(benchmark, cache):
                     sweep.losses,
                 )
             )
+    lines.append(cache.runner_delta(counters))
     emit(benchmark, "Figure 16 (reuse vs accuracy loss)", "\n".join(lines))
 
     for name, by_pred in sweeps.items():

@@ -3,6 +3,10 @@ E-PUR at 1%, 2% and 3% accuracy loss.
 
 Paper's numbers: 18.5% average savings at 1% loss (reuse 24.2%); 25.5%
 at 2% (reuse 31%); IMDB and EESEN save the most.
+
+Executes via :mod:`repro.runner`: each (network, loss target) pipeline's
+calibration sweep and test point resolve from the on-disk result cache
+when warm (``REPRO_BENCH_JOBS=N`` parallelises cold runs).
 """
 
 import numpy as np
@@ -20,6 +24,7 @@ def test_fig17_energy_savings(benchmark, cache):
             for target in LOSS_TARGETS
         }
 
+    counters = cache.runner_counters()
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = []
@@ -46,7 +51,8 @@ def test_fig17_energy_savings(benchmark, cache):
             ["network", *(f"@{t:.0f}% loss (sav/reuse)" for t in LOSS_TARGETS)],
             rows,
         )
-        + "\npaper averages: 18.5%/24.2% @1%, 25.5%/31% @2%",
+        + "\npaper averages: 18.5%/24.2% @1%, 25.5%/31% @2%"
+        + "\n" + cache.runner_delta(counters),
     )
 
     avg_save_1 = np.mean(

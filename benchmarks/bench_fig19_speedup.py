@@ -3,6 +3,9 @@
 Paper's numbers: 1.35x average at 1% loss, 1.5x at 2%, 1.67x at 3%;
 networks with low reuse (DeepSpeech @1%) see the smallest speedups due
 to the per-neuron FMU overhead.
+
+Executes via :mod:`repro.runner`; shares every calibration sweep and
+test point with Figure 17 through the content-addressed result cache.
 """
 
 import numpy as np
@@ -20,6 +23,7 @@ def test_fig19_speedup(benchmark, cache):
             for target in LOSS_TARGETS
         }
 
+    counters = cache.runner_counters()
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = []
@@ -39,7 +43,8 @@ def test_fig19_speedup(benchmark, cache):
         benchmark,
         "Figure 19 (speedup over E-PUR)",
         render_table(["network", *(f"@{t:.0f}% loss" for t in LOSS_TARGETS)], rows)
-        + "\npaper averages: 1.35x @1%, 1.5x @2%, 1.67x @3%",
+        + "\npaper averages: 1.35x @1%, 1.5x @2%, 1.67x @3%"
+        + "\n" + cache.runner_delta(counters),
     )
 
     speedups_1 = [results[(n, 1.0)].speedup for n in BENCHMARK_NAMES]

@@ -1,9 +1,17 @@
 """Shared fixtures for the reproduction benches.
 
-Training the four bench-scale networks takes ~30-60 s; it happens once
-per session, and the sweep/end-to-end results that several figures share
-are cached in :class:`ResultCache` so e.g. Figures 16, 17 and 19 do not
-re-run the same threshold sweeps.
+Sweep and end-to-end execution routes through :mod:`repro.runner`: every
+figure's (network, predictor, theta) points become
+:class:`~repro.runner.SweepJob` specs executed by a shared
+:class:`~repro.runner.ParallelRunner`.  Results persist in the
+content-addressed on-disk cache (``.repro_cache/`` by default), so a
+cold session trains the four bench-scale networks once (~30-60 s) and
+re-runs of the figure benches resolve every sweep point from disk and
+complete near-instantly.  Environment knobs:
+
+- ``REPRO_BENCH_JOBS``: worker processes for sweep points (default 1).
+- ``REPRO_BENCH_NO_CACHE``: set to disable the on-disk cache.
+- ``REPRO_CACHE_DIR``: cache location (default ``.repro_cache``).
 
 Every bench prints the rows/series the corresponding paper figure or
 table reports (run ``pytest benchmarks/ --benchmark-only -s`` to see
@@ -12,6 +20,7 @@ them) and also attaches them to ``benchmark.extra_info``.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Sequence, Tuple
 
 import pytest
@@ -22,6 +31,7 @@ from repro.core.engine import MemoizationScheme
 from repro.models.benchmark import Benchmark
 from repro.models.specs import BENCHMARK_NAMES
 from repro.models.zoo import load_benchmark
+from repro.runner import ParallelRunner, ResultCache
 
 #: Threshold grid used by the figure sweeps (x-axis of Figures 1 and 16;
 #: the paper's IMDB plot extends to 1.0).
@@ -31,19 +41,37 @@ THETAS: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
 LOSS_TARGETS: Sequence[float] = (1.0, 2.0, 3.0)
 
 
-class ResultCache:
-    """Lazy, session-wide cache of trained benchmarks and sweep results."""
+def build_runner() -> ParallelRunner:
+    """Runner configured from the environment (see module docstring)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = None
+    if not os.environ.get("REPRO_BENCH_NO_CACHE"):
+        cache = ResultCache(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    return ParallelRunner(jobs=jobs, cache=cache)
+
+
+class SessionResults:
+    """Session-wide memo of sweeps/e2e results, executed by the runner."""
 
     def __init__(self, scale: str = "bench"):
         self.scale = scale
+        self.runner = build_runner()
         self._sweeps: Dict[Tuple[str, str, bool], ThresholdSweep] = {}
         self._e2e: Dict[Tuple[str, float], EndToEndResult] = {}
 
     def benchmark(self, name: str) -> Benchmark:
-        return load_benchmark(name, scale=self.scale)
+        """Trained benchmark instance (for benches that probe the model)."""
+        bench = self._lazy_benchmark(name)
+        bench.ensure_trained()
+        return bench
 
     def benchmarks(self):
         return [self.benchmark(name) for name in BENCHMARK_NAMES]
+
+    def _lazy_benchmark(self, name: str) -> Benchmark:
+        # trained=False: on a warm cache the runner never needs the
+        # weights, so training happens only on the first cache miss.
+        return load_benchmark(name, scale=self.scale, trained=False)
 
     def sweep(
         self, name: str, predictor: str = "bnn", throttle: bool = True
@@ -52,7 +80,10 @@ class ResultCache:
         if key not in self._sweeps:
             scheme = MemoizationScheme(predictor=predictor, throttle=throttle)
             self._sweeps[key] = network_sweep(
-                self.benchmark(name), scheme, thetas=THETAS
+                self._lazy_benchmark(name),
+                scheme,
+                thetas=THETAS,
+                runner=self.runner,
             )
         return self._sweeps[key]
 
@@ -60,14 +91,30 @@ class ResultCache:
         key = (name, loss_target)
         if key not in self._e2e:
             self._e2e[key] = end_to_end(
-                self.benchmark(name), loss_target, thetas=THETAS
+                self._lazy_benchmark(name),
+                loss_target,
+                thetas=THETAS,
+                runner=self.runner,
             )
         return self._e2e[key]
 
+    def runner_delta(self, since: Tuple[int, int]) -> str:
+        """Human-readable hits/evaluations since a counter snapshot."""
+        hits, misses = since
+        return (
+            f"runner: {self.runner.hits - hits} cache hits, "
+            f"{self.runner.misses - misses} points evaluated"
+        )
+
+    def runner_counters(self) -> Tuple[int, int]:
+        return (self.runner.hits, self.runner.misses)
+
 
 @pytest.fixture(scope="session")
-def cache() -> ResultCache:
-    return ResultCache()
+def cache():
+    results = SessionResults()
+    yield results
+    results.runner.close()
 
 
 def emit(benchmark, title: str, text: str) -> None:

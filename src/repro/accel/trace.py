@@ -10,7 +10,7 @@ uniform fraction (what-if analyses), or per-layer explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.core.stats import ReuseStats
 from repro.models.specs import NetworkSpec

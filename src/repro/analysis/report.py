@@ -31,6 +31,8 @@ def generate_report(
     loss_target: float = 1.0,
     thetas: Sequence[float] = DEFAULT_THETAS,
     networks: Sequence[str] = BENCHMARK_NAMES,
+    runner=None,
+    seed: int = 0,
 ) -> str:
     """Markdown reproduction report over ``networks``.
 
@@ -39,6 +41,9 @@ def generate_report(
         loss_target: the accuracy-loss budget for calibration.
         thetas: threshold exploration grid.
         networks: which Table 1 networks to include.
+        runner: optional :class:`repro.runner.ParallelRunner`; lets the
+            report share the sweep cache with the figure benches.
+        seed: benchmark construction/training seed.
     """
     if not networks:
         raise ValueError("need at least one network")
@@ -48,8 +53,11 @@ def generate_report(
 
     results = []
     for name in networks:
-        bench = load_benchmark(name, scale=scale)
-        results.append((bench, end_to_end(bench, loss_target, thetas=thetas)))
+        bench = load_benchmark(name, scale=scale, seed=seed, trained=False)
+        bench.ensure_trained()  # the Table 1 rows quote base_quality
+        results.append(
+            (bench, end_to_end(bench, loss_target, thetas=thetas, runner=runner))
+        )
 
     lines: List[str] = [
         "# Reproduction report — Neuron-Level Fuzzy Memoization in RNNs",

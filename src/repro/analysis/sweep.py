@@ -6,6 +6,13 @@
    within the accuracy-loss budget;
 2. evaluate that theta on the test split (quality loss + reuse trace);
 3. feed the measured reuse into the E-PUR model for energy and speedup.
+
+Execution routes through :mod:`repro.runner`: each sweep point becomes a
+:class:`~repro.runner.SweepJob` point that a
+:class:`~repro.runner.ParallelRunner` can resolve from its on-disk cache
+or fan out across worker processes.  The default runner is serial and
+uncached, so calling these functions directly behaves exactly like the
+pre-runner in-process path.
 """
 
 from __future__ import annotations
@@ -16,12 +23,21 @@ from typing import Dict, Optional, Sequence
 from repro.accel.config import DEFAULT_CONFIG, EPURConfig
 from repro.accel.epur import Comparison, compare
 from repro.accel.trace import ReuseTrace
-from repro.core.calibration import SweepPoint, ThresholdSweep, sweep_thresholds
+from repro.core.calibration import SweepPoint, ThresholdSweep
 from repro.core.engine import MemoizationScheme
 from repro.models.benchmark import Benchmark, MemoizedResult
+from repro.runner import DEFAULT_THETAS, ParallelRunner, SweepJob
 
-#: Default threshold grid; matches the x-axes of Figures 1 and 16.
-DEFAULT_THETAS: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+__all__ = [
+    "DEFAULT_THETAS",
+    "EndToEndResult",
+    "end_to_end",
+    "frontier",
+    "network_sweep",
+]
+
+#: Serial, uncached runner used when callers do not supply one.
+_DEFAULT_RUNNER = ParallelRunner(jobs=1, cache=None)
 
 
 def network_sweep(
@@ -29,12 +45,12 @@ def network_sweep(
     scheme: MemoizationScheme,
     thetas: Sequence[float] = DEFAULT_THETAS,
     calibration: bool = False,
+    runner: Optional[ParallelRunner] = None,
 ) -> ThresholdSweep:
     """Loss/reuse at every threshold for one network and predictor."""
-    benchmark.ensure_trained()
-    return sweep_thresholds(
-        benchmark.sweep_fn(scheme, calibration=calibration), thetas
-    )
+    runner = runner if runner is not None else _DEFAULT_RUNNER
+    job = SweepJob.from_benchmark(benchmark, scheme, thetas, calibration)
+    return runner.sweep(job, benchmark=benchmark)
 
 
 def frontier(
@@ -78,16 +94,19 @@ def end_to_end(
     scheme: MemoizationScheme = MemoizationScheme(),
     thetas: Sequence[float] = DEFAULT_THETAS,
     config: EPURConfig = DEFAULT_CONFIG,
+    runner: Optional[ParallelRunner] = None,
 ) -> EndToEndResult:
     """The full §3.2.1 + §5 pipeline for one network and loss budget."""
-    benchmark.ensure_trained()
-    calibration_sweep = network_sweep(
-        benchmark, scheme, thetas, calibration=True
-    )
+    runner = runner if runner is not None else _DEFAULT_RUNNER
+    job = SweepJob.from_benchmark(benchmark, scheme, thetas, calibration=True)
+    calibration_sweep = runner.sweep(job, benchmark=benchmark)
     best = calibration_sweep.best_under_loss(loss_target)
     theta = best.theta if best is not None else min(thetas)
 
-    test_result = benchmark.evaluate_memoized(scheme.with_theta(theta))
+    test_job = SweepJob.from_benchmark(
+        benchmark, scheme.with_theta(theta), (theta,), calibration=False
+    )
+    test_result = runner.run(test_job, benchmark=benchmark)[0]
     trace = ReuseTrace.from_stats(test_result.stats, benchmark.spec)
     comparison = compare(benchmark.spec, trace, config=config)
     return EndToEndResult(

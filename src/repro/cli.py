@@ -13,16 +13,47 @@ Commands mirror the library's main entry points:
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.accel.area import DEFAULT_AREA_MODEL
 from repro.accel.epur import compare
 from repro.accel.trace import ReuseTrace
 from repro.analysis.figures import render_table
 from repro.analysis.sweep import end_to_end, network_sweep
-from repro.core.engine import MemoizationScheme
+from repro.core.engine import PREDICTOR_KINDS, MemoizationScheme
 from repro.models.specs import BENCHMARK_NAMES, PAPER_NETWORKS
 from repro.models.zoo import load_benchmark
+from repro.runner import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache
+
+
+def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by the sweep-driven commands."""
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (default: 1, serial)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=0, help="benchmark seed (default: 0)"
+    )
+
+
+def _build_runner(args) -> ParallelRunner:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ParallelRunner(jobs=args.jobs, cache=cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="threshold sweep on one network")
     sweep.add_argument("network", choices=BENCHMARK_NAMES)
     sweep.add_argument(
-        "--predictor", choices=("bnn", "oracle", "input"), default="bnn"
+        "--predictor", choices=PREDICTOR_KINDS, default="bnn"
     )
     sweep.add_argument("--no-throttle", action="store_true")
     sweep.add_argument(
@@ -45,11 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
     )
     sweep.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    _add_runner_arguments(sweep)
 
     e2e = sub.add_parser("e2e", help="calibrate, test, project onto E-PUR")
     e2e.add_argument("network", choices=BENCHMARK_NAMES)
     e2e.add_argument("--loss-target", type=float, default=1.0)
     e2e.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    _add_runner_arguments(e2e)
 
     simulate = sub.add_parser(
         "simulate", help="accelerator what-if at a given reuse fraction"
@@ -66,15 +99,23 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--networks", nargs="+", default=list(BENCHMARK_NAMES)
     )
+    _add_runner_arguments(report)
     return parser
 
 
 def _cmd_sweep(args) -> str:
-    bench = load_benchmark(args.network, scale=args.scale)
+    # trained=False: on a warm cache (or with --jobs) no training is
+    # needed in this process, so defer it to the first cache miss.
+    bench = load_benchmark(
+        args.network, scale=args.scale, seed=args.seed, trained=False
+    )
     scheme = MemoizationScheme(
         predictor=args.predictor, throttle=not args.no_throttle
     )
-    sweep = network_sweep(bench, scheme, thetas=tuple(args.thetas))
+    with _build_runner(args) as runner:
+        sweep = network_sweep(
+            bench, scheme, thetas=tuple(args.thetas), runner=runner
+        )
     rows = [
         [p.theta, f"{p.loss:.2f}", f"{100 * p.reuse:.1f}%"] for p in sweep.points
     ]
@@ -83,8 +124,11 @@ def _cmd_sweep(args) -> str:
 
 
 def _cmd_e2e(args) -> str:
-    bench = load_benchmark(args.network, scale=args.scale)
-    result = end_to_end(bench, loss_target=args.loss_target)
+    bench = load_benchmark(
+        args.network, scale=args.scale, seed=args.seed, trained=False
+    )
+    with _build_runner(args) as runner:
+        result = end_to_end(bench, loss_target=args.loss_target, runner=runner)
     rows = [
         ["calibrated theta", result.theta],
         ["test quality loss", f"{result.quality_loss:.2f}"],
@@ -132,11 +176,14 @@ def _cmd_table1(args) -> str:
 def _cmd_report(args) -> str:
     from repro.analysis.report import generate_report
 
-    return generate_report(
-        scale=args.scale,
-        loss_target=args.loss_target,
-        networks=tuple(args.networks),
-    )
+    with _build_runner(args) as runner:
+        return generate_report(
+            scale=args.scale,
+            loss_target=args.loss_target,
+            networks=tuple(args.networks),
+            runner=runner,
+            seed=args.seed,
+        )
 
 
 def _cmd_area(args) -> str:

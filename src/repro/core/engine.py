@@ -15,7 +15,7 @@ exit.  Model evaluation code does not change at all::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -42,8 +42,10 @@ class MemoizationScheme:
 
     Attributes:
         theta: the reuse threshold (the paper's key knob; §3.2.1).
-        predictor: ``"bnn"`` (the contribution), ``"oracle"`` (upper
-            bound), or ``"input"`` (input-similarity strawman).
+        predictor: one of :data:`PREDICTOR_KINDS` — ``"bnn"`` (the
+            contribution), ``"oracle"`` (upper bound), or ``"input"``
+            (input-similarity strawman).  Unknown kinds are rejected
+            with a :class:`ValueError` at construction time.
         throttle: accumulate relative differences across consecutive
             reuses (Eq. 13).  Only meaningful for the BNN predictor.
         use_packed: evaluate BNNs with the XNOR/popcount bit-packed path.
@@ -88,13 +90,23 @@ class MemoizationScheme:
         return self.layer_thetas.get(layer_name, self.theta)
 
     def make_predictor(self, w_x: Array, w_h: Array) -> GatePredictor:
-        """Build the per-gate predictor for a gate with these weights."""
+        """Build the per-gate predictor for a gate with these weights.
+
+        Raises:
+            ValueError: if ``predictor`` is not in :data:`PREDICTOR_KINDS`
+                (defensive re-check; construction already validates).
+        """
         if self.predictor == "oracle":
             return OracleGatePredictor(self.theta)
         if self.predictor == "input":
             return InputSimilarityGatePredictor(self.theta, neurons=w_x.shape[0])
-        gate = BinaryGate(w_x, w_h, use_packed=self.use_packed)
-        return BNNGatePredictor(gate, self.theta, throttle=self.throttle)
+        if self.predictor == "bnn":
+            gate = BinaryGate(w_x, w_h, use_packed=self.use_packed)
+            return BNNGatePredictor(gate, self.theta, throttle=self.throttle)
+        raise ValueError(
+            f"predictor must be one of {PREDICTOR_KINDS}, got "
+            f"{self.predictor!r}"
+        )
 
 
 @dataclass

@@ -9,7 +9,7 @@ decisions are recorded into a :class:`~repro.core.stats.ReuseStats`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

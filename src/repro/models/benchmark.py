@@ -61,11 +61,18 @@ class MemoizedResult:
 
 
 class Benchmark(ABC):
-    """One of the paper's four networks, scaled to run offline."""
+    """One of the paper's four networks, scaled to run offline.
 
-    def __init__(self, spec: NetworkSpec, seed: int = 0):
+    ``(name, scale, seed)`` is the benchmark's reproducible identity:
+    the runner's job specs (:class:`repro.runner.SweepJob`) use it to
+    rebuild an equivalent instance in worker processes and to key the
+    on-disk result cache.
+    """
+
+    def __init__(self, spec: NetworkSpec, seed: int = 0, scale: str = "tiny"):
         self.spec = spec
         self.seed = seed
+        self.scale = scale
         self.base_quality: Optional[float] = None
         self._trained = False
 

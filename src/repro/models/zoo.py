@@ -38,8 +38,8 @@ class SentimentBenchmark(Benchmark):
     """IMDB stand-in: Embedding -> 1-layer LSTM -> 2-way classifier."""
 
     def __init__(self, scale: str = "tiny", seed: int = 0):
-        super().__init__(PAPER_NETWORKS["imdb"], seed=seed)
         _check_scale(scale)
+        super().__init__(PAPER_NETWORKS["imdb"], seed=seed, scale=scale)
         rng = np.random.default_rng(seed)
         big = scale == "bench"
         self.dataset = SentimentDataset(
@@ -95,8 +95,8 @@ class _SpeechBenchmark(Benchmark):
     """Shared logic for the two speech networks."""
 
     def __init__(self, spec: NetworkSpec, scale: str, seed: int):
-        super().__init__(spec, seed=seed)
         _check_scale(scale)
+        super().__init__(spec, seed=seed, scale=scale)
         big = scale == "bench"
         self.dataset = SpeechDataset(
             num_utterances=96 if big else 32,
@@ -189,8 +189,8 @@ class TranslationBenchmark(Benchmark):
     """MNMT stand-in: encoder-decoder LSTM scored with BLEU."""
 
     def __init__(self, scale: str = "tiny", seed: int = 0):
-        super().__init__(PAPER_NETWORKS["mnmt"], seed=seed)
         _check_scale(scale)
+        super().__init__(PAPER_NETWORKS["mnmt"], seed=seed, scale=scale)
         big = scale == "bench"
         self.dataset = TranslationDataset(
             num_pairs=400 if big else 300,

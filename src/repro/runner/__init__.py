@@ -1,0 +1,34 @@
+"""Sweep execution subsystem: job specs, result cache, parallel runner.
+
+The experiment layer (:mod:`repro.analysis`, the CLI, the figure
+benches) describes work as :class:`SweepJob` specs and hands them to a
+:class:`ParallelRunner`, which resolves points from the content-
+addressed :class:`ResultCache` and fans cache misses out over worker
+processes.  Serial, parallel and cached paths all produce bitwise
+identical results.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.job import (
+    CACHE_VERSION,
+    DEFAULT_THETAS,
+    SweepJob,
+    result_from_payload,
+    result_to_payload,
+    scheme_from_payload,
+)
+from repro.runner.parallel import ParallelRunner, RunReport, evaluate_point
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_THETAS",
+    "ParallelRunner",
+    "ResultCache",
+    "RunReport",
+    "SweepJob",
+    "evaluate_point",
+    "result_from_payload",
+    "result_to_payload",
+    "scheme_from_payload",
+]

@@ -1,0 +1,79 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the sha256 of a
+sweep point's canonical payload (see :meth:`SweepJob.point_key`).  The
+two-character fan-out keeps directories small on large sweeps.  Writes
+are atomic (tempfile + ``os.replace``) so a crashed or concurrent run
+never leaves a half-written entry; unreadable or corrupted entries are
+discarded and treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """JSON result store keyed by content hash."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if not isinstance(payload, dict):
+            self._discard(path)
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.json")):
+            self._discard(path)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,225 @@
+"""Sweep-job specifications: hashable, serializable units of work.
+
+A :class:`SweepJob` names everything needed to reproduce a threshold
+sweep from scratch in any process: the zoo network (name, scale, seed),
+the memoization-scheme knobs, the evaluation split, and the theta grid.
+Every individual ``(job, theta)`` point canonicalises to a JSON payload
+whose sha256 digest keys one :class:`~repro.runner.cache.ResultCache`
+entry, and the payload itself is what travels to worker processes.
+
+Because benchmark training is fully seeded (numpy only), a point payload
+is a *pure* description: any process that evaluates it produces bitwise
+identical results, which is what makes content-addressed caching and
+process-parallel fan-out safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.engine import PREDICTOR_KINDS, MemoizationScheme
+from repro.core.stats import ReuseStats
+from repro.models.benchmark import Benchmark, MemoizedResult
+from repro.models.specs import BENCHMARK_NAMES
+
+#: Default threshold grid; matches the x-axes of Figures 1 and 16.
+DEFAULT_THETAS: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+#: Bump whenever evaluation semantics change (training recipe, engine
+#: behaviour, result schema) so stale cache entries are never reused
+#: across incompatible code versions.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One network/predictor threshold sweep, as a self-contained spec.
+
+    Attributes:
+        network: zoo benchmark name (a :data:`BENCHMARK_NAMES` member).
+        thetas: the threshold grid to explore.
+        predictor: one of :data:`~repro.core.engine.PREDICTOR_KINDS`.
+        scale: zoo scale (``"tiny"`` or ``"bench"``).
+        seed: benchmark construction/training seed.
+        throttle: accumulate relative differences across reuses (Eq. 13).
+        use_packed: evaluate BNNs with the bit-packed XNOR path.
+        calibration: evaluate on the calibration split (§3.2.1) instead
+            of the test split.
+        layer_thetas: optional per-layer threshold overrides as sorted
+            ``(layer, theta)`` pairs (kept as a tuple for hashability).
+    """
+
+    network: str
+    thetas: Tuple[float, ...] = DEFAULT_THETAS
+    predictor: str = "bnn"
+    scale: str = "tiny"
+    seed: int = 0
+    throttle: bool = True
+    use_packed: bool = False
+    calibration: bool = False
+    layer_thetas: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def __post_init__(self):
+        if self.network not in BENCHMARK_NAMES:
+            raise ValueError(
+                f"network must be one of {tuple(BENCHMARK_NAMES)}, got "
+                f"{self.network!r}"
+            )
+        if self.predictor not in PREDICTOR_KINDS:
+            raise ValueError(
+                f"predictor must be one of {PREDICTOR_KINDS}, got "
+                f"{self.predictor!r}"
+            )
+        thetas = tuple(float(theta) for theta in self.thetas)
+        if not thetas:
+            raise ValueError("thetas must be non-empty")
+        if any(theta < 0 for theta in thetas):
+            raise ValueError("thresholds must be non-negative")
+        object.__setattr__(self, "thetas", thetas)
+        if self.layer_thetas is not None:
+            pairs = tuple(
+                sorted((str(name), float(theta)) for name, theta in self.layer_thetas)
+            )
+            if any(theta < 0 for _, theta in pairs):
+                raise ValueError("layer thresholds must be non-negative")
+            object.__setattr__(self, "layer_thetas", pairs)
+
+    @classmethod
+    def from_benchmark(
+        cls,
+        benchmark: Benchmark,
+        scheme: MemoizationScheme,
+        thetas: Sequence[float],
+        calibration: bool = False,
+    ) -> "SweepJob":
+        """Job spec for a live benchmark instance under ``scheme``."""
+        layer_thetas = None
+        if scheme.layer_thetas is not None:
+            layer_thetas = tuple(sorted(scheme.layer_thetas.items()))
+        return cls(
+            network=benchmark.name,
+            thetas=tuple(thetas),
+            predictor=scheme.predictor,
+            scale=benchmark.scale,
+            seed=benchmark.seed,
+            throttle=scheme.throttle,
+            use_packed=scheme.use_packed,
+            calibration=calibration,
+            layer_thetas=layer_thetas,
+        )
+
+    def for_theta(self, theta: float) -> "SweepJob":
+        """Copy of the job restricted to a single threshold."""
+        return replace(self, thetas=(float(theta),))
+
+    def scheme(self, theta: float) -> MemoizationScheme:
+        """The memoization scheme for one point of this job."""
+        layer_thetas = (
+            dict(self.layer_thetas) if self.layer_thetas is not None else None
+        )
+        return MemoizationScheme(
+            theta=float(theta),
+            predictor=self.predictor,
+            throttle=self.throttle,
+            use_packed=self.use_packed,
+            layer_thetas=layer_thetas,
+        )
+
+    # -- canonical forms ----------------------------------------------------
+
+    def point_payload(self, theta: float) -> Dict[str, object]:
+        """JSON-safe canonical description of one sweep point."""
+        return {
+            "cache_version": CACHE_VERSION,
+            "network": self.network,
+            "scale": self.scale,
+            "seed": self.seed,
+            "predictor": self.predictor,
+            "throttle": self.throttle,
+            "use_packed": self.use_packed,
+            "calibration": self.calibration,
+            "layer_thetas": (
+                [list(pair) for pair in self.layer_thetas]
+                if self.layer_thetas is not None
+                else None
+            ),
+            "theta": float(theta),
+        }
+
+    def point_key(self, theta: float) -> str:
+        """Content-address of one sweep point (cache key)."""
+        return _digest(self.point_payload(theta))
+
+    def spec_hash(self) -> str:
+        """Content-address of the whole job (all thetas)."""
+        payload = self.point_payload(self.thetas[0])
+        del payload["theta"]
+        payload["thetas"] = list(self.thetas)
+        return _digest(payload)
+
+
+def _digest(payload: Mapping[str, object]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def scheme_from_payload(payload: Mapping[str, object]) -> MemoizationScheme:
+    """Rebuild the memoization scheme named by a point payload."""
+    layer_thetas = payload.get("layer_thetas")
+    return MemoizationScheme(
+        theta=float(payload["theta"]),
+        predictor=str(payload["predictor"]),
+        throttle=bool(payload["throttle"]),
+        use_packed=bool(payload["use_packed"]),
+        layer_thetas=(
+            {str(name): float(theta) for name, theta in layer_thetas}
+            if layer_thetas is not None
+            else None
+        ),
+    )
+
+
+# -- result (de)serialization ----------------------------------------------
+
+
+def result_to_payload(result: MemoizedResult) -> Dict[str, object]:
+    """JSON-safe form of a :class:`MemoizedResult` (lossless for floats)."""
+    return {
+        "quality": float(result.quality),
+        "quality_loss": float(result.quality_loss),
+        "reuse_fraction": float(result.reuse_fraction),
+        "stats": {
+            "reused": [
+                [layer, gate, int(count)]
+                for (layer, gate), count in sorted(result.stats.reused.items())
+            ],
+            "total": [
+                [layer, gate, int(count)]
+                for (layer, gate), count in sorted(result.stats.total.items())
+            ],
+        },
+    }
+
+
+def result_from_payload(payload: Mapping[str, object]) -> MemoizedResult:
+    """Inverse of :func:`result_to_payload`.
+
+    Raises:
+        KeyError, TypeError, ValueError: on malformed payloads — callers
+            treat these as cache misses.
+    """
+    stats = ReuseStats()
+    raw = payload["stats"]
+    for layer, gate, count in raw["reused"]:
+        stats.reused[(str(layer), str(gate))] = int(count)
+    for layer, gate, count in raw["total"]:
+        stats.total[(str(layer), str(gate))] = int(count)
+    return MemoizedResult(
+        quality=float(payload["quality"]),
+        quality_loss=float(payload["quality_loss"]),
+        reuse_fraction=float(payload["reuse_fraction"]),
+        stats=stats,
+    )

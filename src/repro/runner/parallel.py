@@ -1,0 +1,204 @@
+"""Parallel sweep execution: fan independent points across processes.
+
+The paper's methodology is embarrassingly parallel — every (network,
+predictor, theta) evaluation is independent — so :class:`ParallelRunner`
+treats a :class:`~repro.runner.job.SweepJob` as a work-queue of point
+payloads, resolves as many as possible from the
+:class:`~repro.runner.cache.ResultCache`, and fans the remainder out
+over a ``ProcessPoolExecutor``.  Workers rebuild benchmarks from the
+payload alone (deterministic zoo seeding), so parallel results are
+bitwise identical to the serial in-process path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.calibration import ThresholdSweep
+from repro.models.benchmark import Benchmark, MemoizedResult
+from repro.models.zoo import load_benchmark
+from repro.runner.cache import ResultCache
+from repro.runner.job import (
+    SweepJob,
+    result_from_payload,
+    result_to_payload,
+    scheme_from_payload,
+)
+
+
+def evaluate_point(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Worker entry point: evaluate one sweep point from its payload.
+
+    A pure function of the payload — the zoo rebuilds and (lazily)
+    trains the benchmark from ``(network, scale, seed)`` with fully
+    seeded numpy, so any process computes the same result.  Returns the
+    JSON-safe result payload (what the cache stores).
+    """
+    benchmark = load_benchmark(
+        str(payload["network"]),
+        scale=str(payload["scale"]),
+        seed=int(payload["seed"]),
+        trained=False,
+    )
+    result = benchmark.evaluate_memoized(
+        scheme_from_payload(payload), calibration=bool(payload["calibration"])
+    )
+    return result_to_payload(result)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Accounting for one :meth:`ParallelRunner.run` call."""
+
+    hits: int = 0
+    misses: int = 0
+    workers: int = 1
+
+    @property
+    def evaluated(self) -> int:
+        """Points actually (re-)evaluated — zero on a warm cache."""
+        return self.misses
+
+
+class ParallelRunner:
+    """Executes sweep jobs point-by-point, with caching and fan-out.
+
+    The worker pool is created lazily on the first parallel run and
+    kept alive for the runner's lifetime: each worker's in-process zoo
+    cache then amortises benchmark training across successive ``run``
+    calls (a pool-per-call design would retrain the same networks for
+    every sweep).  Call :meth:`close` (or use the runner as a context
+    manager) to release the workers.
+
+    Args:
+        jobs: worker processes; ``1`` evaluates serially in-process
+            (no pool), which is also the fallback when only a single
+            point misses the cache.
+        cache: optional :class:`ResultCache`; ``None`` disables caching.
+
+    Attributes:
+        last_report: :class:`RunReport` for the most recent ``run``.
+        hits / misses: cumulative counters across the runner's lifetime.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.last_report = RunReport()
+        self.hits = 0
+        self.misses = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(
+        self, job: SweepJob, benchmark: Optional[Benchmark] = None
+    ) -> List[MemoizedResult]:
+        """Evaluate every theta of ``job``; results in theta order.
+
+        Args:
+            job: the sweep spec.
+            benchmark: optional live instance to evaluate on when
+                running serially (saves a zoo rebuild); it must match
+                the job's identity.  Ignored by the process pool, whose
+                workers always rebuild from the spec.
+        """
+        if benchmark is not None:
+            self._check_benchmark(job, benchmark)
+        payloads = [job.point_payload(theta) for theta in job.thetas]
+        keys = [job.point_key(theta) for theta in job.thetas]
+        results: List[Optional[MemoizedResult]] = [None] * len(keys)
+
+        missing: List[int] = []
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                try:
+                    results[i] = result_from_payload(cached)
+                except (KeyError, TypeError, ValueError):
+                    results[i] = None  # stale schema -> recompute
+            if results[i] is None:
+                missing.append(i)
+
+        workers = 1
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                workers = min(self.jobs, len(missing))
+                outputs = list(
+                    self._get_pool().map(
+                        evaluate_point, [payloads[i] for i in missing]
+                    )
+                )
+                for i, output in zip(missing, outputs):
+                    results[i] = result_from_payload(output)
+                    if self.cache is not None:
+                        self.cache.put(keys[i], output)
+            else:
+                for i in missing:
+                    results[i] = self._evaluate_local(payloads[i], benchmark)
+                    if self.cache is not None:
+                        self.cache.put(keys[i], result_to_payload(results[i]))
+
+        hits = len(keys) - len(missing)
+        self.last_report = RunReport(
+            hits=hits, misses=len(missing), workers=workers
+        )
+        self.hits += hits
+        self.misses += len(missing)
+        return [result for result in results if result is not None]
+
+    def sweep(
+        self, job: SweepJob, benchmark: Optional[Benchmark] = None
+    ) -> ThresholdSweep:
+        """Run ``job`` and fold the points into a :class:`ThresholdSweep`."""
+        sweep = ThresholdSweep()
+        for theta, result in zip(job.thetas, self.run(job, benchmark=benchmark)):
+            sweep.add(theta, result.quality_loss, result.reuse_fraction)
+        return sweep
+
+    # -- internals ----------------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    @staticmethod
+    def _evaluate_local(
+        payload: Mapping[str, object], benchmark: Optional[Benchmark]
+    ) -> MemoizedResult:
+        if benchmark is None:
+            benchmark = load_benchmark(
+                str(payload["network"]),
+                scale=str(payload["scale"]),
+                seed=int(payload["seed"]),
+                trained=False,
+            )
+        return benchmark.evaluate_memoized(
+            scheme_from_payload(payload),
+            calibration=bool(payload["calibration"]),
+        )
+
+    @staticmethod
+    def _check_benchmark(job: SweepJob, benchmark: Benchmark) -> None:
+        identity = (benchmark.name, benchmark.scale, benchmark.seed)
+        expected = (job.network, job.scale, job.seed)
+        if identity != expected:
+            raise ValueError(
+                f"benchmark identity {identity} does not match job "
+                f"spec {expected}; cached results would be mislabelled"
+            )

@@ -7,11 +7,7 @@ from hypothesis import strategies as st
 
 from repro.accel.area import DEFAULT_AREA_MODEL, AreaModel
 from repro.accel.config import DEFAULT_CONFIG, EPURConfig, FMUConfig, KIB, MIB
-from repro.accel.energy import (
-    DEFAULT_ENERGY_TABLE,
-    baseline_energy,
-    memoized_energy,
-)
+from repro.accel.energy import baseline_energy, memoized_energy
 from repro.accel.epur import compare, simulate_baseline, simulate_memoized
 from repro.accel.timing import (
     baseline_timing,

@@ -1,6 +1,5 @@
 """Tests for sweeps, frontiers, figure rendering and the e2e pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import render_series, render_table

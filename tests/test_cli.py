@@ -18,6 +18,17 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "imdb"])
         assert args.predictor == "bnn"
         assert not args.no_throttle
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert args.cache_dir == ".repro_cache"
+        assert args.seed == 0
+
+    def test_e2e_has_runner_flags(self):
+        args = build_parser().parse_args(
+            ["e2e", "imdb", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
 
 
 class TestCommands:
@@ -42,12 +53,38 @@ class TestCommands:
 
     def test_sweep_runs_tiny_network(self, capsys):
         """Uses the cached tiny IMDB model (trains once per session)."""
-        assert main(["sweep", "imdb", "--thetas", "0.1", "0.3"]) == 0
+        assert main(["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]) == 0
         out = capsys.readouterr().out
         assert "accuracy loss" in out
         assert "0.1" in out and "0.3" in out
 
     def test_e2e_runs_tiny_network(self, capsys):
-        assert main(["e2e", "imdb", "--loss-target", "2.0"]) == 0
+        assert main(["e2e", "imdb", "--no-cache", "--loss-target", "2.0"]) == 0
         out = capsys.readouterr().out
         assert "calibrated theta" in out and "speedup" in out
+
+    def test_sweep_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "imdb", "--jobs", "0", "--no-cache"])
+
+
+class TestRunnerIntegration:
+    def test_parallel_sweep_matches_serial(self, capsys):
+        """`repro sweep --jobs 2` must print the exact serial table."""
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cached_sweep_matches_uncached(self, capsys, tmp_path):
+        argv = ["sweep", "imdb", "--thetas", "0.1", "0.3"]
+        assert main(argv + ["--no-cache"]) == 0
+        uncached = capsys.readouterr().out
+        cached = argv + ["--cache-dir", str(tmp_path)]
+        assert main(cached) == 0  # cold: populates the cache
+        assert capsys.readouterr().out == uncached
+        assert main(cached) == 0  # warm: served from disk
+        assert capsys.readouterr().out == uncached
+        assert any(tmp_path.glob("*/*.json"))

@@ -39,6 +39,24 @@ class TestScheme:
         with pytest.raises(ValueError):
             MemoizationScheme(predictor="magic")
 
+    def test_invalid_predictor_message_lists_kinds(self):
+        """The error must name every valid kind, not fail in the engine."""
+        with pytest.raises(ValueError) as excinfo:
+            MemoizationScheme(predictor="magic")
+        message = str(excinfo.value)
+        for kind in ("bnn", "oracle", "input"):
+            assert kind in message
+        assert "magic" in message
+
+    def test_make_predictor_rejects_unknown_kind(self, rng):
+        """Defensive re-check for schemes whose validation was bypassed."""
+        scheme = MemoizationScheme()
+        object.__setattr__(scheme, "predictor", "magic")
+        with pytest.raises(ValueError, match="magic"):
+            scheme.make_predictor(
+                rng.standard_normal((4, 3)), rng.standard_normal((4, 4))
+            )
+
     def test_negative_theta(self):
         with pytest.raises(ValueError):
             MemoizationScheme(theta=-0.5)

@@ -30,6 +30,15 @@ class TestGenerateReport:
     def test_area_totals(self, report):
         assert "64.6" in report and "66.8" in report
 
+    def test_seed_changes_benchmark(self, report):
+        """``seed`` must reach the zoo (regression: it was dropped)."""
+        other = generate_report(
+            scale="tiny", networks=("imdb",), thetas=(0.0, 0.3), seed=1
+        )
+        ours = [line for line in report.splitlines() if "imdb" in line]
+        theirs = [line for line in other.splitlines() if "imdb" in line]
+        assert ours != theirs  # different seed, different trained model
+
     def test_unknown_network_raises(self):
         with pytest.raises(KeyError):
             generate_report(networks=("alexnet",))

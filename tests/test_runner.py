@@ -1,0 +1,285 @@
+"""Tests for the sweep execution subsystem (repro.runner).
+
+Covers job hashing/serialization, cache hit/miss semantics, cache
+invalidation on config change, corrupted-cache recovery, and bitwise
+determinism of the parallel path against the serial baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import end_to_end, network_sweep
+from repro.core.engine import MemoizationScheme
+from repro.core.stats import ReuseStats
+from repro.models.benchmark import MemoizedResult
+from repro.models.zoo import load_benchmark
+from repro.runner import (
+    CACHE_VERSION,
+    ParallelRunner,
+    ResultCache,
+    SweepJob,
+    result_from_payload,
+    result_to_payload,
+    scheme_from_payload,
+)
+
+THETAS = (0.0, 0.2)
+
+
+def make_job(**overrides) -> SweepJob:
+    kwargs = dict(network="imdb", thetas=THETAS)
+    kwargs.update(overrides)
+    return SweepJob(**kwargs)
+
+
+def results_equal(a: MemoizedResult, b: MemoizedResult) -> bool:
+    return (
+        a.quality == b.quality
+        and a.quality_loss == b.quality_loss
+        and a.reuse_fraction == b.reuse_fraction
+        and a.stats.reused == b.stats.reused
+        and a.stats.total == b.stats.total
+    )
+
+
+class TestSweepJob:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            make_job(network="resnet")
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError, match="bnn"):
+            make_job(predictor="magic")
+
+    def test_empty_thetas_rejected(self):
+        with pytest.raises(ValueError, match="thetas"):
+            make_job(thetas=())
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_job(thetas=(0.1, -0.2))
+
+    def test_thetas_coerced_to_float_tuple(self):
+        job = make_job(thetas=[0, 1])
+        assert job.thetas == (0.0, 1.0)
+
+    def test_point_key_is_stable(self):
+        assert make_job().point_key(0.2) == make_job().point_key(0.2)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"network": "eesen"},
+            {"predictor": "oracle"},
+            {"scale": "bench"},
+            {"seed": 1},
+            {"throttle": False},
+            {"use_packed": True},
+            {"calibration": True},
+            {"layer_thetas": (("lstm", 0.1),)},
+        ],
+    )
+    def test_point_key_depends_on_config(self, overrides):
+        assert make_job().point_key(0.2) != make_job(**overrides).point_key(0.2)
+
+    def test_point_key_depends_on_theta(self):
+        job = make_job()
+        assert job.point_key(0.0) != job.point_key(0.2)
+
+    def test_payload_is_json_serializable(self):
+        payload = make_job(layer_thetas=(("lstm", 0.1),)).point_payload(0.2)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["cache_version"] == CACHE_VERSION
+
+    def test_scheme_roundtrip_through_payload(self):
+        job = make_job(predictor="oracle", throttle=False)
+        payload = job.point_payload(0.2)
+        assert scheme_from_payload(payload) == job.scheme(0.2)
+
+    def test_layer_thetas_sorted_for_hashing(self):
+        a = make_job(layer_thetas=(("b", 0.2), ("a", 0.1)))
+        b = make_job(layer_thetas=(("a", 0.1), ("b", 0.2)))
+        assert a.point_key(0.0) == b.point_key(0.0)
+
+    def test_from_benchmark_copies_identity(self):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        scheme = MemoizationScheme(predictor="oracle", throttle=False)
+        job = SweepJob.from_benchmark(bench, scheme, THETAS, calibration=True)
+        assert job.network == "imdb"
+        assert job.scale == "tiny"
+        assert job.seed == bench.seed
+        assert job.predictor == "oracle"
+        assert not job.throttle
+        assert job.calibration
+
+    def test_for_theta_restricts_grid(self):
+        assert make_job().for_theta(0.2).thetas == (0.2,)
+
+    def test_spec_hash_covers_grid(self):
+        assert make_job().spec_hash() != make_job(thetas=(0.0,)).spec_hash()
+
+
+class TestResultPayload:
+    def test_roundtrip(self):
+        stats = ReuseStats()
+        stats.reused[("lstm", "i")] = 3
+        stats.total[("lstm", "i")] = 10
+        result = MemoizedResult(
+            quality=0.875, quality_loss=1.25, reuse_fraction=0.3, stats=stats
+        )
+        restored = result_from_payload(result_to_payload(result))
+        assert results_equal(result, restored)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            result_from_payload({"quality": 1.0})
+
+
+class TestResultCache:
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("ab" * 32) is None
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1.5})
+        assert cache.get("ab" * 32) == {"x": 1.5}
+        assert "ab" * 32 in cache
+        assert len(cache) == 1
+
+    def test_corrupted_file_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert key not in cache  # corrupt entry deleted
+
+    def test_non_dict_json_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("[1, 2]", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {})
+        cache.put("cd" * 32, {})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunnerCacheSemantics:
+    def test_cold_then_warm(self, tmp_path):
+        job = make_job()
+        cold = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = cold.run(job)
+        assert cold.last_report.misses == len(THETAS)
+        assert cold.last_report.hits == 0
+
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = warm.run(job)
+        assert warm.last_report.evaluated == 0
+        assert warm.last_report.hits == len(THETAS)
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run(make_job())
+        runner.run(make_job(predictor="oracle"))
+        assert runner.last_report.misses == len(THETAS)
+        assert runner.last_report.hits == 0
+
+    def test_corrupted_entry_reevaluated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        job = make_job()
+        first = runner.run(job)
+        cache.path_for(job.point_key(THETAS[0])).write_text(
+            "garbage", encoding="utf-8"
+        )
+        again = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = again.run(job)
+        assert again.last_report.hits == len(THETAS) - 1
+        assert again.last_report.misses == 1
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_stale_schema_entry_reevaluated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        job = make_job()
+        first = runner.run(job)
+        # Valid JSON dict, but not a result payload (e.g. older schema).
+        cache.put(job.point_key(THETAS[0]), {"schema": "v0"})
+        second = ParallelRunner(jobs=1, cache=cache).run(job)
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_mismatched_benchmark_rejected(self):
+        runner = ParallelRunner(jobs=1)
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        with pytest.raises(ValueError, match="identity"):
+            runner.run(make_job(network="eesen"), benchmark=bench)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bitwise(self):
+        job = make_job()
+        serial = ParallelRunner(jobs=1).run(job)
+        with ParallelRunner(jobs=2) as runner:
+            parallel = runner.run(job)
+            assert runner.last_report.workers == 2
+        for a, b in zip(serial, parallel):
+            assert results_equal(a, b)
+
+    def test_parallel_populates_cache_identically(self, tmp_path):
+        job = make_job()
+        with ParallelRunner(jobs=2, cache=ResultCache(tmp_path)) as par:
+            first = par.run(job)
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = warm.run(job)
+        assert warm.last_report.evaluated == 0
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_pool_persists_across_runs_until_close(self):
+        with ParallelRunner(jobs=2) as runner:
+            runner.run(make_job(predictor="oracle"))
+            pool = runner._pool
+            assert pool is not None
+            runner.run(make_job(predictor="oracle", calibration=True))
+            assert runner._pool is pool  # reused, not rebuilt
+        assert runner._pool is None
+        runner.close()  # idempotent
+
+
+class TestAnalysisIntegration:
+    def test_network_sweep_with_runner_matches_default(self, tmp_path):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        scheme = MemoizationScheme()
+        baseline = network_sweep(bench, scheme, thetas=THETAS)
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        routed = network_sweep(bench, scheme, thetas=THETAS, runner=runner)
+        assert baseline.thetas == routed.thetas
+        assert baseline.losses == routed.losses
+        assert baseline.reuses == routed.reuses
+
+    def test_end_to_end_warm_cache_runs_nothing(self, tmp_path):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        cold = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = end_to_end(bench, 2.0, thetas=THETAS, runner=cold)
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = end_to_end(bench, 2.0, thetas=THETAS, runner=warm)
+        assert warm.misses == 0
+        assert warm.hits == len(THETAS) + 1  # sweep points + test point
+        assert first.theta == second.theta
+        assert first.speedup == second.speedup
+        assert results_equal(first.test_result, second.test_result)

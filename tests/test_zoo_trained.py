@@ -4,7 +4,6 @@ Training the tiny-scale instances takes a few seconds each and happens
 once per session (module-scoped via the zoo cache).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.engine import MemoizationScheme
