@@ -10,6 +10,8 @@ re-runs of the figure benches resolve every sweep point from disk and
 complete near-instantly.  Environment knobs:
 
 - ``REPRO_BENCH_JOBS``: worker processes for sweep points (default 1).
+- ``REPRO_BENCH_SHARDS``: per-batch evaluation shards per sweep point
+  (default 1; any value produces bitwise-identical figures).
 - ``REPRO_BENCH_NO_CACHE``: set to disable the on-disk cache.
 - ``REPRO_CACHE_DIR``: cache location (default ``.repro_cache``).
 
@@ -56,6 +58,7 @@ class SessionResults:
     def __init__(self, scale: str = "bench"):
         self.scale = scale
         self.runner = build_runner()
+        self.shards = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
         self._sweeps: Dict[Tuple[str, str, bool], ThresholdSweep] = {}
         self._e2e: Dict[Tuple[str, float], EndToEndResult] = {}
 
@@ -84,6 +87,7 @@ class SessionResults:
                 scheme,
                 thetas=THETAS,
                 runner=self.runner,
+                shards=self.shards,
             )
         return self._sweeps[key]
 
@@ -95,6 +99,7 @@ class SessionResults:
                 loss_target,
                 thetas=THETAS,
                 runner=self.runner,
+                shards=self.shards,
             )
         return self._e2e[key]
 

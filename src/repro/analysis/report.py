@@ -33,6 +33,7 @@ def generate_report(
     networks: Sequence[str] = BENCHMARK_NAMES,
     runner=None,
     seed: int = 0,
+    shards: int = 1,
 ) -> str:
     """Markdown reproduction report over ``networks``.
 
@@ -44,6 +45,8 @@ def generate_report(
         runner: optional :class:`repro.runner.ParallelRunner`; lets the
             report share the sweep cache with the figure benches.
         seed: benchmark construction/training seed.
+        shards: per-batch evaluation shards per sweep point (results
+            are bitwise identical for any value).
     """
     if not networks:
         raise ValueError("need at least one network")
@@ -56,7 +59,16 @@ def generate_report(
         bench = load_benchmark(name, scale=scale, seed=seed, trained=False)
         bench.ensure_trained()  # the Table 1 rows quote base_quality
         results.append(
-            (bench, end_to_end(bench, loss_target, thetas=thetas, runner=runner))
+            (
+                bench,
+                end_to_end(
+                    bench,
+                    loss_target,
+                    thetas=thetas,
+                    runner=runner,
+                    shards=shards,
+                ),
+            )
         )
 
     lines: List[str] = [

@@ -46,11 +46,17 @@ def network_sweep(
     thetas: Sequence[float] = DEFAULT_THETAS,
     calibration: bool = False,
     runner: Optional[ParallelRunner] = None,
+    shards: int = 1,
 ) -> ThresholdSweep:
-    """Loss/reuse at every threshold for one network and predictor."""
+    """Loss/reuse at every threshold for one network and predictor.
+
+    ``shards > 1`` splits every threshold's evaluation per-batch
+    (:class:`~repro.runner.EvalShardJob`); the merged sweep is bitwise
+    identical to the unsharded serial path for any shard count.
+    """
     runner = runner if runner is not None else _DEFAULT_RUNNER
     job = SweepJob.from_benchmark(benchmark, scheme, thetas, calibration)
-    return runner.sweep(job, benchmark=benchmark)
+    return runner.sweep(job, benchmark=benchmark, shards=shards)
 
 
 def frontier(
@@ -95,18 +101,23 @@ def end_to_end(
     thetas: Sequence[float] = DEFAULT_THETAS,
     config: EPURConfig = DEFAULT_CONFIG,
     runner: Optional[ParallelRunner] = None,
+    shards: int = 1,
 ) -> EndToEndResult:
-    """The full §3.2.1 + §5 pipeline for one network and loss budget."""
+    """The full §3.2.1 + §5 pipeline for one network and loss budget.
+
+    ``shards > 1`` shards both the calibration sweep and the final test
+    evaluation per-batch; results are bitwise identical either way.
+    """
     runner = runner if runner is not None else _DEFAULT_RUNNER
     job = SweepJob.from_benchmark(benchmark, scheme, thetas, calibration=True)
-    calibration_sweep = runner.sweep(job, benchmark=benchmark)
+    calibration_sweep = runner.sweep(job, benchmark=benchmark, shards=shards)
     best = calibration_sweep.best_under_loss(loss_target)
     theta = best.theta if best is not None else min(thetas)
 
     test_job = SweepJob.from_benchmark(
         benchmark, scheme.with_theta(theta), (theta,), calibration=False
     )
-    test_result = runner.run(test_job, benchmark=benchmark)[0]
+    test_result = runner.run(test_job, benchmark=benchmark, shards=shards)[0]
     trace = ReuseTrace.from_stats(test_result.stats, benchmark.spec)
     comparison = compare(benchmark.spec, trace, config=config)
     return EndToEndResult(

@@ -35,6 +35,15 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         help="worker processes for sweep points (default: 1, serial)",
     )
     sub.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split each evaluation batch into N mergeable shards "
+            "(default: 1; results are bitwise identical for any N)"
+        ),
+    )
+    sub.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
@@ -52,6 +61,8 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
 def _build_runner(args) -> ParallelRunner:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return ParallelRunner(jobs=args.jobs, cache=cache)
 
@@ -114,7 +125,11 @@ def _cmd_sweep(args) -> str:
     )
     with _build_runner(args) as runner:
         sweep = network_sweep(
-            bench, scheme, thetas=tuple(args.thetas), runner=runner
+            bench,
+            scheme,
+            thetas=tuple(args.thetas),
+            runner=runner,
+            shards=args.shards,
         )
     rows = [
         [p.theta, f"{p.loss:.2f}", f"{100 * p.reuse:.1f}%"] for p in sweep.points
@@ -128,7 +143,12 @@ def _cmd_e2e(args) -> str:
         args.network, scale=args.scale, seed=args.seed, trained=False
     )
     with _build_runner(args) as runner:
-        result = end_to_end(bench, loss_target=args.loss_target, runner=runner)
+        result = end_to_end(
+            bench,
+            loss_target=args.loss_target,
+            runner=runner,
+            shards=args.shards,
+        )
     rows = [
         ["calibrated theta", result.theta],
         ["test quality loss", f"{result.quality_loss:.2f}"],
@@ -183,6 +203,7 @@ def _cmd_report(args) -> str:
             networks=tuple(args.networks),
             runner=runner,
             seed=args.seed,
+            shards=args.shards,
         )
 
 

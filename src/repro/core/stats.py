@@ -87,6 +87,12 @@ class ReuseStats:
         }
 
     def merge(self, other: "ReuseStats") -> None:
+        """Fold ``other``'s counts into this instance (exact integer sums).
+
+        Merging is associative and order-independent, so any partition of
+        an evaluation (e.g. the runner's per-batch shards) merges to the
+        same counts as the unsharded run.
+        """
         for key, count in other.total.items():
             self.total[key] = self.total.get(key, 0) + count
         for key, count in other.reused.items():
@@ -117,6 +123,23 @@ class DetailedReuseStats(ReuseStats):
     def reset(self) -> None:
         super().reset()
         self.masks.clear()
+
+    def merge(self, other: "ReuseStats") -> None:
+        """Fold counts *and* per-timestep masks into this instance.
+
+        The base-class ``merge`` only sums counts; inheriting it verbatim
+        would silently drop the mask detail this subclass exists for
+        (mirroring how ``reset`` clears both).  Masks from ``other`` are
+        appended after this instance's masks per ``(layer, gate)``,
+        treating them as subsequent gate passes — consistent with how
+        sequential ``record`` calls would have interleaved.  Merging a
+        plain :class:`ReuseStats` only contributes counts.
+        """
+        super().merge(other)
+        if isinstance(other, DetailedReuseStats):
+            for key, masks in other.masks.items():
+                ours = self.masks.setdefault(key, [])
+                ours.extend(mask.copy() for mask in masks)
 
     def timesteps(self, layer: str, gate: str) -> int:
         return len(self.masks.get((layer, gate), []))

@@ -4,14 +4,33 @@
 - BLEU for the machine-translation network (MNMT),
 - classification accuracy for IMDB sentiment,
 - Pearson correlation for the BNN/RNN output-correlation analysis.
+
+Each corpus metric also has a *mergeable accumulator*
+(:mod:`repro.metrics.accumulators`) carrying its integer sufficient
+statistics, which is what makes batch-sharded evaluation merge
+bitwise-identically to the whole-split computation.
 """
 
+from repro.metrics.accumulators import (
+    ACCUMULATOR_KINDS,
+    AccuracyAccumulator,
+    BLEUAccumulator,
+    MetricAccumulator,
+    WERAccumulator,
+    accumulator_from_payload,
+)
 from repro.metrics.accuracy import accuracy, accuracy_loss
 from repro.metrics.bleu import bleu, bleu_loss, corpus_bleu
 from repro.metrics.correlation import pearson
 from repro.metrics.wer import edit_distance, wer, wer_loss
 
 __all__ = [
+    "ACCUMULATOR_KINDS",
+    "AccuracyAccumulator",
+    "BLEUAccumulator",
+    "MetricAccumulator",
+    "WERAccumulator",
+    "accumulator_from_payload",
     "accuracy",
     "accuracy_loss",
     "bleu",

@@ -1,0 +1,350 @@
+"""Mergeable metric accumulators for batch-sharded evaluation.
+
+Every quality metric used by the benchmarks (accuracy, corpus WER,
+corpus BLEU) is a function of *sufficient statistics* that are plain
+integer sums over the evaluated items: hit/total counts, edit-distance
+and reference-length sums, clipped n-gram match counts.  An accumulator
+carries those sums, so an evaluation can be partitioned into arbitrary
+shards, each shard reduced independently, and the partials combined with
+:meth:`MetricAccumulator.merge` — integer addition is exact, associative
+and order-independent, so the merged ``finalize()`` is **bitwise
+identical** to the whole-split computation in
+:mod:`repro.metrics.accuracy` / :mod:`~repro.metrics.wer` /
+:mod:`~repro.metrics.bleu` (the ``finalize`` implementations replicate
+those modules' floating-point expressions verbatim).
+
+Protocol::
+
+    acc = WERAccumulator()
+    acc.update(references_shard_0, hypotheses_shard_0)
+    other = WERAccumulator()
+    other.update(references_shard_1, hypotheses_shard_1)
+    acc.merge(other)
+    corpus_wer = acc.finalize()   # == wer(all_references, all_hypotheses)
+
+Accumulators serialize to JSON-safe payloads (``to_payload`` /
+:func:`accumulator_from_payload`) so the runner can ship shard partials
+through the on-disk result cache and across worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import ClassVar, Dict, List, Mapping, Sequence, Type
+
+import numpy as np
+
+from repro.metrics.bleu import modified_precision
+from repro.metrics.wer import edit_distance
+
+Array = np.ndarray
+Token = object
+
+
+class MetricAccumulator(ABC):
+    """Sufficient statistics of a corpus-level quality metric.
+
+    Subclasses hold only exactly-mergeable state (integer sums), which
+    makes :meth:`merge` associative and order-independent: merging any
+    partition of the corpus, in any order and grouping, yields the same
+    state — and therefore a bitwise-identical :meth:`finalize`.
+    """
+
+    #: Payload discriminator, unique per subclass.
+    kind: ClassVar[str] = ""
+
+    @abstractmethod
+    def merge(self, other: "MetricAccumulator") -> None:
+        """Fold ``other``'s statistics into this accumulator (in place)."""
+
+    @abstractmethod
+    def finalize(self) -> float:
+        """The corpus-level metric value of everything accumulated.
+
+        Raises:
+            ValueError: if nothing has been accumulated.
+        """
+
+    @abstractmethod
+    def state_payload(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the accumulator state."""
+
+    @classmethod
+    @abstractmethod
+    def from_state(cls, state: Mapping[str, object]) -> "MetricAccumulator":
+        """Inverse of :meth:`state_payload`."""
+
+    # -- shared behaviour ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Self-describing JSON-safe form (see :func:`accumulator_from_payload`)."""
+        return {"kind": self.kind, "state": self.state_payload()}
+
+    def copy(self) -> "MetricAccumulator":
+        """Independent deep copy (merge-safe)."""
+        return type(self).from_state(self.state_payload())
+
+    def _check_mergeable(self, other: "MetricAccumulator") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.state_payload() == other.state_payload()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.state_payload()})"
+
+
+class AccuracyAccumulator(MetricAccumulator):
+    """Classification accuracy as (correct, total) counts.
+
+    ``finalize`` computes ``100.0 * (hits / total)`` — bitwise identical
+    to :func:`repro.metrics.accuracy.accuracy`, whose ``np.mean`` over
+    the correctness mask is exactly ``hits / total`` (both counts are
+    integer-valued float64 well below 2**53).
+    """
+
+    kind = "accuracy"
+
+    def __init__(self, hits: int = 0, total: int = 0):
+        if hits < 0 or total < 0 or hits > total:
+            raise ValueError(f"invalid counts: hits={hits}, total={total}")
+        self.hits = int(hits)
+        self.total = int(total)
+
+    def update(self, predictions: Array, targets: Array) -> None:
+        """Accumulate one batch (same prediction conventions as ``accuracy``)."""
+        predictions = np.asarray(predictions)
+        targets = np.asarray(targets)
+        if predictions.shape == targets.shape:
+            hard = predictions
+        elif predictions.shape[:-1] == targets.shape:
+            hard = predictions.argmax(axis=-1)
+        else:
+            raise ValueError(
+                f"predictions shape {predictions.shape} incompatible with "
+                f"targets shape {targets.shape}"
+            )
+        self.hits += int((hard == targets).sum())
+        self.total += int(targets.size)
+
+    def merge(self, other: MetricAccumulator) -> None:
+        self._check_mergeable(other)
+        self.hits += other.hits
+        self.total += other.total
+
+    def finalize(self) -> float:
+        if self.total == 0:
+            raise ValueError("need at least one target")
+        # Parenthesised to match accuracy()'s 100.0 * float(np.mean(...)).
+        return 100.0 * (self.hits / self.total)
+
+    def state_payload(self) -> Dict[str, object]:
+        return {"hits": self.hits, "total": self.total}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "AccuracyAccumulator":
+        return cls(hits=int(state["hits"]), total=int(state["total"]))
+
+
+class WERAccumulator(MetricAccumulator):
+    """Corpus WER as (edit-distance sum, reference-token sum).
+
+    ``finalize`` computes ``100.0 * edits / ref_tokens`` with the exact
+    association of :func:`repro.metrics.wer.wer`.
+    """
+
+    kind = "wer"
+
+    def __init__(self, edits: int = 0, ref_tokens: int = 0, pairs: int = 0):
+        if edits < 0 or ref_tokens < 0 or pairs < 0:
+            raise ValueError("counts must be non-negative")
+        self.edits = int(edits)
+        self.ref_tokens = int(ref_tokens)
+        self.pairs = int(pairs)
+
+    def update(
+        self,
+        references: Sequence[Sequence[Token]],
+        hypotheses: Sequence[Sequence[Token]],
+    ) -> None:
+        if len(references) != len(hypotheses):
+            raise ValueError(
+                f"got {len(references)} references but {len(hypotheses)} hypotheses"
+            )
+        for ref, hyp in zip(references, hypotheses):
+            self.edits += edit_distance(ref, hyp)
+            self.ref_tokens += len(ref)
+            self.pairs += 1
+
+    def merge(self, other: MetricAccumulator) -> None:
+        self._check_mergeable(other)
+        self.edits += other.edits
+        self.ref_tokens += other.ref_tokens
+        self.pairs += other.pairs
+
+    def finalize(self) -> float:
+        if self.pairs == 0:
+            raise ValueError("need at least one reference")
+        if self.ref_tokens == 0:
+            raise ValueError("references contain no tokens")
+        return 100.0 * self.edits / self.ref_tokens
+
+    def state_payload(self) -> Dict[str, object]:
+        return {
+            "edits": self.edits,
+            "ref_tokens": self.ref_tokens,
+            "pairs": self.pairs,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "WERAccumulator":
+        return cls(
+            edits=int(state["edits"]),
+            ref_tokens=int(state["ref_tokens"]),
+            pairs=int(state["pairs"]),
+        )
+
+
+class BLEUAccumulator(MetricAccumulator):
+    """Corpus BLEU as per-order clipped match/total counts plus lengths.
+
+    ``finalize`` replicates :func:`repro.metrics.bleu.corpus_bleu`
+    expression-for-expression (smoothing, early zero returns, brevity
+    penalty, geometric mean), so a merged accumulator finalizes to the
+    bitwise-identical score of the whole corpus.
+    """
+
+    kind = "bleu"
+
+    def __init__(
+        self,
+        max_order: int = 4,
+        smooth: bool = True,
+        matches: Sequence[int] | None = None,
+        totals: Sequence[int] | None = None,
+        ref_len: int = 0,
+        hyp_len: int = 0,
+        pairs: int = 0,
+    ):
+        if max_order < 1:
+            raise ValueError("max_order must be >= 1")
+        self.max_order = int(max_order)
+        self.smooth = bool(smooth)
+        self.matches: List[int] = (
+            [int(m) for m in matches] if matches is not None else [0] * max_order
+        )
+        self.totals: List[int] = (
+            [int(t) for t in totals] if totals is not None else [0] * max_order
+        )
+        if len(self.matches) != self.max_order or len(self.totals) != self.max_order:
+            raise ValueError("matches/totals must have max_order entries")
+        self.ref_len = int(ref_len)
+        self.hyp_len = int(hyp_len)
+        self.pairs = int(pairs)
+
+    def update(
+        self,
+        references: Sequence[Sequence[Token]],
+        hypotheses: Sequence[Sequence[Token]],
+    ) -> None:
+        if len(references) != len(hypotheses):
+            raise ValueError(
+                f"got {len(references)} references but {len(hypotheses)} hypotheses"
+            )
+        for order in range(1, self.max_order + 1):
+            matches, total = modified_precision(references, hypotheses, order)
+            self.matches[order - 1] += matches
+            self.totals[order - 1] += total
+        self.ref_len += sum(len(r) for r in references)
+        self.hyp_len += sum(len(h) for h in hypotheses)
+        self.pairs += len(references)
+
+    def merge(self, other: MetricAccumulator) -> None:
+        self._check_mergeable(other)
+        if other.max_order != self.max_order or other.smooth != self.smooth:
+            raise ValueError(
+                "cannot merge BLEU accumulators with different max_order/smooth"
+            )
+        for i in range(self.max_order):
+            self.matches[i] += other.matches[i]
+            self.totals[i] += other.totals[i]
+        self.ref_len += other.ref_len
+        self.hyp_len += other.hyp_len
+        self.pairs += other.pairs
+
+    def finalize(self) -> float:
+        if self.pairs == 0:
+            raise ValueError("need at least one sentence pair")
+        log_precisions = []
+        for order in range(1, self.max_order + 1):
+            matches = self.matches[order - 1]
+            total = self.totals[order - 1]
+            if self.smooth and order > 1:
+                matches += 1
+                total += 1
+            if total == 0 or matches == 0:
+                return 0.0
+            log_precisions.append(math.log(matches / total))
+        if self.hyp_len == 0:
+            return 0.0
+        brevity = (
+            1.0
+            if self.hyp_len > self.ref_len
+            else math.exp(1.0 - self.ref_len / self.hyp_len)
+        )
+        geo_mean = math.exp(sum(log_precisions) / self.max_order)
+        return 100.0 * brevity * geo_mean
+
+    def state_payload(self) -> Dict[str, object]:
+        return {
+            "max_order": self.max_order,
+            "smooth": self.smooth,
+            "matches": list(self.matches),
+            "totals": list(self.totals),
+            "ref_len": self.ref_len,
+            "hyp_len": self.hyp_len,
+            "pairs": self.pairs,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "BLEUAccumulator":
+        return cls(
+            max_order=int(state["max_order"]),
+            smooth=bool(state["smooth"]),
+            matches=state["matches"],
+            totals=state["totals"],
+            ref_len=int(state["ref_len"]),
+            hyp_len=int(state["hyp_len"]),
+            pairs=int(state["pairs"]),
+        )
+
+
+#: kind -> accumulator class, for payload round-trips.
+ACCUMULATOR_KINDS: Dict[str, Type[MetricAccumulator]] = {
+    cls.kind: cls
+    for cls in (AccuracyAccumulator, WERAccumulator, BLEUAccumulator)
+}
+
+
+def accumulator_from_payload(payload: Mapping[str, object]) -> MetricAccumulator:
+    """Rebuild an accumulator from its :meth:`~MetricAccumulator.to_payload`.
+
+    Raises:
+        KeyError, TypeError, ValueError: on malformed payloads — cache
+            readers treat these as misses.
+    """
+    kind = payload["kind"]
+    try:
+        cls = ACCUMULATOR_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown accumulator kind {kind!r}") from None
+    state = payload["state"]
+    if not isinstance(state, Mapping):
+        raise TypeError(f"accumulator state must be a mapping, got {type(state)}")
+    return cls.from_state(state)

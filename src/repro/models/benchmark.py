@@ -5,6 +5,17 @@ the paper's four networks: a scaled functional instance that can be
 trained in seconds, its test split, the quality metric, the loss
 convention (WER *increases*, accuracy/BLEU *decrease*), and memoized
 evaluation under any :class:`~repro.core.engine.MemoizationScheme`.
+
+Evaluation is *shardable*: ``evaluate_memoized(..., shard=(i, n))``
+evaluates the ``i``-th of ``n`` deterministic partitions of the split
+and returns a partial :class:`MemoizedResult` carrying a mergeable
+:class:`~repro.metrics.accumulators.MetricAccumulator`.
+:func:`merge_shard_results` reduces the partials to the exact result of
+the unsharded run: every per-row model computation is independent of
+which other rows share its batch (numpy GEMM rows are bitwise invariant
+under batch slicing, predictor state is per row, and decoders never
+couple rows), and both the quality metrics and the reuse counters reduce
+over exact integer sums.
 """
 
 from __future__ import annotations
@@ -17,11 +28,32 @@ import numpy as np
 
 from repro.core.engine import MemoizationScheme, memoized
 from repro.core.stats import ReuseStats
+from repro.metrics.accumulators import MetricAccumulator
 from repro.models.specs import NetworkSpec
 from repro.nn.optim import Adam
 from repro.nn.trainer import Trainer, TrainingLog
 
 Array = np.ndarray
+
+#: ``(shard_index, shard_count)`` — the i-th of n split partitions.
+Shard = Tuple[int, int]
+
+
+def shard_indices(indices: Array, shard_index: int, shard_count: int) -> Array:
+    """Deterministic contiguous partition of evaluation indices.
+
+    ``np.array_split`` semantics: shards differ in size by at most one
+    row, concatenating the shards in index order restores ``indices``
+    exactly, and a ``shard_count`` larger than ``len(indices)`` yields
+    empty trailing shards (which evaluate to empty partial results).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return np.array_split(np.asarray(indices), shard_count)[shard_index]
 
 
 def split_validation(
@@ -48,12 +80,23 @@ def split_validation(
 
 @dataclass(frozen=True)
 class MemoizedResult:
-    """Outcome of one memoized evaluation."""
+    """Outcome of one memoized evaluation (whole split or one shard).
+
+    Whole-split results carry the final ``quality``/``quality_loss``.
+    Shard partials additionally carry the mergeable ``metric``
+    accumulator and the benchmark's ``base_quality`` so
+    :func:`merge_shard_results` can reduce them without a live (trained)
+    benchmark; their ``quality``/``quality_loss`` fields are the
+    *shard-local* values (informational only — corpus metrics such as
+    BLEU and WER do not average across shards).
+    """
 
     quality: float
     quality_loss: float
     reuse_fraction: float
     stats: ReuseStats
+    metric: Optional[MetricAccumulator] = None
+    base_quality: Optional[float] = None
 
     @property
     def reuse_percent(self) -> float:
@@ -92,13 +135,16 @@ class Benchmark(ABC):
         """Batches for one training epoch."""
 
     @abstractmethod
-    def evaluate(self) -> float:
-        """Quality on the held-out split (metric per spec)."""
+    def quality_accumulator(self, indices: Array) -> MetricAccumulator:
+        """Evaluate the rows in ``indices`` into a mergeable accumulator.
 
-    @abstractmethod
-    def calibration_evaluate(self) -> float:
-        """Quality on the calibration (training) split — §3.2.1 uses the
-        training set to pick thresholds."""
+        The single evaluation primitive: whole-split quality is
+        ``quality_accumulator(all_indices).finalize()``, and a shard's
+        partial result is the same call on the shard's index subset.
+        Implementations must evaluate each row independently of the
+        others in the batch (no cross-row coupling) and must handle an
+        empty ``indices`` without invoking the model.
+        """
 
     @abstractmethod
     def hidden_sequences(self) -> List[Array]:
@@ -116,6 +162,19 @@ class Benchmark(ABC):
         return 5e-3
 
     # -- shared behaviour -----------------------------------------------------
+
+    def eval_indices(self, calibration: bool = False) -> Array:
+        """Row indices of the evaluation split (test or calibration)."""
+        return np.asarray(self.val_idx if calibration else self.test_idx)
+
+    def evaluate(self) -> float:
+        """Quality on the held-out split (metric per spec)."""
+        return self.quality_accumulator(self.eval_indices()).finalize()
+
+    def calibration_evaluate(self) -> float:
+        """Quality on the calibration split — §3.2.1 picks thresholds
+        without touching the test set."""
+        return self.quality_accumulator(self.eval_indices(True)).finalize()
 
     def train(self, epochs: Optional[int] = None) -> TrainingLog:
         """Train to the base quality; idempotent re-training is allowed."""
@@ -145,19 +204,46 @@ class Benchmark(ABC):
         return max(0.0, quality - self.base_quality)
 
     def evaluate_memoized(
-        self, scheme: MemoizationScheme, calibration: bool = False
+        self,
+        scheme: MemoizationScheme,
+        calibration: bool = False,
+        shard: Optional[Shard] = None,
     ) -> MemoizedResult:
-        """Quality + reuse under a memoization scheme."""
+        """Quality + reuse under a memoization scheme.
+
+        Args:
+            scheme: the memoization configuration to evaluate under.
+            calibration: evaluate on the calibration split instead of
+                the test split.
+            shard: optional ``(shard_index, shard_count)``; evaluates
+                only that deterministic partition of the split and
+                returns a partial result whose ``metric`` accumulator
+                and ``stats`` merge exactly (see
+                :func:`merge_shard_results`).  ``None`` evaluates the
+                whole split, which is identical to the single shard
+                ``(0, 1)``.
+        """
         self.ensure_trained()
+        indices = self.eval_indices(calibration)
+        if shard is not None:
+            indices = shard_indices(indices, *shard)
         stats = ReuseStats()
-        evaluate = self.calibration_evaluate if calibration else self.evaluate
         with memoized(self.model, scheme, stats):
-            quality = evaluate()
+            metric = self.quality_accumulator(indices)
+        if len(indices) == 0:
+            # Empty shard (shard_count > split size): no local quality;
+            # the merged result recomputes it from the summed statistics.
+            # Any other finalize() failure is a real error and propagates.
+            quality = 0.0
+        else:
+            quality = metric.finalize()
         return MemoizedResult(
             quality=quality,
             quality_loss=self.quality_loss(quality),
             reuse_fraction=stats.reuse_fraction(),
             stats=stats,
+            metric=metric if shard is not None else None,
+            base_quality=self.base_quality if shard is not None else None,
         )
 
     def sweep_fn(
@@ -172,3 +258,57 @@ class Benchmark(ABC):
             return result.quality_loss, result.reuse_fraction
 
         return evaluate
+
+
+def merge_shard_results(
+    results: Sequence[MemoizedResult], higher_is_better: bool
+) -> MemoizedResult:
+    """Reduce per-shard partial results to the whole-split result.
+
+    Metric accumulators and reuse counters are summed (exact integer
+    arithmetic), the merged accumulator is finalized into the corpus
+    quality, and the loss convention is re-applied against the shards'
+    shared ``base_quality`` — reproducing the unsharded
+    :meth:`Benchmark.evaluate_memoized` bitwise.
+
+    Args:
+        results: partial results for every shard of one evaluation, in
+            shard order; each must carry ``metric`` and ``base_quality``.
+        higher_is_better: the benchmark's loss convention
+            (:attr:`NetworkSpec.higher_is_better`).
+
+    Raises:
+        ValueError: on an empty result list, a result without shard
+            fields, or inconsistent ``base_quality`` across shards.
+    """
+    if not results:
+        raise ValueError("need at least one shard result")
+    for result in results:
+        if result.metric is None or result.base_quality is None:
+            raise ValueError(
+                "shard results must carry metric and base_quality; got a "
+                "whole-split result (was the evaluation run with shard=None?)"
+            )
+    base_quality = results[0].base_quality
+    if any(result.base_quality != base_quality for result in results):
+        raise ValueError("shards disagree on base_quality; mixed evaluations?")
+
+    metric = results[0].metric.copy()
+    stats = ReuseStats()
+    stats.merge(results[0].stats)
+    for result in results[1:]:
+        metric.merge(result.metric)
+        stats.merge(result.stats)
+    quality = metric.finalize()
+    if higher_is_better:
+        quality_loss = max(0.0, base_quality - quality)
+    else:
+        quality_loss = max(0.0, quality - base_quality)
+    return MemoizedResult(
+        quality=quality,
+        quality_loss=quality_loss,
+        reuse_fraction=stats.reuse_fraction(),
+        stats=stats,
+        metric=metric,
+        base_quality=base_quality,
+    )

@@ -96,8 +96,25 @@ class TranslationModel(Module):
 
     # -- decoding ---------------------------------------------------------------
 
-    def translate(self, src_ids: Array, max_len: int) -> List[Tuple[int, ...]]:
-        """Greedy decode; stops each hypothesis at EOS or ``max_len``."""
+    def translate(
+        self, src_ids: Array, max_len: int, early_stop: bool = True
+    ) -> List[Tuple[int, ...]]:
+        """Greedy decode; stops each hypothesis at EOS or ``max_len``.
+
+        Args:
+            src_ids: source token batch ``(B, S)``.
+            max_len: decode-step budget per hypothesis.
+            early_stop: abandon the loop once *every* row has emitted
+                EOS.  The hypotheses are identical either way (finished
+                rows never append tokens), but the step count then
+                depends on the whole batch, which couples per-row
+                memoization statistics across rows.  Sharded evaluation
+                (:meth:`repro.models.benchmark.Benchmark.evaluate_memoized`)
+                passes ``False`` so every row always sees exactly
+                ``max_len`` decoder steps regardless of which other rows
+                share its batch — the property that makes per-batch
+                shard merges bitwise-identical to the whole-split run.
+        """
         src_ids = np.asarray(src_ids)
         batch = src_ids.shape[0]
         context = self.encode(src_ids)
@@ -117,7 +134,7 @@ class TranslationModel(Module):
                         finished[b] = True
                     else:
                         hypotheses[b].append(int(tokens[b]))
-            if finished.all():
+            if early_stop and finished.all():
                 break
         return [tuple(h) for h in hypotheses]
 

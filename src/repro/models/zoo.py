@@ -18,6 +18,11 @@ from repro.datasets.base import batched_indices
 from repro.datasets.sentiment import SentimentDataset
 from repro.datasets.speech import SpeechDataset
 from repro.datasets.translation import TranslationDataset
+from repro.metrics.accumulators import (
+    AccuracyAccumulator,
+    BLEUAccumulator,
+    WERAccumulator,
+)
 from repro.models.benchmark import Benchmark, split_validation
 from repro.models.sentiment_model import SentimentModel
 from repro.models.specs import PAPER_NETWORKS, NetworkSpec
@@ -73,16 +78,15 @@ class SentimentBenchmark(Benchmark):
             for idx in [self.train_idx[idx]]
         ]
 
-    def _evaluate_on(self, indices: Array) -> float:
-        return self.model.evaluate(
-            self.dataset.tokens[indices], self.dataset.labels[indices]
-        )
-
-    def evaluate(self) -> float:
-        return self._evaluate_on(self.test_idx)
-
-    def calibration_evaluate(self) -> float:
-        return self._evaluate_on(self.val_idx)
+    def quality_accumulator(self, indices: Array) -> AccuracyAccumulator:
+        accumulator = AccuracyAccumulator()
+        indices = np.asarray(indices)
+        if indices.size:
+            accumulator.update(
+                self.model.predict(self.dataset.tokens[indices]),
+                self.dataset.labels[indices],
+            )
+        return accumulator
 
     def hidden_sequences(self) -> List[Array]:
         return self.model.collect_hidden(self.dataset.tokens[self.test_idx])
@@ -133,16 +137,15 @@ class _SpeechBenchmark(Benchmark):
             for idx in [self.train_idx[idx]]
         ]
 
-    def _evaluate_on(self, indices: Array) -> float:
-        return self.model.evaluate(
-            self.dataset.features[indices], self.dataset.references(indices)
-        )
-
-    def evaluate(self) -> float:
-        return self._evaluate_on(self.test_idx)
-
-    def calibration_evaluate(self) -> float:
-        return self._evaluate_on(self.val_idx)
+    def quality_accumulator(self, indices: Array) -> WERAccumulator:
+        accumulator = WERAccumulator()
+        indices = np.asarray(indices)
+        if indices.size:
+            accumulator.update(
+                self.dataset.references(indices),
+                self.model.transcribe(self.dataset.features[indices]),
+            )
+        return accumulator
 
     def hidden_sequences(self) -> List[Array]:
         return self.model.collect_hidden(self.dataset.features[self.test_idx])
@@ -229,18 +232,22 @@ class TranslationBenchmark(Benchmark):
             batches.append((self.dataset.source[rows], dec_in, dec_tgt))
         return batches
 
-    def _evaluate_on(self, indices: Array) -> float:
-        return self.model.evaluate(
-            self.dataset.source[indices],
-            self.dataset.references(indices),
-            max_len=self.dataset.length + 2,
-        )
-
-    def evaluate(self) -> float:
-        return self._evaluate_on(self.test_idx)
-
-    def calibration_evaluate(self) -> float:
-        return self._evaluate_on(self.val_idx)
+    def quality_accumulator(self, indices: Array) -> BLEUAccumulator:
+        accumulator = BLEUAccumulator()
+        indices = np.asarray(indices)
+        if indices.size:
+            # early_stop=False: each row must see a batch-independent
+            # number of decoder steps or shard merges would not reproduce
+            # the whole-split reuse statistics (see translate()).
+            hypotheses = self.model.translate(
+                self.dataset.source[indices],
+                max_len=self.dataset.length + 2,
+                early_stop=False,
+            )
+            accumulator.update(
+                list(self.dataset.references(indices)), hypotheses
+            )
+        return accumulator
 
     def hidden_sequences(self) -> List[Array]:
         dec_in, _ = self.dataset.decoder_io(self.test_idx)

@@ -4,7 +4,10 @@ The experiment layer (:mod:`repro.analysis`, the CLI, the figure
 benches) describes work as :class:`SweepJob` specs and hands them to a
 :class:`ParallelRunner`, which resolves points from the content-
 addressed :class:`ResultCache` and fans cache misses out over worker
-processes.  Serial, parallel and cached paths all produce bitwise
+processes.  A single evaluation can additionally be sharded per-batch
+(:class:`EvalShardJob`, ``run(..., shards=N)``): shard partials carry
+mergeable metric accumulators and reduce to the whole-point result.
+Serial, parallel, cached and sharded paths all produce bitwise
 identical results.
 """
 
@@ -12,22 +15,30 @@ from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.job import (
     CACHE_VERSION,
     DEFAULT_THETAS,
+    EvalShardJob,
     SweepJob,
     result_from_payload,
     result_to_payload,
     scheme_from_payload,
 )
-from repro.runner.parallel import ParallelRunner, RunReport, evaluate_point
+from repro.runner.parallel import (
+    ParallelRunner,
+    RunReport,
+    evaluate_point,
+    evaluate_shard,
+)
 
 __all__ = [
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_THETAS",
+    "EvalShardJob",
     "ParallelRunner",
     "ResultCache",
     "RunReport",
     "SweepJob",
     "evaluate_point",
+    "evaluate_shard",
     "result_from_payload",
     "result_to_payload",
     "scheme_from_payload",

@@ -6,6 +6,11 @@ the memoization-scheme knobs, the evaluation split, and the theta grid.
 Every individual ``(job, theta)`` point canonicalises to a JSON payload
 whose sha256 digest keys one :class:`~repro.runner.cache.ResultCache`
 entry, and the payload itself is what travels to worker processes.
+:class:`EvalShardJob` is the per-batch refinement: one ``(job, theta)``
+point restricted to the ``i``-th of ``n`` deterministic shards of the
+evaluation split.  Both payload kinds carry a ``kind`` discriminator so
+a shard partial and a whole-point result with otherwise identical
+parameters can never collide on a cache key.
 
 Because benchmark training is fully seeded (numpy only), a point payload
 is a *pure* description: any process that evaluates it produces bitwise
@@ -22,6 +27,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import PREDICTOR_KINDS, MemoizationScheme
 from repro.core.stats import ReuseStats
+from repro.metrics.accumulators import accumulator_from_payload
 from repro.models.benchmark import Benchmark, MemoizedResult
 from repro.models.specs import BENCHMARK_NAMES
 
@@ -31,7 +37,12 @@ DEFAULT_THETAS: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
 #: Bump whenever evaluation semantics change (training recipe, engine
 #: behaviour, result schema) so stale cache entries are never reused
 #: across incompatible code versions.
-CACHE_VERSION = 1
+#:
+#: v2: payloads grew a ``kind`` discriminator (sweep points vs eval
+#: shards), results optionally carry metric-accumulator state, and the
+#: MNMT evaluation decodes a batch-independent number of steps (shard
+#: determinism) — all invalidating v1 entries.
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -133,6 +144,7 @@ class SweepJob:
     def point_payload(self, theta: float) -> Dict[str, object]:
         """JSON-safe canonical description of one sweep point."""
         return {
+            "kind": "sweep_point",
             "cache_version": CACHE_VERSION,
             "network": self.network,
             "scale": self.scale,
@@ -161,6 +173,101 @@ class SweepJob:
         return _digest(payload)
 
 
+@dataclass(frozen=True)
+class EvalShardJob:
+    """One sweep point restricted to one shard of the evaluation split.
+
+    ``(theta, shard_index, shard_count)`` refines a :class:`SweepJob`
+    point into a per-batch unit of work: the benchmark partitions its
+    split with :func:`repro.models.benchmark.shard_indices` and
+    evaluates only the ``shard_index``-th part.  Shard payloads are
+    keyed separately from whole-point payloads (``kind`` field), so
+    partial and merged results never alias in the cache.
+    """
+
+    network: str
+    theta: float
+    shard_index: int
+    shard_count: int
+    predictor: str = "bnn"
+    scale: str = "tiny"
+    seed: int = 0
+    throttle: bool = True
+    use_packed: bool = False
+    calibration: bool = False
+    layer_thetas: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def __post_init__(self):
+        if self.shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), got "
+                f"{self.shard_index}"
+            )
+        # Delegate network/predictor/theta/layer_thetas validation (and
+        # canonicalisation) to SweepJob — one rule set for both specs.
+        point = self._sweep_point()
+        object.__setattr__(self, "theta", point.thetas[0])
+        object.__setattr__(self, "layer_thetas", point.layer_thetas)
+
+    def _sweep_point(self) -> SweepJob:
+        """The single-theta SweepJob this shard refines."""
+        return SweepJob(
+            network=self.network,
+            thetas=(self.theta,),
+            predictor=self.predictor,
+            scale=self.scale,
+            seed=self.seed,
+            throttle=self.throttle,
+            use_packed=self.use_packed,
+            calibration=self.calibration,
+            layer_thetas=self.layer_thetas,
+        )
+
+    @classmethod
+    def from_sweep_point(
+        cls, job: SweepJob, theta: float, shard_index: int, shard_count: int
+    ) -> "EvalShardJob":
+        """The ``shard_index``-th of ``shard_count`` shards of one point."""
+        return cls(
+            network=job.network,
+            theta=float(theta),
+            shard_index=shard_index,
+            shard_count=shard_count,
+            predictor=job.predictor,
+            scale=job.scale,
+            seed=job.seed,
+            throttle=job.throttle,
+            use_packed=job.use_packed,
+            calibration=job.calibration,
+            layer_thetas=job.layer_thetas,
+        )
+
+    @property
+    def shard(self) -> Tuple[int, int]:
+        return (self.shard_index, self.shard_count)
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-safe canonical description of this shard evaluation.
+
+        Derived from :meth:`SweepJob.point_payload` so a new scheme knob
+        is automatically part of shard cache keys too; only the ``kind``
+        and the shard coordinates differ.
+        """
+        payload = self._sweep_point().point_payload(self.theta)
+        payload["kind"] = "eval_shard"
+        payload["shard_index"] = self.shard_index
+        payload["shard_count"] = self.shard_count
+        return payload
+
+    def key(self) -> str:
+        """Content-address of this shard evaluation (cache key)."""
+        return _digest(self.payload())
+
+
 def _digest(payload: Mapping[str, object]) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -186,8 +293,13 @@ def scheme_from_payload(payload: Mapping[str, object]) -> MemoizationScheme:
 
 
 def result_to_payload(result: MemoizedResult) -> Dict[str, object]:
-    """JSON-safe form of a :class:`MemoizedResult` (lossless for floats)."""
-    return {
+    """JSON-safe form of a :class:`MemoizedResult` (lossless for floats).
+
+    Shard partials additionally serialize their metric-accumulator state
+    and ``base_quality`` so the reduce step can merge cached partials
+    without rebuilding (or training) the benchmark.
+    """
+    payload: Dict[str, object] = {
         "quality": float(result.quality),
         "quality_loss": float(result.quality_loss),
         "reuse_fraction": float(result.reuse_fraction),
@@ -202,6 +314,11 @@ def result_to_payload(result: MemoizedResult) -> Dict[str, object]:
             ],
         },
     }
+    if result.metric is not None:
+        payload["metric"] = result.metric.to_payload()
+    if result.base_quality is not None:
+        payload["base_quality"] = float(result.base_quality)
+    return payload
 
 
 def result_from_payload(payload: Mapping[str, object]) -> MemoizedResult:
@@ -217,9 +334,19 @@ def result_from_payload(payload: Mapping[str, object]) -> MemoizedResult:
         stats.reused[(str(layer), str(gate))] = int(count)
     for layer, gate, count in raw["total"]:
         stats.total[(str(layer), str(gate))] = int(count)
+    metric_payload = payload.get("metric")
+    base_quality = payload.get("base_quality")
     return MemoizedResult(
         quality=float(payload["quality"]),
         quality_loss=float(payload["quality_loss"]),
         reuse_fraction=float(payload["reuse_fraction"]),
         stats=stats,
+        metric=(
+            accumulator_from_payload(metric_payload)
+            if metric_payload is not None
+            else None
+        ),
+        base_quality=(
+            float(base_quality) if base_quality is not None else None
+        ),
     )

@@ -8,19 +8,30 @@ payloads, resolves as many as possible from the
 over a ``ProcessPoolExecutor``.  Workers rebuild benchmarks from the
 payload alone (deterministic zoo seeding), so parallel results are
 bitwise identical to the serial in-process path.
+
+With ``shards > 1`` a single evaluation is additionally split *within*
+the test/calibration batch: each point fans out into
+:class:`~repro.runner.job.EvalShardJob` units (one per split partition),
+partials are cached under shard-specific keys, and a reduce step merges
+them (:func:`repro.models.benchmark.merge_shard_results`) into the
+bitwise-identical whole-point result — the merged result is also stored
+under the whole-point key, so sharded and unsharded runs share the
+cache.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.calibration import ThresholdSweep
-from repro.models.benchmark import Benchmark, MemoizedResult
+from repro.models.benchmark import Benchmark, MemoizedResult, merge_shard_results
+from repro.models.specs import PAPER_NETWORKS
 from repro.models.zoo import load_benchmark
 from repro.runner.cache import ResultCache
 from repro.runner.job import (
+    EvalShardJob,
     SweepJob,
     result_from_payload,
     result_to_payload,
@@ -28,24 +39,51 @@ from repro.runner.job import (
 )
 
 
+def _evaluate_payload(
+    payload: Mapping[str, object], benchmark: Optional[Benchmark] = None
+) -> MemoizedResult:
+    """Evaluate any point or shard payload, optionally on a live benchmark.
+
+    The payload's ``shard_index``/``shard_count`` keys (present only on
+    ``eval_shard`` payloads) select the shard; whole points evaluate the
+    full split.  This is the single evaluation path shared by worker
+    processes and the serial in-process fallback, so cached, parallel,
+    sharded and serial results can never drift apart.
+    """
+    if benchmark is None:
+        benchmark = load_benchmark(
+            str(payload["network"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            trained=False,
+        )
+    shard = None
+    if "shard_index" in payload:
+        shard = (int(payload["shard_index"]), int(payload["shard_count"]))
+    return benchmark.evaluate_memoized(
+        scheme_from_payload(payload),
+        calibration=bool(payload["calibration"]),
+        shard=shard,
+    )
+
+
 def evaluate_point(payload: Mapping[str, object]) -> Dict[str, object]:
-    """Worker entry point: evaluate one sweep point from its payload.
+    """Worker entry point: evaluate one point or shard from its payload.
 
     A pure function of the payload — the zoo rebuilds and (lazily)
     trains the benchmark from ``(network, scale, seed)`` with fully
     seeded numpy, so any process computes the same result.  Returns the
-    JSON-safe result payload (what the cache stores).
+    JSON-safe result payload (what the cache stores); shard payloads
+    (``shard_index``/``shard_count`` present) yield partials carrying
+    their metric-accumulator state and ``base_quality``.
     """
-    benchmark = load_benchmark(
-        str(payload["network"]),
-        scale=str(payload["scale"]),
-        seed=int(payload["seed"]),
-        trained=False,
-    )
-    result = benchmark.evaluate_memoized(
-        scheme_from_payload(payload), calibration=bool(payload["calibration"])
-    )
-    return result_to_payload(result)
+    return result_to_payload(_evaluate_payload(payload))
+
+
+#: Alias for readability at sharded call sites: the payload's own
+#: ``shard_index``/``shard_count`` fields select the shard, so point
+#: and shard evaluations share one dispatch path.
+evaluate_shard = evaluate_point
 
 
 @dataclass(frozen=True)
@@ -106,7 +144,10 @@ class ParallelRunner:
         self.close()
 
     def run(
-        self, job: SweepJob, benchmark: Optional[Benchmark] = None
+        self,
+        job: SweepJob,
+        benchmark: Optional[Benchmark] = None,
+        shards: int = 1,
     ) -> List[MemoizedResult]:
         """Evaluate every theta of ``job``; results in theta order.
 
@@ -116,21 +157,24 @@ class ParallelRunner:
                 running serially (saves a zoo rebuild); it must match
                 the job's identity.  Ignored by the process pool, whose
                 workers always rebuild from the spec.
+            shards: split each point's evaluation batch into this many
+                :class:`EvalShardJob` units (``1`` keeps the whole-point
+                path).  Results are bitwise identical for any value.
         """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         if benchmark is not None:
             self._check_benchmark(job, benchmark)
+        if shards > 1:
+            return self._run_sharded(job, shards, benchmark)
         payloads = [job.point_payload(theta) for theta in job.thetas]
         keys = [job.point_key(theta) for theta in job.thetas]
         results: List[Optional[MemoizedResult]] = [None] * len(keys)
 
         missing: List[int] = []
         for i, key in enumerate(keys):
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                try:
-                    results[i] = result_from_payload(cached)
-                except (KeyError, TypeError, ValueError):
-                    results[i] = None  # stale schema -> recompute
+            if self.cache is not None:
+                results[i] = self._cached_result(key)
             if results[i] is None:
                 missing.append(i)
 
@@ -149,7 +193,7 @@ class ParallelRunner:
                         self.cache.put(keys[i], output)
             else:
                 for i in missing:
-                    results[i] = self._evaluate_local(payloads[i], benchmark)
+                    results[i] = _evaluate_payload(payloads[i], benchmark)
                     if self.cache is not None:
                         self.cache.put(keys[i], result_to_payload(results[i]))
 
@@ -162,36 +206,108 @@ class ParallelRunner:
         return [result for result in results if result is not None]
 
     def sweep(
-        self, job: SweepJob, benchmark: Optional[Benchmark] = None
+        self,
+        job: SweepJob,
+        benchmark: Optional[Benchmark] = None,
+        shards: int = 1,
     ) -> ThresholdSweep:
         """Run ``job`` and fold the points into a :class:`ThresholdSweep`."""
         sweep = ThresholdSweep()
-        for theta, result in zip(job.thetas, self.run(job, benchmark=benchmark)):
+        results = self.run(job, benchmark=benchmark, shards=shards)
+        for theta, result in zip(job.thetas, results):
             sweep.add(theta, result.quality_loss, result.reuse_fraction)
         return sweep
 
     # -- internals ----------------------------------------------------------
 
+    def _run_sharded(
+        self, job: SweepJob, shards: int, benchmark: Optional[Benchmark]
+    ) -> List[MemoizedResult]:
+        """Fan each point out per-batch and reduce the shard partials.
+
+        Cache protocol: a point resolved from its *whole-point* key is a
+        single hit; otherwise each shard resolves or evaluates under its
+        own key (counted individually in the report) and the merged
+        result is written back under the whole-point key, making the
+        sharded and unsharded cache populations interchangeable.
+        """
+        results: List[Optional[MemoizedResult]] = [None] * len(job.thetas)
+        shard_slots: Dict[int, List[Optional[MemoizedResult]]] = {}
+        pending: List[Tuple[int, int, EvalShardJob]] = []
+        hits = 0
+
+        for t, theta in enumerate(job.thetas):
+            if self.cache is not None:
+                results[t] = self._cached_result(job.point_key(theta))
+                if results[t] is not None:
+                    hits += 1
+                    continue
+            slots: List[Optional[MemoizedResult]] = [None] * shards
+            for s in range(shards):
+                shard_job = EvalShardJob.from_sweep_point(job, theta, s, shards)
+                if self.cache is not None:
+                    partial = self._cached_result(shard_job.key())
+                    # A usable partial must carry the shard-only fields.
+                    if partial is not None and (
+                        partial.metric is None or partial.base_quality is None
+                    ):
+                        partial = None
+                    slots[s] = partial
+                if slots[s] is None:
+                    pending.append((t, s, shard_job))
+                else:
+                    hits += 1
+            shard_slots[t] = slots
+
+        workers = 1
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                payloads = [shard_job.payload() for _, _, shard_job in pending]
+                outputs = list(self._get_pool().map(evaluate_point, payloads))
+                for (t, s, shard_job), output in zip(pending, outputs):
+                    shard_slots[t][s] = result_from_payload(output)
+                    if self.cache is not None:
+                        self.cache.put(shard_job.key(), output)
+            else:
+                for t, s, shard_job in pending:
+                    partial = _evaluate_payload(shard_job.payload(), benchmark)
+                    shard_slots[t][s] = partial
+                    if self.cache is not None:
+                        self.cache.put(
+                            shard_job.key(), result_to_payload(partial)
+                        )
+
+        higher_is_better = PAPER_NETWORKS[job.network].higher_is_better
+        for t, slots in shard_slots.items():
+            merged = merge_shard_results(slots, higher_is_better)
+            results[t] = merged
+            if self.cache is not None:
+                self.cache.put(
+                    job.point_key(job.thetas[t]), result_to_payload(merged)
+                )
+
+        self.last_report = RunReport(
+            hits=hits, misses=len(pending), workers=workers
+        )
+        self.hits += hits
+        self.misses += len(pending)
+        return [result for result in results if result is not None]
+
+    def _cached_result(self, key: str) -> Optional[MemoizedResult]:
+        """Cache lookup that treats stale/corrupt payloads as misses."""
+        cached = self.cache.get(key)
+        if cached is None:
+            return None
+        try:
+            return result_from_payload(cached)
+        except (KeyError, TypeError, ValueError):
+            return None
+
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
-
-    @staticmethod
-    def _evaluate_local(
-        payload: Mapping[str, object], benchmark: Optional[Benchmark]
-    ) -> MemoizedResult:
-        if benchmark is None:
-            benchmark = load_benchmark(
-                str(payload["network"]),
-                scale=str(payload["scale"]),
-                seed=int(payload["seed"]),
-                trained=False,
-            )
-        return benchmark.evaluate_memoized(
-            scheme_from_payload(payload),
-            calibration=bool(payload["calibration"]),
-        )
 
     @staticmethod
     def _check_benchmark(job: SweepJob, benchmark: Benchmark) -> None:

@@ -1,0 +1,244 @@
+"""Property-based tests for the mergeable metric accumulators.
+
+Seeded-random loops (a hypothesis-style property suite without the
+dependency) establish the contract the sharded evaluation pipeline
+rests on: for any partition of a corpus into 1..8 shards, accumulating
+the shards and merging produces the *bitwise-identical* score of the
+whole-corpus metric functions, and ``merge`` is associative and
+order-independent.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ACCUMULATOR_KINDS,
+    AccuracyAccumulator,
+    BLEUAccumulator,
+    MetricAccumulator,
+    WERAccumulator,
+    accumulator_from_payload,
+    accuracy,
+    corpus_bleu,
+    wer,
+)
+
+N_TRIALS = 25
+
+
+def random_partition(rng: random.Random, n_items: int, n_shards: int):
+    """Split ``range(n_items)`` into ``n_shards`` random contiguous runs."""
+    cuts = sorted(rng.sample(range(1, n_items), min(n_shards - 1, n_items - 1)))
+    bounds = [0, *cuts, n_items]
+    return [range(lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def random_corpus(rng: random.Random, n_pairs: int, vocab: int = 6):
+    references, hypotheses = [], []
+    for _ in range(n_pairs):
+        ref_len = rng.randint(1, 8)
+        hyp_len = rng.randint(0, 8)
+        references.append(tuple(rng.randrange(vocab) for _ in range(ref_len)))
+        hypotheses.append(tuple(rng.randrange(vocab) for _ in range(hyp_len)))
+    return references, hypotheses
+
+
+class TestAccuracyAccumulator:
+    def test_sharded_merge_equals_whole_corpus(self):
+        rng = random.Random(0)
+        np_rng = np.random.default_rng(0)
+        for _ in range(N_TRIALS):
+            n = rng.randint(2, 64)
+            predictions = np_rng.integers(0, 3, size=n)
+            targets = np_rng.integers(0, 3, size=n)
+            expected = accuracy(predictions, targets)
+            merged = AccuracyAccumulator()
+            for part in random_partition(rng, n, rng.randint(1, 8)):
+                shard = AccuracyAccumulator()
+                idx = np.asarray(list(part))
+                if idx.size:
+                    shard.update(predictions[idx], targets[idx])
+                merged.merge(shard)
+            assert merged.finalize() == expected  # bitwise
+
+    def test_accepts_score_predictions_like_accuracy(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        targets = np.array([1, 0])
+        acc = AccuracyAccumulator()
+        acc.update(scores, targets)
+        assert acc.finalize() == accuracy(scores, targets) == 100.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            AccuracyAccumulator().update(np.zeros((2, 3, 4)), np.zeros(5))
+
+    def test_empty_finalize_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AccuracyAccumulator().finalize()
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyAccumulator(hits=3, total=2)
+
+
+class TestWERAccumulator:
+    def test_sharded_merge_equals_whole_corpus(self):
+        rng = random.Random(1)
+        for _ in range(N_TRIALS):
+            n = rng.randint(2, 24)
+            references, hypotheses = random_corpus(rng, n)
+            expected = wer(references, hypotheses)
+            merged = WERAccumulator()
+            for part in random_partition(rng, n, rng.randint(1, 8)):
+                shard = WERAccumulator()
+                shard.update(
+                    [references[i] for i in part], [hypotheses[i] for i in part]
+                )
+                merged.merge(shard)
+            assert merged.finalize() == expected  # bitwise
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="references"):
+            WERAccumulator().update([(1,)], [(1,), (2,)])
+
+    def test_empty_finalize_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WERAccumulator().finalize()
+
+
+class TestBLEUAccumulator:
+    def test_sharded_merge_equals_whole_corpus(self):
+        rng = random.Random(2)
+        for _ in range(N_TRIALS):
+            n = rng.randint(2, 24)
+            references, hypotheses = random_corpus(rng, n)
+            expected = corpus_bleu(references, hypotheses)
+            merged = BLEUAccumulator()
+            for part in random_partition(rng, n, rng.randint(1, 8)):
+                shard = BLEUAccumulator()
+                shard.update(
+                    [references[i] for i in part], [hypotheses[i] for i in part]
+                )
+                merged.merge(shard)
+            assert merged.finalize() == expected  # bitwise
+
+    def test_matches_unsmoothed_reference(self):
+        rng = random.Random(3)
+        references, hypotheses = random_corpus(rng, 12)
+        acc = BLEUAccumulator(smooth=False)
+        acc.update(references, hypotheses)
+        assert acc.finalize() == corpus_bleu(references, hypotheses, smooth=False)
+
+    def test_incompatible_config_rejected(self):
+        a = BLEUAccumulator(max_order=4)
+        b = BLEUAccumulator(max_order=2)
+        with pytest.raises(ValueError, match="max_order"):
+            a.merge(b)
+
+    def test_empty_finalize_raises(self):
+        with pytest.raises(ValueError, match="sentence pair"):
+            BLEUAccumulator().finalize()
+
+
+def all_kinds(rng: random.Random):
+    """One populated accumulator per kind, from random data."""
+    np_rng = np.random.default_rng(rng.randrange(2**31))
+    acc = AccuracyAccumulator()
+    acc.update(np_rng.integers(0, 3, size=16), np_rng.integers(0, 3, size=16))
+    references, hypotheses = random_corpus(rng, 8)
+    w = WERAccumulator()
+    w.update(references, hypotheses)
+    b = BLEUAccumulator()
+    b.update(references, hypotheses)
+    return [acc, w, b]
+
+
+class TestMergeAlgebra:
+    """merge() must be associative and order-independent for every kind."""
+
+    @staticmethod
+    def shard_accumulators(rng, prototype):
+        shards = []
+        for _ in range(rng.randint(2, 6)):
+            shard = type(prototype)()
+            np_rng = np.random.default_rng(rng.randrange(2**31))
+            if isinstance(prototype, AccuracyAccumulator):
+                n = rng.randint(1, 20)
+                shard.update(
+                    np_rng.integers(0, 3, size=n), np_rng.integers(0, 3, size=n)
+                )
+            else:
+                shard.update(*random_corpus(rng, rng.randint(1, 8)))
+            shards.append(shard)
+        return shards
+
+    @pytest.mark.parametrize(
+        "cls", [AccuracyAccumulator, WERAccumulator, BLEUAccumulator]
+    )
+    def test_order_independent(self, cls):
+        rng = random.Random(4)
+        for _ in range(N_TRIALS):
+            shards = self.shard_accumulators(rng, cls())
+            forward = cls()
+            for shard in shards:
+                forward.merge(shard)
+            shuffled = list(shards)
+            rng.shuffle(shuffled)
+            backward = cls()
+            for shard in shuffled:
+                backward.merge(shard)
+            assert forward == backward
+            assert forward.finalize() == backward.finalize()
+
+    @pytest.mark.parametrize(
+        "cls", [AccuracyAccumulator, WERAccumulator, BLEUAccumulator]
+    )
+    def test_associative(self, cls):
+        rng = random.Random(5)
+        for _ in range(N_TRIALS):
+            a, b, c = (self.shard_accumulators(rng, cls()) + [cls(), cls()])[:3]
+            left = a.copy()
+            left.merge(b)
+            left.merge(c)
+            bc = b.copy()
+            bc.merge(c)
+            right = a.copy()
+            right.merge(bc)
+            assert left == right
+
+    def test_cross_kind_merge_rejected(self):
+        with pytest.raises(TypeError, match="merge"):
+            AccuracyAccumulator().merge(WERAccumulator())
+
+
+class TestPayloadRoundtrip:
+    def test_json_roundtrip_preserves_state_and_score(self):
+        rng = random.Random(6)
+        for acc in all_kinds(rng):
+            payload = json.loads(json.dumps(acc.to_payload()))
+            restored = accumulator_from_payload(payload)
+            assert restored == acc
+            assert restored.finalize() == acc.finalize()
+
+    def test_copy_is_independent(self):
+        acc = AccuracyAccumulator(hits=1, total=2)
+        clone = acc.copy()
+        clone.merge(AccuracyAccumulator(hits=1, total=2))
+        assert acc.state_payload() == {"hits": 1, "total": 2}
+        assert clone.state_payload() == {"hits": 2, "total": 4}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            accumulator_from_payload({"kind": "f1", "state": {}})
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises((KeyError, TypeError)):
+            accumulator_from_payload({"kind": "accuracy", "state": None})
+
+    def test_registry_covers_all_kinds(self):
+        assert set(ACCUMULATOR_KINDS) == {"accuracy", "wer", "bleu"}
+        for cls in ACCUMULATOR_KINDS.values():
+            assert issubclass(cls, MetricAccumulator)

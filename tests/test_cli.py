@@ -19,9 +19,18 @@ class TestParser:
         assert args.predictor == "bnn"
         assert not args.no_throttle
         assert args.jobs == 1
+        assert args.shards == 1
         assert not args.no_cache
         assert args.cache_dir == ".repro_cache"
         assert args.seed == 0
+
+    def test_shards_flag_parsed_on_sweep_e2e_report(self):
+        for argv in (
+            ["sweep", "imdb", "--shards", "4"],
+            ["e2e", "imdb", "--shards", "4"],
+            ["report", "--shards", "4"],
+        ):
+            assert build_parser().parse_args(argv).shards == 4
 
     def test_e2e_has_runner_flags(self):
         args = build_parser().parse_args(
@@ -67,6 +76,10 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["sweep", "imdb", "--jobs", "0", "--no-cache"])
 
+    def test_sweep_rejects_bad_shards(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "imdb", "--shards", "0", "--no-cache"])
+
 
 class TestRunnerIntegration:
     def test_parallel_sweep_matches_serial(self, capsys):
@@ -77,6 +90,22 @@ class TestRunnerIntegration:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+    def test_sharded_sweep_matches_serial(self, capsys):
+        """`repro sweep --shards 4` must print the exact serial table."""
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+    def test_sharded_e2e_matches_serial(self, capsys):
+        argv = ["e2e", "imdb", "--no-cache", "--loss-target", "2.0"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--shards", "3"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_cached_sweep_matches_uncached(self, capsys, tmp_path):
         argv = ["sweep", "imdb", "--thetas", "0.1", "0.3"]

@@ -1,21 +1,26 @@
 """Tests for the sweep execution subsystem (repro.runner).
 
 Covers job hashing/serialization, cache hit/miss semantics, cache
-invalidation on config change, corrupted-cache recovery, and bitwise
-determinism of the parallel path against the serial baseline.
+invalidation on config change (including CACHE_VERSION staleness and
+sweep-point vs eval-shard key separation), corrupted-cache recovery,
+and bitwise determinism of the parallel and sharded paths against the
+serial baseline.
 """
 
 import json
 
 import pytest
 
+import repro.runner.job as job_module
 from repro.analysis.sweep import end_to_end, network_sweep
 from repro.core.engine import MemoizationScheme
 from repro.core.stats import ReuseStats
+from repro.metrics import AccuracyAccumulator
 from repro.models.benchmark import MemoizedResult
 from repro.models.zoo import load_benchmark
 from repro.runner import (
     CACHE_VERSION,
+    EvalShardJob,
     ParallelRunner,
     ResultCache,
     SweepJob,
@@ -31,6 +36,12 @@ def make_job(**overrides) -> SweepJob:
     kwargs = dict(network="imdb", thetas=THETAS)
     kwargs.update(overrides)
     return SweepJob(**kwargs)
+
+
+def make_shard_job(**overrides) -> EvalShardJob:
+    kwargs = dict(network="imdb", theta=0.2, shard_index=0, shard_count=2)
+    kwargs.update(overrides)
+    return EvalShardJob(**kwargs)
 
 
 def results_equal(a: MemoizedResult, b: MemoizedResult) -> bool:
@@ -120,6 +131,94 @@ class TestSweepJob:
         assert make_job().spec_hash() != make_job(thetas=(0.0,)).spec_hash()
 
 
+class TestEvalShardJob:
+    def test_from_sweep_point_copies_config(self):
+        job = make_job(predictor="oracle", throttle=False, calibration=True)
+        shard = EvalShardJob.from_sweep_point(job, 0.2, 1, 4)
+        assert shard.network == job.network
+        assert shard.predictor == "oracle"
+        assert not shard.throttle
+        assert shard.calibration
+        assert shard.theta == 0.2
+        assert shard.shard == (1, 4)
+
+    def test_invalid_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            make_shard_job(shard_count=0)
+        with pytest.raises(ValueError, match="shard_index"):
+            make_shard_job(shard_index=2, shard_count=2)
+        with pytest.raises(ValueError, match="shard_index"):
+            make_shard_job(shard_index=-1)
+
+    def test_invalid_network_and_theta_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            make_shard_job(network="resnet")
+        with pytest.raises(ValueError, match="non-negative"):
+            make_shard_job(theta=-0.1)
+
+    def test_payload_is_json_serializable(self):
+        payload = make_shard_job(layer_thetas=(("lstm", 0.1),)).payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["kind"] == "eval_shard"
+        assert payload["cache_version"] == CACHE_VERSION
+
+    def test_key_depends_on_shard(self):
+        assert make_shard_job().key() != make_shard_job(shard_index=1).key()
+        assert make_shard_job().key() != make_shard_job(shard_count=3).key()
+
+    def test_scheme_roundtrip_through_payload(self):
+        shard = make_shard_job(predictor="oracle", throttle=False)
+        assert scheme_from_payload(shard.payload()) == MemoizationScheme(
+            theta=0.2, predictor="oracle", throttle=False
+        )
+
+
+class TestCacheKeyCollisions:
+    """A shard partial and a whole point with identical parameters must
+    never share a cache key, and entries written by a different
+    CACHE_VERSION must be invisible."""
+
+    def test_shard_and_point_keys_differ_for_identical_parameters(self):
+        job = make_job()
+        # Even the degenerate 1-shard job (same evaluated rows as the
+        # whole point) must key separately: its payload schema differs.
+        shard = EvalShardJob.from_sweep_point(job, 0.2, 0, 1)
+        assert shard.key() != job.point_key(0.2)
+
+    def test_all_shard_keys_distinct_from_all_point_keys(self):
+        job = make_job()
+        point_keys = {job.point_key(theta) for theta in job.thetas}
+        shard_keys = {
+            EvalShardJob.from_sweep_point(job, theta, i, n).key()
+            for theta in job.thetas
+            for n in (1, 2, 4)
+            for i in range(n)
+        }
+        assert not (point_keys & shard_keys)
+        assert len(shard_keys) == len(job.thetas) * (1 + 2 + 4)
+
+    def test_point_key_changes_with_cache_version(self, monkeypatch):
+        before = make_job().point_key(0.2)
+        shard_before = make_shard_job().key()
+        monkeypatch.setattr(job_module, "CACHE_VERSION", CACHE_VERSION + 1)
+        assert make_job().point_key(0.2) != before
+        assert make_shard_job().key() != shard_before
+
+    def test_stale_cache_version_entries_ignored(self, tmp_path, monkeypatch):
+        """Entries persisted under an older CACHE_VERSION are never read."""
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        first = ParallelRunner(jobs=1, cache=cache).run(job)
+        # Simulate a code upgrade: keys now embed a newer version.
+        monkeypatch.setattr(job_module, "CACHE_VERSION", CACHE_VERSION + 1)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        second = runner.run(make_job())
+        assert runner.last_report.hits == 0
+        assert runner.last_report.misses == len(THETAS)
+        for a, b in zip(first, second):
+            assert results_equal(a, b)  # same semantics, fresh entries
+
+
 class TestResultPayload:
     def test_roundtrip(self):
         stats = ReuseStats()
@@ -134,6 +233,35 @@ class TestResultPayload:
     def test_malformed_payload_raises(self):
         with pytest.raises((KeyError, TypeError, ValueError)):
             result_from_payload({"quality": 1.0})
+
+    def test_shard_partial_roundtrip_keeps_metric_and_base(self):
+        stats = ReuseStats()
+        stats.total[("lstm", "i")] = 10
+        metric = AccuracyAccumulator(hits=7, total=9)
+        result = MemoizedResult(
+            quality=77.7,
+            quality_loss=0.3,
+            reuse_fraction=0.0,
+            stats=stats,
+            metric=metric,
+            base_quality=78.0,
+        )
+        restored = result_from_payload(
+            json.loads(json.dumps(result_to_payload(result)))
+        )
+        assert results_equal(result, restored)
+        assert restored.metric == metric
+        assert restored.base_quality == 78.0
+
+    def test_whole_point_payload_has_no_shard_fields(self):
+        result = MemoizedResult(
+            quality=1.0, quality_loss=0.0, reuse_fraction=0.0, stats=ReuseStats()
+        )
+        payload = result_to_payload(result)
+        assert "metric" not in payload
+        assert "base_quality" not in payload
+        restored = result_from_payload(payload)
+        assert restored.metric is None and restored.base_quality is None
 
 
 class TestResultCache:
@@ -261,6 +389,93 @@ class TestParallelDeterminism:
         runner.close()  # idempotent
 
 
+class TestShardedRunner:
+    """run(..., shards=N) must be bitwise identical to the serial path
+    and interoperate with the whole-point cache population."""
+
+    def test_sharded_matches_serial_bitwise(self):
+        job = make_job()
+        serial = ParallelRunner(jobs=1).run(job)
+        for shards in (2, 4, 7):
+            sharded = ParallelRunner(jobs=1).run(job, shards=shards)
+            for a, b in zip(serial, sharded):
+                assert results_equal(a, b)
+
+    def test_parallel_sharded_matches_serial_bitwise(self):
+        job = make_job()
+        serial = ParallelRunner(jobs=1).run(job)
+        with ParallelRunner(jobs=2) as runner:
+            sharded = runner.run(job, shards=3)
+            assert runner.last_report.workers == 2
+            assert runner.last_report.misses == len(THETAS) * 3
+        for a, b in zip(serial, sharded):
+            assert results_equal(a, b)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="shards"):
+            ParallelRunner(jobs=1).run(make_job(), shards=0)
+
+    def test_warm_shard_cache_runs_nothing(self, tmp_path):
+        job = make_job()
+        cold = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = cold.run(job, shards=3)
+        assert cold.last_report.misses == len(THETAS) * 3
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = warm.run(job, shards=3)
+        assert warm.last_report.misses == 0
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_sharded_run_populates_whole_point_cache(self, tmp_path):
+        """An unsharded run after a sharded one evaluates nothing."""
+        job = make_job()
+        sharded = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = sharded.run(job, shards=4)
+        unsharded = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = unsharded.run(job)
+        assert unsharded.last_report.evaluated == 0
+        assert unsharded.last_report.hits == len(THETAS)
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_whole_point_cache_short_circuits_sharded_run(self, tmp_path):
+        """A sharded run resolves from whole-point entries when present."""
+        job = make_job()
+        ParallelRunner(jobs=1, cache=ResultCache(tmp_path)).run(job)
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        results = runner.run(job, shards=5)
+        assert runner.last_report.misses == 0
+        assert runner.last_report.hits == len(THETAS)
+        serial = ParallelRunner(jobs=1).run(job)
+        for a, b in zip(serial, results):
+            assert results_equal(a, b)
+
+    def test_partial_shard_cache_reevaluates_only_missing(self, tmp_path):
+        job = make_job(thetas=(0.2,))
+        cache = ResultCache(tmp_path)
+        cold = ParallelRunner(jobs=1, cache=cache)
+        first = cold.run(job, shards=3)
+        # Drop the whole-point entry and one shard partial.
+        cache.path_for(job.point_key(0.2)).unlink()
+        shard_key = EvalShardJob.from_sweep_point(job, 0.2, 1, 3).key()
+        cache.path_for(shard_key).unlink()
+        again = ParallelRunner(jobs=1, cache=cache)
+        second = again.run(job, shards=3)
+        assert again.last_report.hits == 2
+        assert again.last_report.misses == 1
+        for a, b in zip(first, second):
+            assert results_equal(a, b)
+
+    def test_sweep_supports_shards(self):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        job = make_job()
+        baseline = ParallelRunner(jobs=1).sweep(job, benchmark=bench)
+        sharded = ParallelRunner(jobs=1).sweep(job, benchmark=bench, shards=4)
+        assert baseline.thetas == sharded.thetas
+        assert baseline.losses == sharded.losses
+        assert baseline.reuses == sharded.reuses
+
+
 class TestAnalysisIntegration:
     def test_network_sweep_with_runner_matches_default(self, tmp_path):
         bench = load_benchmark("imdb", scale="tiny", trained=False)
@@ -271,6 +486,23 @@ class TestAnalysisIntegration:
         assert baseline.thetas == routed.thetas
         assert baseline.losses == routed.losses
         assert baseline.reuses == routed.reuses
+
+    def test_network_sweep_sharded_matches_default(self):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        scheme = MemoizationScheme()
+        baseline = network_sweep(bench, scheme, thetas=THETAS)
+        sharded = network_sweep(bench, scheme, thetas=THETAS, shards=4)
+        assert baseline.thetas == sharded.thetas
+        assert baseline.losses == sharded.losses
+        assert baseline.reuses == sharded.reuses
+
+    def test_end_to_end_sharded_matches_default(self, tmp_path):
+        bench = load_benchmark("imdb", scale="tiny", trained=False)
+        baseline = end_to_end(bench, 2.0, thetas=THETAS)
+        sharded = end_to_end(bench, 2.0, thetas=THETAS, shards=3)
+        assert sharded.theta == baseline.theta
+        assert sharded.speedup == baseline.speedup
+        assert results_equal(sharded.test_result, baseline.test_result)
 
     def test_end_to_end_warm_cache_runs_nothing(self, tmp_path):
         bench = load_benchmark("imdb", scale="tiny", trained=False)

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.stats import (
+    DetailedReuseStats,
     ReuseStats,
     output_change_profile,
     profile_summary,
@@ -60,6 +61,102 @@ class TestReuseStats:
         stats = ReuseStats()
         stats.record("l", "i", np.array(flags))
         assert 0.0 <= stats.reuse_fraction() <= 1.0
+
+    @given(
+        st.lists(
+            st.lists(st.booleans(), min_size=1, max_size=16),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_any_partition_equals_whole(self, shards):
+        """merge() over any split of the records equals one big record."""
+        whole = ReuseStats()
+        for flags in shards:
+            whole.record("l", "i", np.array(flags))
+        merged = ReuseStats()
+        for flags in shards:
+            part = ReuseStats()
+            part.record("l", "i", np.array(flags))
+            merged.merge(part)
+        assert merged.total == whole.total
+        assert merged.reused == whole.reused
+        assert merged.reuse_fraction() == whole.reuse_fraction()
+
+
+class TestDetailedReuseStats:
+    """The subclass must keep counts and masks in lockstep through
+    record/merge/reset (the merge/reset asymmetry regression)."""
+
+    @staticmethod
+    def detailed(*masks, layer="l", gate="i"):
+        stats = DetailedReuseStats()
+        for mask in masks:
+            stats.record(layer, gate, np.array(mask))
+        return stats
+
+    def test_record_stores_masks_and_counts(self):
+        stats = self.detailed([[True, False]], [[False, False]])
+        assert stats.timesteps("l", "i") == 2
+        assert stats.total_evaluations == 4
+        assert stats.total_reused == 1
+
+    def test_merge_preserves_masks(self):
+        a = self.detailed([[True, False]])
+        b = self.detailed([[False, True]], [[True, True]])
+        a.merge(b)
+        assert a.timesteps("l", "i") == 3
+        assert a.total_evaluations == 6
+        assert a.total_reused == 4
+        np.testing.assert_array_equal(
+            a.masks[("l", "i")][1], np.array([[False, True]])
+        )
+
+    def test_merge_matches_sequential_record(self):
+        """Merging two halves equals recording everything in order."""
+        first = [[True, False]], [[False, False]]
+        second = [[True, True]], [[False, True]]
+        merged = self.detailed(*first)
+        merged.merge(self.detailed(*second))
+        sequential = self.detailed(*first, *second)
+        assert merged.total == sequential.total
+        assert merged.reused == sequential.reused
+        for key in sequential.masks:
+            np.testing.assert_array_equal(
+                np.concatenate(merged.masks[key]),
+                np.concatenate(sequential.masks[key]),
+            )
+
+    def test_merge_copies_masks(self):
+        """Merged masks must not alias the source's arrays."""
+        source = self.detailed([[True, False]])
+        target = DetailedReuseStats()
+        target.merge(source)
+        source.masks[("l", "i")][0][:] = False
+        assert target.masks[("l", "i")][0][0, 0]
+
+    def test_merge_plain_stats_adds_counts_only(self):
+        detailed = self.detailed([[True, False]])
+        plain = ReuseStats()
+        plain.record("l", "i", np.array([[True, True]]))
+        detailed.merge(plain)
+        assert detailed.total_evaluations == 4
+        assert detailed.total_reused == 3
+        assert detailed.timesteps("l", "i") == 1  # no masks to inherit
+
+    def test_reset_clears_masks_and_counts(self):
+        stats = self.detailed([[True, False]])
+        stats.reset()
+        assert stats.total_evaluations == 0
+        assert stats.timesteps("l", "i") == 0
+        assert stats.masks == {}
+
+    def test_merge_separate_keys(self):
+        a = self.detailed([[True]], layer="l0")
+        a.merge(self.detailed([[False]], layer="l1"))
+        assert a.timesteps("l0", "i") == 1
+        assert a.timesteps("l1", "i") == 1
 
 
 class TestRelativeChange:
