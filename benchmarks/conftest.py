@@ -9,7 +9,14 @@ cold session trains the four bench-scale networks once (~30-60 s) and
 re-runs of the figure benches resolve every sweep point from disk and
 complete near-instantly.  Environment knobs:
 
-- ``REPRO_BENCH_JOBS``: worker processes for sweep points (default 1).
+- ``REPRO_BENCH_BACKEND``: execution backend — ``serial``, ``process``
+  or ``queue`` (default: ``process`` when ``REPRO_BENCH_JOBS`` > 1,
+  else ``serial``; every backend produces bitwise-identical figures).
+- ``REPRO_BENCH_JOBS``: worker processes for the process backend
+  (default 1).
+- ``REPRO_BENCH_QUEUE_DIR``: work-queue directory for the queue
+  backend (default ``.repro_queue``); external ``repro worker``
+  processes sharing it help drain the figure sweeps.
 - ``REPRO_BENCH_SHARDS``: per-batch evaluation shards per sweep point
   (default 1; any value produces bitwise-identical figures).
 - ``REPRO_BENCH_NO_CACHE``: set to disable the on-disk cache.
@@ -33,7 +40,7 @@ from repro.core.engine import MemoizationScheme
 from repro.models.benchmark import Benchmark
 from repro.models.specs import BENCHMARK_NAMES
 from repro.models.zoo import load_benchmark
-from repro.runner import ParallelRunner, ResultCache
+from repro.runner import DEFAULT_QUEUE_DIR, ParallelRunner, ResultCache, make_backend
 
 #: Threshold grid used by the figure sweeps (x-axis of Figures 1 and 16;
 #: the paper's IMDB plot extends to 1.0).
@@ -46,10 +53,18 @@ LOSS_TARGETS: Sequence[float] = (1.0, 2.0, 3.0)
 def build_runner() -> ParallelRunner:
     """Runner configured from the environment (see module docstring)."""
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    backend_name = os.environ.get("REPRO_BENCH_BACKEND")
+    if not backend_name:
+        backend_name = "process" if jobs > 1 else "serial"
+    backend = make_backend(
+        backend_name,
+        jobs=jobs,
+        queue_dir=os.environ.get("REPRO_BENCH_QUEUE_DIR", DEFAULT_QUEUE_DIR),
+    )
     cache = None
     if not os.environ.get("REPRO_BENCH_NO_CACHE"):
         cache = ResultCache(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-    return ParallelRunner(jobs=jobs, cache=cache)
+    return ParallelRunner(cache=cache, backend=backend)
 
 
 class SessionResults:

@@ -43,7 +43,10 @@ def generate_report(
         thetas: threshold exploration grid.
         networks: which Table 1 networks to include.
         runner: optional :class:`repro.runner.ParallelRunner`; lets the
-            report share the sweep cache with the figure benches.
+            report share the sweep cache with the figure benches and
+            select an execution backend (serial, local process pool, or
+            the multi-host work queue) — the rendered report is
+            byte-identical under every backend.
         seed: benchmark construction/training seed.
         shards: per-batch evaluation shards per sweep point (results
             are bitwise identical for any value).

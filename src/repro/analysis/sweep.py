@@ -10,9 +10,12 @@
 Execution routes through :mod:`repro.runner`: each sweep point becomes a
 :class:`~repro.runner.SweepJob` point that a
 :class:`~repro.runner.ParallelRunner` can resolve from its on-disk cache
-or fan out across worker processes.  The default runner is serial and
-uncached, so calling these functions directly behaves exactly like the
-pre-runner in-process path.
+or hand to any execution backend — serial in-process, a local process
+pool, or the multi-host work queue (build the runner with
+``ParallelRunner(backend=make_backend("queue", ...))``).  The default
+runner is serial and uncached, so calling these functions directly
+behaves exactly like the pre-runner in-process path; every backend
+produces bitwise-identical sweeps.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from repro.accel.trace import ReuseTrace
 from repro.core.calibration import SweepPoint, ThresholdSweep
 from repro.core.engine import MemoizationScheme
 from repro.models.benchmark import Benchmark, MemoizedResult
-from repro.runner import DEFAULT_THETAS, ParallelRunner, SweepJob
+from repro.runner import DEFAULT_THETAS, ParallelRunner, SerialBackend, SweepJob
 
 __all__ = [
     "DEFAULT_THETAS",
@@ -37,7 +40,7 @@ __all__ = [
 ]
 
 #: Serial, uncached runner used when callers do not supply one.
-_DEFAULT_RUNNER = ParallelRunner(jobs=1, cache=None)
+_DEFAULT_RUNNER = ParallelRunner(cache=None, backend=SerialBackend())
 
 
 def network_sweep(

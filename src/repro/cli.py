@@ -8,11 +8,21 @@ Commands mirror the library's main entry points:
 - ``table1``    — print the benchmark-network table.
 - ``area``      — print the area model.
 - ``report``    — full markdown reproduction report.
+- ``worker``    — drain a shared work queue (multi-host execution).
+
+``sweep``/``e2e``/``report`` take ``--backend {serial,process,queue}``:
+``serial`` evaluates in-process, ``process`` fans out over ``--jobs``
+local worker processes, and ``queue`` publishes every point into a
+``--queue-dir`` that any number of ``repro worker`` processes (on any
+host sharing that filesystem) drain concurrently.  Every backend prints
+byte-identical output.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import socket
 from typing import Optional, Sequence
 
 from repro.accel.area import DEFAULT_AREA_MODEL
@@ -23,16 +33,57 @@ from repro.analysis.sweep import end_to_end, network_sweep
 from repro.core.engine import PREDICTOR_KINDS, MemoizationScheme
 from repro.models.specs import BENCHMARK_NAMES, PAPER_NETWORKS
 from repro.models.zoo import load_benchmark
-from repro.runner import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache
+from repro.runner import (
+    BACKEND_NAMES,
+    DEFAULT_CACHE_DIR,
+    DEFAULT_LEASE_TTL,
+    DEFAULT_QUEUE_DIR,
+    ParallelRunner,
+    ResultCache,
+    WorkQueue,
+    drain,
+    evaluate_task,
+    make_backend,
+)
+
+
+def _add_queue_arguments(sub: argparse.ArgumentParser) -> None:
+    """Work-queue knobs shared by the queue backend and ``worker``."""
+    sub.add_argument(
+        "--queue-dir",
+        default=DEFAULT_QUEUE_DIR,
+        help=(
+            "work-queue directory shared with `repro worker` processes "
+            f"(default: {DEFAULT_QUEUE_DIR})"
+        ),
+    )
+    sub.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help=(
+            "seconds before a claimed task's lease expires and the task "
+            f"is re-queued (default: {DEFAULT_LEASE_TTL:.0f})"
+        ),
+    )
 
 
 def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
     """Execution knobs shared by the sweep-driven commands."""
     sub.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "execution backend (default: process when --jobs > 1, "
+            "serial otherwise); all backends print identical output"
+        ),
+    )
+    sub.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for sweep points (default: 1, serial)",
+        help="worker processes for the process backend (default: 1)",
     )
     sub.add_argument(
         "--shards",
@@ -56,6 +107,24 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--seed", type=int, default=0, help="benchmark seed (default: 0)"
     )
+    _add_queue_arguments(sub)
+    sub.add_argument(
+        "--no-drain",
+        action="store_true",
+        help=(
+            "queue backend only: do not evaluate tasks in this process; "
+            "rely entirely on external `repro worker` processes"
+        ),
+    )
+    sub.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=None,
+        help=(
+            "queue backend only: abort after this many seconds without "
+            "progress (default: wait forever)"
+        ),
+    )
 
 
 def _build_runner(args) -> ParallelRunner:
@@ -63,8 +132,27 @@ def _build_runner(args) -> ParallelRunner:
         raise SystemExit("--jobs must be >= 1")
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.lease_ttl <= 0:
+        raise SystemExit("--lease-ttl must be positive")
+    backend_name = args.backend
+    if backend_name is None:
+        backend_name = "process" if args.jobs > 1 else "serial"
+    if backend_name != "process" and args.jobs > 1:
+        raise SystemExit(
+            f"--backend {backend_name} is incompatible with --jobs > 1 "
+            "(--jobs only parameterises the process backend)"
+        )
+    backend = make_backend(
+        backend_name,
+        jobs=args.jobs,
+        queue_dir=args.queue_dir,
+        lease_ttl=args.lease_ttl,
+        drain=not args.no_drain,
+        timeout=args.queue_timeout,
+        reuse_results=not args.no_cache,
+    )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return ParallelRunner(jobs=args.jobs, cache=cache)
+    return ParallelRunner(cache=cache, backend=backend)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +199,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--networks", nargs="+", default=list(BENCHMARK_NAMES)
     )
     _add_runner_arguments(report)
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a shared work queue (multi-host execution)",
+        description=(
+            "Claim and evaluate tasks from --queue-dir until the queue "
+            "stays empty for --idle-timeout seconds (or forever without "
+            "it).  Run any number of workers, on any hosts that share "
+            "the queue directory's filesystem; crashed workers' tasks "
+            "are re-queued when their lease expires."
+        ),
+    )
+    _add_queue_arguments(worker)
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after completing this many tasks (default: unlimited)",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help=(
+            "exit after this many seconds without claimable work "
+            "(default: run forever)"
+        ),
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        help="seconds between queue polls when idle (default: 0.1)",
+    )
     return parser
 
 
@@ -207,6 +329,28 @@ def _cmd_report(args) -> str:
         )
 
 
+def _cmd_worker(args) -> str:
+    if args.lease_ttl <= 0:
+        raise SystemExit("--lease-ttl must be positive")
+    if args.max_tasks is not None and args.max_tasks < 1:
+        raise SystemExit("--max-tasks must be >= 1")
+    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    failed_before = queue.failed_count()
+    completed = drain(
+        queue,
+        evaluate_task,
+        max_tasks=args.max_tasks,
+        idle_timeout=args.idle_timeout,
+        poll_interval=args.poll_interval,
+        worker=f"{socket.gethostname()}-{os.getpid()}",
+    )
+    quarantined = queue.failed_count() - failed_before
+    summary = f"drained {completed} task(s) from {args.queue_dir}"
+    if quarantined:
+        summary += f" ({quarantined} task(s) quarantined in failed/)"
+    return summary
+
+
 def _cmd_area(args) -> str:
     del args
     model = DEFAULT_AREA_MODEL
@@ -223,6 +367,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "area": _cmd_area,
     "report": _cmd_report,
+    "worker": _cmd_worker,
 }
 
 

@@ -1,44 +1,91 @@
-"""Sweep execution subsystem: job specs, result cache, parallel runner.
+"""Sweep execution subsystem: job specs, cache, backends, work queue.
 
 The experiment layer (:mod:`repro.analysis`, the CLI, the figure
 benches) describes work as :class:`SweepJob` specs and hands them to a
 :class:`ParallelRunner`, which resolves points from the content-
-addressed :class:`ResultCache` and fans cache misses out over worker
-processes.  A single evaluation can additionally be sharded per-batch
+addressed :class:`ResultCache` and hands cache misses to a pluggable
+:class:`~repro.runner.backends.ExecutionBackend`:
+
+- :class:`SerialBackend` — in-process (the bitwise reference path);
+- :class:`ProcessBackend` — a persistent local process pool;
+- :class:`QueueBackend` — a file-based multi-host :class:`WorkQueue`
+  drained by ``repro worker`` processes, with lease-based crash
+  recovery.
+
+A single evaluation can additionally be sharded per-batch
 (:class:`EvalShardJob`, ``run(..., shards=N)``): shard partials carry
 mergeable metric accumulators and reduce to the whole-point result.
-Serial, parallel, cached and sharded paths all produce bitwise
+Serial, parallel, queued, cached and sharded paths all produce bitwise
 identical results.
 """
 
+from repro.runner.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    QueueBackend,
+    QueueDrainTimeout,
+    QueueTaskFailed,
+    SerialBackend,
+    make_backend,
+)
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.evaluate import (
+    evaluate_payload,
+    evaluate_point,
+    evaluate_shard,
+    evaluate_task,
+)
 from repro.runner.job import (
     CACHE_VERSION,
     DEFAULT_THETAS,
+    JOB_KINDS,
     EvalShardJob,
     SweepJob,
+    job_from_payload,
+    payload_key,
     result_from_payload,
     result_to_payload,
     scheme_from_payload,
 )
-from repro.runner.parallel import (
-    ParallelRunner,
-    RunReport,
-    evaluate_point,
-    evaluate_shard,
+from repro.runner.parallel import ParallelRunner, RunReport
+from repro.runner.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_QUEUE_DIR,
+    Task,
+    WorkQueue,
+    drain,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_QUEUE_DIR",
     "DEFAULT_THETAS",
     "EvalShardJob",
+    "ExecutionBackend",
+    "JOB_KINDS",
     "ParallelRunner",
+    "ProcessBackend",
+    "QueueBackend",
+    "QueueDrainTimeout",
+    "QueueTaskFailed",
     "ResultCache",
     "RunReport",
+    "SerialBackend",
     "SweepJob",
+    "Task",
+    "WorkQueue",
+    "drain",
+    "evaluate_payload",
     "evaluate_point",
     "evaluate_shard",
+    "evaluate_task",
+    "job_from_payload",
+    "make_backend",
+    "payload_key",
     "result_from_payload",
     "result_to_payload",
     "scheme_from_payload",

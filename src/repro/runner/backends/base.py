@@ -1,0 +1,54 @@
+"""The execution-backend contract shared by every execution strategy.
+
+A backend answers exactly one question: *given these job payloads, get
+me their result payloads, in order*.  Everything else — cache lookups,
+shard fan-out and merging, report accounting — stays in
+:class:`~repro.runner.parallel.ParallelRunner`, so adding a transport
+(threads, a remote RPC pool, a cloud batch service) means implementing
+one method.  All backends evaluate through
+:func:`repro.runner.evaluate.evaluate_point`, the single evaluation
+path, so every backend is bitwise-identical to every other by
+construction; the equivalence suite (``tests/test_backends.py``) locks
+that in.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.models.benchmark import Benchmark
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy interface: evaluate job payloads, somewhere, in order."""
+
+    #: Short identifier used by the CLI (``--backend NAME``) and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        benchmark: Optional[Benchmark] = None,
+    ) -> List[Dict[str, object]]:
+        """Evaluate every payload; result payloads in submission order.
+
+        ``benchmark`` is an optional live instance matching the
+        payloads' identity — purely an optimisation hint for in-process
+        execution (skips a zoo rebuild); distributed backends ignore it.
+        """
+
+    def workers_for(self, tasks: int) -> int:
+        """How many workers a batch of ``tasks`` payloads would occupy."""
+        del tasks
+        return 1
+
+    def close(self) -> None:
+        """Release held resources (idempotent); the default holds none."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,184 @@
+"""Multi-host execution through the file-based work queue.
+
+The submitting process publishes payloads as tasks in a shared
+:class:`~repro.runner.queue.WorkQueue` directory and collects results
+from the queue's content-addressed result cache.  Any number of
+``repro worker --queue-dir DIR`` processes — on this host or any host
+mounting the same filesystem — claim and evaluate the tasks; lease
+expiry re-queues the tasks of workers that die mid-evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.models.benchmark import Benchmark
+from repro.runner.backends.base import ExecutionBackend
+from repro.runner.evaluate import evaluate_task
+from repro.runner.job import payload_key
+from repro.runner.queue import DEFAULT_LEASE_TTL, WorkQueue
+
+
+class QueueDrainTimeout(RuntimeError):
+    """No task progress within the backend's timeout window."""
+
+
+class QueueTaskFailed(RuntimeError):
+    """A task of this submission was quarantined under ``failed/``.
+
+    Evaluation here is deterministic, so a task that raised once will
+    raise again: the submitter surfaces the worker's recorded traceback
+    immediately instead of waiting for a result that can never arrive.
+    Retry by deleting the task's ``failed/`` entry after fixing the
+    cause.
+    """
+
+
+class QueueBackend(ExecutionBackend):
+    """Execute payloads by publishing them to a shared work queue.
+
+    Args:
+        queue: a :class:`WorkQueue` or a queue directory path.
+        lease_ttl: lease expiry used when ``queue`` is a path.
+        drain: when ``True`` (default) the submitting process also
+            claims and evaluates tasks while it waits, so a sweep
+            completes even with zero external workers — extra workers
+            purely add speed.  ``False`` makes the submitter
+            coordinate-only (it still re-queues expired leases), which
+            is how the CI smoke job proves external workers did the
+            work.
+        timeout: raise :class:`QueueDrainTimeout` after this many
+            seconds *without progress* — a result arriving, a task
+            evaluated here, an expired lease re-queued, or a live
+            worker holding one of this submission's leases all count
+            as progress, so the timeout only fires for a genuinely
+            stuck queue.  ``None`` waits forever — sensible only when
+            drain mode or a healthy worker fleet guarantees liveness.
+        poll_interval: sleep between polls when idle.
+        worker: lease tag identifying this submitter in the queue dir.
+        reuse_results: when ``False`` (the CLI's ``--no-cache``),
+            results already sitting in the queue's store are discarded
+            and re-evaluated instead of reused, so a "fresh run"
+            request really re-runs everything.  The store itself cannot
+            be disabled — it is how workers hand results back.
+
+    Note: ``workers_for`` reports 1 — the queue cannot know how many
+    remote workers will pick its tasks up.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, str, Path],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        drain: bool = True,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        worker: str = "submitter",
+        reuse_results: bool = True,
+    ):
+        if not isinstance(queue, WorkQueue):
+            queue = WorkQueue(queue, lease_ttl=lease_ttl)
+        self.queue = queue
+        self.drain = bool(drain)
+        self.timeout = timeout
+        self.poll_interval = float(poll_interval)
+        self.worker = worker
+        self.reuse_results = bool(reuse_results)
+
+    def execute(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        benchmark: Optional[Benchmark] = None,
+    ) -> List[Dict[str, object]]:
+        del benchmark  # remote workers rebuild from the payload alone
+        keys = [payload_key(payload) for payload in payloads]
+        outputs: Dict[str, Dict[str, object]] = {}
+        for payload, key in zip(payloads, keys):
+            if not self.reuse_results:
+                self.queue.results.discard(key)  # force a fresh run
+            else:
+                cached = self.queue.results.get(key)
+                if cached is not None:
+                    outputs[key] = cached
+                    continue
+            self.queue.submit(payload)
+
+        waiting = [key for key in keys if key not in outputs]
+        idle_start = time.monotonic()
+        while waiting:
+            arrived = False
+            for key in waiting:
+                cached = self.queue.results.get(key)
+                if cached is not None:
+                    outputs[key] = cached
+                    arrived = True
+            if arrived:
+                waiting = [key for key in waiting if key not in outputs]
+                idle_start = time.monotonic()
+                continue
+            self._raise_on_failed(waiting)
+            # Progress is anything that moves a task of ours toward a
+            # result: an expired lease re-queued (crash recovery), a
+            # task evaluated by this process, or a live worker holding
+            # one of our leases.  Only a genuinely stuck queue — no
+            # results, no recovery, no one working — runs the timeout
+            # clock.
+            progressed = self.queue.requeue_expired() > 0
+            if self.drain and self._drain_one():
+                progressed = True
+            if not progressed:
+                progressed = any(
+                    self.queue.has_live_lease(key) for key in waiting
+                )
+            if progressed:
+                idle_start = time.monotonic()
+                continue
+            if (
+                self.timeout is not None
+                and time.monotonic() - idle_start >= self.timeout
+            ):
+                raise QueueDrainTimeout(
+                    f"no progress for {self.timeout:.0f}s; "
+                    f"{len(waiting)} task(s) still unresolved in "
+                    f"{self.queue.root} (are any workers running?)"
+                )
+            time.sleep(self.poll_interval)
+        return [outputs[key] for key in keys]
+
+    def _raise_on_failed(self, waiting: Sequence[str]) -> None:
+        """Surface a quarantined task of ours instead of waiting forever."""
+        for key in waiting:
+            if self.queue.is_failed(key):
+                error = self.queue.failed_error(key)
+                detail = f":\n{error}" if error else " (no traceback recorded)"
+                raise QueueTaskFailed(
+                    f"task {key} was quarantined under "
+                    f"{self.queue.failed_dir}{detail}"
+                )
+
+    def _drain_one(self) -> bool:
+        """Claim and evaluate one task (any task — helping other
+        submitters sharing the queue still makes global progress).
+
+        A failing evaluation is quarantined, exactly as a fleet worker
+        would (one foreign poison payload must not abort this
+        submitter's own healthy sweep); if the failed task was *ours*,
+        the next `_raise_on_failed` check surfaces it.
+        """
+        task = self.queue.claim(self.worker)
+        if task is None:
+            return False
+        try:
+            with self.queue.heartbeat(task):
+                output = evaluate_task(task.payload)
+        except Exception:
+            self.queue.fail(task, error=traceback.format_exc())
+            return True  # the quarantine itself is queue progress
+        self.queue.results.put(task.task_id, output)
+        self.queue.complete(task)
+        return True

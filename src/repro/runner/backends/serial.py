@@ -1,0 +1,31 @@
+"""In-process serial execution: the reference backend."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.models.benchmark import Benchmark
+from repro.runner.backends.base import ExecutionBackend
+from repro.runner.evaluate import evaluate_payload
+from repro.runner.job import result_to_payload
+
+
+class SerialBackend(ExecutionBackend):
+    """Evaluate every payload in this process, one after another.
+
+    The baseline every other backend must match bitwise.  Accepts the
+    live-``benchmark`` hint, so a caller that already holds the trained
+    model never pays a zoo rebuild.
+    """
+
+    name = "serial"
+
+    def execute(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        benchmark: Optional[Benchmark] = None,
+    ) -> List[Dict[str, object]]:
+        return [
+            result_to_payload(evaluate_payload(payload, benchmark))
+            for payload in payloads
+        ]

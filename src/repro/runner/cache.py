@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -48,15 +49,30 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Dict[str, object]) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``.
+
+        The temp name carries a uuid, not just the pid: the multi-host
+        work queue shares one cache across machines, where pids collide
+        (two containerised workers are both pid 1) and a pid-only temp
+        file could be written by two processes at once.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}")
         tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         os.replace(tmp, path)
 
+    def discard(self, key: str) -> None:
+        """Forget ``key`` if present (used by fresh-run queue submits)."""
+        self._discard(self.path_for(key))
+
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+        """Membership agrees with :meth:`get`: a corrupt or non-dict
+        entry that ``get`` would discard and report as a miss is not
+        *in* the cache (and is discarded here too), so ``key in cache``
+        can never promise a payload that ``get(key)`` then fails to
+        deliver."""
+        return self.get(key) is not None
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -1,0 +1,83 @@
+"""Payload evaluation: the single execution path shared by all backends.
+
+Every execution backend — serial in-process, worker processes, queue
+workers on other hosts — funnels through :func:`evaluate_point`: rebuild
+the benchmark from the payload's ``(network, scale, seed)`` identity
+(deterministic zoo seeding, cached per process), evaluate the named
+point or shard, and return the JSON-safe result payload that the
+content-addressed cache stores.  Because there is exactly one evaluation
+path, cached, serial, process-parallel, sharded and multi-host results
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.models.benchmark import Benchmark, MemoizedResult
+from repro.models.zoo import load_benchmark
+from repro.runner.job import (
+    job_from_payload,
+    result_to_payload,
+    scheme_from_payload,
+)
+
+
+def evaluate_payload(
+    payload: Mapping[str, object], benchmark: Optional[Benchmark] = None
+) -> MemoizedResult:
+    """Evaluate any point or shard payload, optionally on a live benchmark.
+
+    The payload's ``shard_index``/``shard_count`` keys (present only on
+    ``eval_shard`` payloads) select the shard; whole points evaluate the
+    full split.
+    """
+    if benchmark is None:
+        benchmark = load_benchmark(
+            str(payload["network"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            trained=False,
+        )
+    shard = None
+    if "shard_index" in payload:
+        shard = (int(payload["shard_index"]), int(payload["shard_count"]))
+    return benchmark.evaluate_memoized(
+        scheme_from_payload(payload),
+        calibration=bool(payload["calibration"]),
+        shard=shard,
+    )
+
+
+def evaluate_point(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Worker entry point: evaluate one point or shard from its payload.
+
+    A pure function of the payload — the zoo rebuilds and (lazily)
+    trains the benchmark from ``(network, scale, seed)`` with fully
+    seeded numpy, so any process on any host computes the same result.
+    Returns the JSON-safe result payload (what the cache stores); shard
+    payloads (``shard_index``/``shard_count`` present) yield partials
+    carrying their metric-accumulator state and ``base_quality``.
+    """
+    return result_to_payload(evaluate_payload(payload))
+
+
+#: Alias for readability at sharded call sites: the payload's own
+#: ``shard_index``/``shard_count`` fields select the shard, so point
+#: and shard evaluations share one dispatch path.
+evaluate_shard = evaluate_point
+
+
+def evaluate_task(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Validate, then evaluate, one *queue* task payload.
+
+    Queue payloads arrive from other processes — possibly other hosts
+    running other code versions — so unlike the in-process paths they
+    are validated first: :func:`~repro.runner.job.job_from_payload`
+    rejects unknown job kinds and payloads written under a different
+    ``CACHE_VERSION`` (evaluating those would store a result under a
+    content-address that lies about its semantics).  The raised
+    ``ValueError`` quarantines the task instead of computing garbage.
+    """
+    job_from_payload(payload)
+    return evaluate_point(payload)

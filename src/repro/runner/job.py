@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import PREDICTOR_KINDS, MemoizationScheme
 from repro.core.stats import ReuseStats
@@ -120,6 +120,32 @@ class SweepJob:
             use_packed=scheme.use_packed,
             calibration=calibration,
             layer_thetas=layer_thetas,
+        )
+
+    @classmethod
+    def from_point_payload(cls, payload: Mapping[str, object]) -> "SweepJob":
+        """Rebuild the single-theta job a ``sweep_point`` payload describes.
+
+        Inverse of :meth:`point_payload`:
+        ``SweepJob.from_point_payload(p).point_payload(p["theta"]) == p``.
+        Most callers want :func:`job_from_payload`, which dispatches on
+        ``kind`` and validates the payload's cache version first.
+        """
+        layer_thetas = payload.get("layer_thetas")
+        return cls(
+            network=str(payload["network"]),
+            thetas=(float(payload["theta"]),),
+            predictor=str(payload["predictor"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            throttle=bool(payload["throttle"]),
+            use_packed=bool(payload["use_packed"]),
+            calibration=bool(payload["calibration"]),
+            layer_thetas=(
+                tuple((str(name), float(theta)) for name, theta in layer_thetas)
+                if layer_thetas is not None
+                else None
+            ),
         )
 
     def for_theta(self, theta: float) -> "SweepJob":
@@ -246,6 +272,23 @@ class EvalShardJob:
             layer_thetas=job.layer_thetas,
         )
 
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "EvalShardJob":
+        """Rebuild the shard job an ``eval_shard`` payload describes.
+
+        Inverse of :meth:`payload`:
+        ``EvalShardJob.from_payload(p).payload() == p``.  Most callers
+        want :func:`job_from_payload`, which dispatches on ``kind`` and
+        validates the payload's cache version first.
+        """
+        point = SweepJob.from_point_payload(payload)
+        return cls.from_sweep_point(
+            point,
+            point.thetas[0],
+            int(payload["shard_index"]),
+            int(payload["shard_count"]),
+        )
+
     @property
     def shard(self) -> Tuple[int, int]:
         return (self.shard_index, self.shard_count)
@@ -271,6 +314,55 @@ class EvalShardJob:
 def _digest(payload: Mapping[str, object]) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def payload_key(payload: Mapping[str, object]) -> str:
+    """Content-address of any job payload: its cache key and queue task id.
+
+    Matches :meth:`SweepJob.point_key` / :meth:`EvalShardJob.key` for
+    the payloads those jobs emit, so a worker that only ever sees the
+    payload still stores its result under the exact key the submitting
+    runner polls for.
+    """
+    return _digest(payload)
+
+
+#: ``kind`` discriminator values understood by :func:`job_from_payload`.
+JOB_KINDS = ("sweep_point", "eval_shard")
+
+
+def job_from_payload(
+    payload: Mapping[str, object],
+) -> "Union[SweepJob, EvalShardJob]":
+    """Rebuild the job spec a payload describes, dispatching on ``kind``.
+
+    The inverse of :meth:`SweepJob.point_payload` /
+    :meth:`EvalShardJob.payload`: ``sweep_point`` payloads yield a
+    single-theta :class:`SweepJob`, ``eval_shard`` payloads an
+    :class:`EvalShardJob`, and round-tripping back through the job's
+    payload method reproduces the input exactly.
+
+    Raises:
+        ValueError: on an unknown ``kind`` or a payload written by a
+            different :data:`CACHE_VERSION` (a worker must never
+            evaluate a spec from an incompatible code version — the
+            result would be stored under a key that lies about its
+            semantics).
+    """
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ValueError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    version = payload.get("cache_version")
+    if version != CACHE_VERSION:
+        raise ValueError(
+            f"payload cache_version {version!r} does not match this "
+            f"code's CACHE_VERSION {CACHE_VERSION}"
+        )
+    if kind == "sweep_point":
+        return SweepJob.from_point_payload(payload)
+    return EvalShardJob.from_payload(payload)
 
 
 def scheme_from_payload(payload: Mapping[str, object]) -> MemoizationScheme:

@@ -1,13 +1,15 @@
-"""Parallel sweep execution: fan independent points across processes.
+"""Sweep execution: cache resolution + pluggable backend fan-out.
 
 The paper's methodology is embarrassingly parallel — every (network,
 predictor, theta) evaluation is independent — so :class:`ParallelRunner`
 treats a :class:`~repro.runner.job.SweepJob` as a work-queue of point
 payloads, resolves as many as possible from the
-:class:`~repro.runner.cache.ResultCache`, and fans the remainder out
-over a ``ProcessPoolExecutor``.  Workers rebuild benchmarks from the
-payload alone (deterministic zoo seeding), so parallel results are
-bitwise identical to the serial in-process path.
+:class:`~repro.runner.cache.ResultCache`, and hands the misses to an
+:class:`~repro.runner.backends.ExecutionBackend`: serial in-process,
+a local process pool, or the file-based multi-host work queue.  All
+backends evaluate through the same
+:func:`~repro.runner.evaluate.evaluate_point` path, so their results
+are bitwise identical to the serial baseline.
 
 With ``shards > 1`` a single evaluation is additionally split *within*
 the test/calibration batch: each point fans out into
@@ -21,69 +23,28 @@ cache.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.calibration import ThresholdSweep
 from repro.models.benchmark import Benchmark, MemoizedResult, merge_shard_results
 from repro.models.specs import PAPER_NETWORKS
-from repro.models.zoo import load_benchmark
-from repro.runner.cache import ResultCache
+from repro.runner.backends import ExecutionBackend, ProcessBackend, SerialBackend
+from repro.runner.evaluate import evaluate_payload, evaluate_point, evaluate_shard
 from repro.runner.job import (
     EvalShardJob,
     SweepJob,
     result_from_payload,
     result_to_payload,
-    scheme_from_payload,
 )
 
-
-def _evaluate_payload(
-    payload: Mapping[str, object], benchmark: Optional[Benchmark] = None
-) -> MemoizedResult:
-    """Evaluate any point or shard payload, optionally on a live benchmark.
-
-    The payload's ``shard_index``/``shard_count`` keys (present only on
-    ``eval_shard`` payloads) select the shard; whole points evaluate the
-    full split.  This is the single evaluation path shared by worker
-    processes and the serial in-process fallback, so cached, parallel,
-    sharded and serial results can never drift apart.
-    """
-    if benchmark is None:
-        benchmark = load_benchmark(
-            str(payload["network"]),
-            scale=str(payload["scale"]),
-            seed=int(payload["seed"]),
-            trained=False,
-        )
-    shard = None
-    if "shard_index" in payload:
-        shard = (int(payload["shard_index"]), int(payload["shard_count"]))
-    return benchmark.evaluate_memoized(
-        scheme_from_payload(payload),
-        calibration=bool(payload["calibration"]),
-        shard=shard,
-    )
-
-
-def evaluate_point(payload: Mapping[str, object]) -> Dict[str, object]:
-    """Worker entry point: evaluate one point or shard from its payload.
-
-    A pure function of the payload — the zoo rebuilds and (lazily)
-    trains the benchmark from ``(network, scale, seed)`` with fully
-    seeded numpy, so any process computes the same result.  Returns the
-    JSON-safe result payload (what the cache stores); shard payloads
-    (``shard_index``/``shard_count`` present) yield partials carrying
-    their metric-accumulator state and ``base_quality``.
-    """
-    return result_to_payload(_evaluate_payload(payload))
-
-
-#: Alias for readability at sharded call sites: the payload's own
-#: ``shard_index``/``shard_count`` fields select the shard, so point
-#: and shard evaluations share one dispatch path.
-evaluate_shard = evaluate_point
+__all__ = [
+    "ParallelRunner",
+    "RunReport",
+    "evaluate_payload",
+    "evaluate_point",
+    "evaluate_shard",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +54,7 @@ class RunReport:
     hits: int = 0
     misses: int = 0
     workers: int = 1
+    backend: str = "serial"
 
     @property
     def evaluated(self) -> int:
@@ -103,39 +65,48 @@ class RunReport:
 class ParallelRunner:
     """Executes sweep jobs point-by-point, with caching and fan-out.
 
-    The worker pool is created lazily on the first parallel run and
-    kept alive for the runner's lifetime: each worker's in-process zoo
-    cache then amortises benchmark training across successive ``run``
-    calls (a pool-per-call design would retrain the same networks for
-    every sweep).  Call :meth:`close` (or use the runner as a context
-    manager) to release the workers.
+    The execution strategy is a pluggable
+    :class:`~repro.runner.backends.ExecutionBackend`.  By default the
+    runner builds its own: :class:`SerialBackend` for ``jobs=1``,
+    :class:`ProcessBackend` otherwise (the historical behaviour); pass
+    ``backend=`` to supply any other strategy, e.g. a
+    :class:`~repro.runner.backends.QueueBackend` that ships payloads to
+    worker processes on other hosts.  The runner owns whatever backend
+    it ends up with: :meth:`close` (or exiting the context manager)
+    releases its resources.
 
     Args:
-        jobs: worker processes; ``1`` evaluates serially in-process
-            (no pool), which is also the fallback when only a single
-            point misses the cache.
+        jobs: worker processes for the default process backend; ``1``
+            selects the serial backend.  Ignored when ``backend`` is
+            given.
         cache: optional :class:`ResultCache`; ``None`` disables caching.
+        backend: optional explicit execution backend.
 
     Attributes:
         last_report: :class:`RunReport` for the most recent ``run``.
         hits / misses: cumulative counters across the runner's lifetime.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        backend: Optional[ExecutionBackend] = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        self.jobs = int(jobs)
+        if backend is None:
+            backend = ProcessBackend(jobs) if jobs > 1 else SerialBackend()
+        self.backend = backend
+        self.jobs = getattr(backend, "jobs", int(jobs))
         self.cache = cache
-        self.last_report = RunReport()
+        self.last_report = RunReport(backend=backend.name)
         self.hits = 0
         self.misses = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Release the backend's resources (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "ParallelRunner":
         return self
@@ -154,9 +125,9 @@ class ParallelRunner:
         Args:
             job: the sweep spec.
             benchmark: optional live instance to evaluate on when
-                running serially (saves a zoo rebuild); it must match
-                the job's identity.  Ignored by the process pool, whose
-                workers always rebuild from the spec.
+                running in-process (saves a zoo rebuild); it must match
+                the job's identity.  Distributed backends ignore it —
+                their workers always rebuild from the spec.
             shards: split each point's evaluation batch into this many
                 :class:`EvalShardJob` units (``1`` keeps the whole-point
                 path).  Results are bitwise identical for any value.
@@ -178,31 +149,16 @@ class ParallelRunner:
             if results[i] is None:
                 missing.append(i)
 
-        workers = 1
         if missing:
-            if self.jobs > 1 and len(missing) > 1:
-                workers = min(self.jobs, len(missing))
-                outputs = list(
-                    self._get_pool().map(
-                        evaluate_point, [payloads[i] for i in missing]
-                    )
-                )
-                for i, output in zip(missing, outputs):
-                    results[i] = result_from_payload(output)
-                    if self.cache is not None:
-                        self.cache.put(keys[i], output)
-            else:
-                for i in missing:
-                    results[i] = _evaluate_payload(payloads[i], benchmark)
-                    if self.cache is not None:
-                        self.cache.put(keys[i], result_to_payload(results[i]))
+            outputs = self.backend.execute(
+                [payloads[i] for i in missing], benchmark=benchmark
+            )
+            for i, output in zip(missing, outputs):
+                results[i] = result_from_payload(output)
+                if self.cache is not None:
+                    self.cache.put(keys[i], output)
 
-        hits = len(keys) - len(missing)
-        self.last_report = RunReport(
-            hits=hits, misses=len(missing), workers=workers
-        )
-        self.hits += hits
-        self.misses += len(missing)
+        self._account(hits=len(keys) - len(missing), misses=len(missing))
         return [result for result in results if result is not None]
 
     def sweep(
@@ -259,24 +215,15 @@ class ParallelRunner:
                     hits += 1
             shard_slots[t] = slots
 
-        workers = 1
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                workers = min(self.jobs, len(pending))
-                payloads = [shard_job.payload() for _, _, shard_job in pending]
-                outputs = list(self._get_pool().map(evaluate_point, payloads))
-                for (t, s, shard_job), output in zip(pending, outputs):
-                    shard_slots[t][s] = result_from_payload(output)
-                    if self.cache is not None:
-                        self.cache.put(shard_job.key(), output)
-            else:
-                for t, s, shard_job in pending:
-                    partial = _evaluate_payload(shard_job.payload(), benchmark)
-                    shard_slots[t][s] = partial
-                    if self.cache is not None:
-                        self.cache.put(
-                            shard_job.key(), result_to_payload(partial)
-                        )
+            outputs = self.backend.execute(
+                [shard_job.payload() for _, _, shard_job in pending],
+                benchmark=benchmark,
+            )
+            for (t, s, shard_job), output in zip(pending, outputs):
+                shard_slots[t][s] = result_from_payload(output)
+                if self.cache is not None:
+                    self.cache.put(shard_job.key(), output)
 
         higher_is_better = PAPER_NETWORKS[job.network].higher_is_better
         for t, slots in shard_slots.items():
@@ -287,12 +234,18 @@ class ParallelRunner:
                     job.point_key(job.thetas[t]), result_to_payload(merged)
                 )
 
+        self._account(hits=hits, misses=len(pending))
+        return [result for result in results if result is not None]
+
+    def _account(self, hits: int, misses: int) -> None:
         self.last_report = RunReport(
-            hits=hits, misses=len(pending), workers=workers
+            hits=hits,
+            misses=misses,
+            workers=self.backend.workers_for(misses),
+            backend=self.backend.name,
         )
         self.hits += hits
-        self.misses += len(pending)
-        return [result for result in results if result is not None]
+        self.misses += misses
 
     def _cached_result(self, key: str) -> Optional[MemoizedResult]:
         """Cache lookup that treats stale/corrupt payloads as misses."""
@@ -303,11 +256,6 @@ class ParallelRunner:
             return result_from_payload(cached)
         except (KeyError, TypeError, ValueError):
             return None
-
-    def _get_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
 
     @staticmethod
     def _check_benchmark(job: SweepJob, benchmark: Benchmark) -> None:

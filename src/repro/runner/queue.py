@@ -1,0 +1,343 @@
+"""File-based multi-host work queue with lease-based fault tolerance.
+
+Any number of workers on any number of hosts that share one filesystem
+(NFS, a bind mount, plain local disk) drain a single queue directory:
+
+- ``<root>/pending/<task_id>.json`` — a submitted, unclaimed task.  The
+  file body is the task's JSON payload; ``task_id`` is the payload's
+  content address (:func:`repro.runner.job.payload_key`), so duplicate
+  submissions collapse onto one file and one evaluation.
+- ``<root>/active/<task_id>.<nonce>.json`` — a claimed task.  Claiming
+  is a single atomic ``os.replace`` of the pending file, so exactly one
+  claimer wins a task no matter how many workers race for it.  The
+  lease file's mtime is the worker's heartbeat: a lease older than
+  ``lease_ttl`` seconds is considered dead and any scanner moves it
+  back to ``pending/`` (again via ``os.replace``), so a crashed worker
+  only ever *delays* its tasks, it cannot lose them.
+- ``<root>/results/`` — a content-addressed
+  :class:`~repro.runner.cache.ResultCache` where workers drop finished
+  results under the task id.  Submitters detect completion by polling
+  this cache, which also means a task that was re-queued *after* its
+  (slow, not dead) worker finished is recognised as already done at the
+  next claim and discarded instead of re-evaluated.
+- ``<root>/failed/`` — quarantine for tasks whose evaluation *raised*
+  (as opposed to the worker dying): re-queueing those would crash-loop
+  every worker in the fleet, so they are moved aside (payload plus a
+  ``.traceback`` sidecar) and the worker keeps draining.  Failure is
+  sticky — evaluation here is deterministic, so retrying an identical
+  payload is futile; submitters surface the recorded traceback instead
+  of hanging, and a human retries by deleting the ``failed/`` entry.
+
+Every transition is an atomic rename or an atomic cache write, so a
+worker can die at any instant without corrupting the queue.  Hosts'
+clocks only feed lease *expiry*; keep ``lease_ttl`` comfortably above
+both the longest task and the worst expected clock skew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.job import payload_key
+
+#: Default queue root, relative to the working directory.
+DEFAULT_QUEUE_DIR = ".repro_queue"
+
+#: Default lease time-to-live in seconds.  Generous on purpose: expiry
+#: exists to recover from *dead* workers, and a premature expiry merely
+#: duplicates (deterministic, content-addressed) work.
+DEFAULT_LEASE_TTL = 300.0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One claimed unit of work: evaluate ``payload``, store under ``task_id``."""
+
+    task_id: str
+    payload: Dict[str, object]
+    lease_path: Path
+
+
+class WorkQueue:
+    """Directory-backed task queue shared by every host that mounts it."""
+
+    def __init__(
+        self,
+        root: Union[str, Path] = DEFAULT_QUEUE_DIR,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.pending_dir = self.root / "pending"
+        self.active_dir = self.root / "active"
+        self.failed_dir = self.root / "failed"
+        #: Where workers drop finished results (keyed by task id).  Kept
+        #: inside the queue root so sharing the queue directory is all
+        #: the coordination submitters and workers ever need.
+        self.results = ResultCache(self.root / "results")
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, payload: Mapping[str, object]) -> str:
+        """Enqueue ``payload`` (idempotent); returns its task id.
+
+        Already-finished tasks (result present), already-pending tasks
+        and quarantined tasks (see :meth:`fail`) are not re-enqueued.
+        A task that is currently *active* is re-enqueued only once its
+        lease expires — re-submitting it here would race the live
+        worker for no benefit.
+        """
+        task_id = payload_key(payload)
+        if (
+            task_id in self.results
+            or self._is_active(task_id)
+            or self.is_failed(task_id)
+        ):
+            return task_id
+        path = self.pending_dir / f"{task_id}.json"
+        if path.is_file():
+            return task_id
+        self.pending_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}")
+        tmp.write_text(_dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        return task_id
+
+    # -- claiming -----------------------------------------------------------
+
+    def claim(self, worker: str = "") -> Optional[Task]:
+        """Atomically claim one pending task, or ``None`` if none remain.
+
+        Also re-queues any expired leases first, so a single draining
+        worker is enough to recover every dead worker's tasks.  Tasks
+        whose result already exists are discarded, not returned.
+        """
+        self.requeue_expired()
+        for path in sorted(self.pending_dir.glob("*.json")):
+            task_id = path.stem
+            lease = self.active_dir / f"{task_id}.{_nonce(worker)}.json"
+            self.active_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, lease)
+            except FileNotFoundError:
+                continue  # lost the race for this task; try the next
+            if task_id in self.results:
+                _unlink(lease)  # finished by a slow worker after re-queue
+                continue
+            try:
+                payload = _loads(lease.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                _unlink(lease)  # unreadable task file; drop it
+                continue
+            return Task(task_id=task_id, payload=payload, lease_path=lease)
+        return None
+
+    def extend(self, task: Task) -> None:
+        """Heartbeat: push ``task``'s lease expiry ``lease_ttl`` into the future."""
+        try:
+            os.utime(task.lease_path)
+        except FileNotFoundError:
+            pass  # lease expired and was re-queued; nothing to extend
+
+    def complete(self, task: Task) -> None:
+        """Release ``task``'s lease after its result reached :attr:`results`."""
+        _unlink(task.lease_path)
+
+    def fail(self, task: Task, error: str = "") -> None:
+        """Quarantine ``task`` under ``failed/`` instead of re-queueing.
+
+        For tasks whose *evaluation raised* — a deterministic failure
+        would take down every worker that re-claims it, so the task is
+        moved aside (payload preserved for inspection, ``error`` in a
+        ``.traceback`` sidecar for submitters to surface) and the fleet
+        keeps draining.  A lease that was already expired and re-queued
+        loses the race here harmlessly.
+        """
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        if error:
+            sidecar = self.failed_dir / f"{task.task_id}.traceback"
+            sidecar.write_text(error, encoding="utf-8")
+        try:
+            os.replace(
+                task.lease_path, self.failed_dir / task.lease_path.name
+            )
+        except FileNotFoundError:
+            pass
+
+    def is_failed(self, task_id: str) -> bool:
+        """Whether ``task_id`` has been quarantined under ``failed/``."""
+        return any(self.failed_dir.glob(f"{task_id}.*.json"))
+
+    def failed_error(self, task_id: str) -> str:
+        """The recorded traceback for a quarantined task ('' if none)."""
+        sidecar = self.failed_dir / f"{task_id}.traceback"
+        try:
+            return sidecar.read_text(encoding="utf-8")
+        except OSError:
+            return ""
+
+    def has_live_lease(self, task_id: str) -> bool:
+        """Whether some worker currently holds an unexpired lease on
+        ``task_id`` — i.e. the task *appears* to be in good hands."""
+        now = time.time()
+        for lease in self.active_dir.glob(f"{task_id}.*.json"):
+            try:
+                if lease.stat().st_mtime + self.lease_ttl > now:
+                    return True
+            except FileNotFoundError:
+                continue
+        return False
+
+    @contextmanager
+    def heartbeat(self, task: Task):
+        """Keep ``task``'s lease fresh for the duration of the block.
+
+        A daemon thread touches the lease file every ``lease_ttl / 4``
+        seconds (numpy releases the GIL in its kernels, so the beat
+        runs even during a heavy evaluation), so a task may legally
+        take much longer than the TTL: expiry then only ever fires for
+        workers that actually died.
+        """
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(self.lease_ttl / 4):
+                self.extend(task)
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join()
+
+    # -- fault recovery -----------------------------------------------------
+
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        """Move every expired lease back to pending; returns how many."""
+        if not self.active_dir.is_dir():
+            return 0
+        now = time.time() if now is None else now
+        requeued = 0
+        for lease in sorted(self.active_dir.glob("*.json")):
+            try:
+                expired = lease.stat().st_mtime + self.lease_ttl <= now
+            except FileNotFoundError:
+                continue  # completed (or re-queued) under us
+            if not expired:
+                continue
+            task_id = lease.name.split(".", 1)[0]
+            if task_id in self.results:
+                _unlink(lease)  # the "dead" worker actually finished
+                continue
+            try:
+                os.replace(lease, self.pending_dir / f"{task_id}.json")
+            except FileNotFoundError:
+                continue
+            requeued += 1
+        return requeued
+
+    # -- introspection ------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return sum(1 for _ in self.pending_dir.glob("*.json"))
+
+    def active_count(self) -> int:
+        return sum(1 for _ in self.active_dir.glob("*.json"))
+
+    def failed_count(self) -> int:
+        return sum(1 for _ in self.failed_dir.glob("*.json"))
+
+    def _is_active(self, task_id: str) -> bool:
+        return any(self.active_dir.glob(f"{task_id}.*.json"))
+
+
+def drain(
+    queue: WorkQueue,
+    handler: Callable[[Mapping[str, object]], Dict[str, object]],
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    poll_interval: float = 0.1,
+    worker: str = "",
+) -> int:
+    """Worker loop: claim, evaluate, store, repeat; returns tasks completed.
+
+    ``handler`` maps a task payload to its JSON-safe result payload
+    (the ``repro worker`` CLI validates with
+    :func:`repro.runner.job.job_from_payload` and evaluates with
+    :func:`repro.runner.evaluate.evaluate_point`).  The loop exits after
+    ``max_tasks`` completions, or once the queue has stayed empty for
+    ``idle_timeout`` seconds (``None`` drains forever — the service
+    mode for a long-lived worker host).
+
+    The worker must outlive any single bad task: a handler exception
+    quarantines that task under ``failed/`` (re-queueing a
+    deterministically poisonous payload would crash-loop the whole
+    fleet) and the loop moves on.  While a task runs, its lease is kept
+    fresh by :meth:`WorkQueue.heartbeat`, so evaluations may take far
+    longer than the lease TTL without being declared dead.
+    """
+    completed = 0
+    idle_start = time.monotonic()
+    while max_tasks is None or completed < max_tasks:
+        task = queue.claim(worker)
+        if task is None:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_start >= idle_timeout
+            ):
+                break
+            time.sleep(poll_interval)
+            continue
+        try:
+            with queue.heartbeat(task):
+                output = handler(task.payload)
+        except Exception:
+            traceback.print_exc()
+            queue.fail(task, error=traceback.format_exc())
+            idle_start = time.monotonic()
+            continue
+        queue.results.put(task.task_id, output)
+        queue.complete(task)
+        completed += 1
+        idle_start = time.monotonic()
+    return completed
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _nonce(worker: str) -> str:
+    tag = "".join(ch for ch in worker if ch.isalnum() or ch in "-_")[:24]
+    return f"{tag or 'w'}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _unlink(path: Path) -> None:
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _dumps(payload: Mapping[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _loads(text: str) -> Dict[str, object]:
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("task payload must be a JSON object")
+    return payload

@@ -3,6 +3,13 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.runner import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_QUEUE_DIR,
+    SweepJob,
+    WorkQueue,
+    payload_key,
+)
 
 
 class TestParser:
@@ -38,6 +45,36 @@ class TestParser:
         )
         assert args.jobs == 4
         assert args.no_cache
+
+    def test_backend_flag_parsed_on_sweep_e2e_report(self):
+        for argv in (
+            ["sweep", "imdb"],
+            ["e2e", "imdb"],
+            ["report"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.backend is None  # auto: process iff --jobs > 1
+            assert args.queue_dir == DEFAULT_QUEUE_DIR
+            assert args.lease_ttl == DEFAULT_LEASE_TTL
+            assert not args.no_drain
+            assert args.queue_timeout is None
+            queued = build_parser().parse_args(
+                argv + ["--backend", "queue", "--queue-dir", "/tmp/q"]
+            )
+            assert queued.backend == "queue"
+            assert queued.queue_dir == "/tmp/q"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "imdb", "--backend", "osmosis"])
+
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.queue_dir == DEFAULT_QUEUE_DIR
+        assert args.lease_ttl == DEFAULT_LEASE_TTL
+        assert args.max_tasks is None
+        assert args.idle_timeout is None
+        assert args.poll_interval == 0.1
 
 
 class TestCommands:
@@ -107,6 +144,33 @@ class TestRunnerIntegration:
         assert main(argv + ["--shards", "3"]) == 0
         assert capsys.readouterr().out == serial
 
+    def test_explicit_serial_backend_matches_default(self, capsys):
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--backend", "serial"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_serial_backend_rejects_jobs(self):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(
+                ["sweep", "imdb", "--no-cache", "--backend", "serial",
+                 "--jobs", "2"]
+            )
+
+    def test_queue_backend_rejects_jobs(self):
+        """--jobs only parameterises the process backend; accepting it
+        silently for queue would promise parallelism that never runs."""
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(
+                ["sweep", "imdb", "--no-cache", "--backend", "queue",
+                 "--jobs", "8"]
+            )
+
+    def test_bad_lease_ttl_rejected(self):
+        with pytest.raises(SystemExit, match="lease-ttl"):
+            main(["sweep", "imdb", "--no-cache", "--lease-ttl", "0"])
+
     def test_cached_sweep_matches_uncached(self, capsys, tmp_path):
         argv = ["sweep", "imdb", "--thetas", "0.1", "0.3"]
         assert main(argv + ["--no-cache"]) == 0
@@ -117,3 +181,83 @@ class TestRunnerIntegration:
         assert main(cached) == 0  # warm: served from disk
         assert capsys.readouterr().out == uncached
         assert any(tmp_path.glob("*/*.json"))
+
+
+class TestQueueBackendCLI:
+    def test_queue_sweep_matches_serial(self, capsys, tmp_path):
+        """`--backend queue` (self-draining) prints the exact serial table."""
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        queue_argv = argv + [
+            "--backend", "queue",
+            "--queue-dir", str(tmp_path / "queue"),
+            "--queue-timeout", "600",
+        ]
+        assert main(queue_argv) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_queue_sweep_with_shards_matches_serial(self, capsys, tmp_path):
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        queue_argv = argv + [
+            "--backend", "queue", "--shards", "3",
+            "--queue-dir", str(tmp_path / "queue"),
+            "--queue-timeout", "600",
+        ]
+        assert main(queue_argv) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_worker_drains_prepopulated_queue(self, capsys, tmp_path):
+        """`repro worker` claims, evaluates and stores a submitted task."""
+        queue = WorkQueue(tmp_path / "queue")
+        job = SweepJob(network="imdb", thetas=(0.1,))
+        task_id = queue.submit(job.point_payload(0.1))
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--max-tasks", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drained 1 task(s)" in out
+        assert queue.results.get(task_id) is not None
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_worker_quarantines_foreign_payloads(self, capsys, tmp_path):
+        """Unknown kinds / foreign CACHE_VERSIONs are quarantined in
+        failed/, never evaluated and never crash-looped."""
+        queue = WorkQueue(tmp_path / "queue")
+        job = SweepJob(network="imdb", thetas=(0.1,))
+        good_id = payload_key(job.point_payload(0.1))
+        # Tasks are claimed in task-id order; pick a nonce that makes
+        # the poison task sort first so the worker must hit it.
+        poison = {"kind": "teleport", "nonce": 0}
+        while payload_key(poison) > good_id:
+            poison["nonce"] += 1
+        queue.submit(poison)
+        assert queue.submit(job.point_payload(0.1)) == good_id
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--max-tasks", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "drained 1 task(s)" in captured.out
+        assert "1 task(s) quarantined in failed/" in captured.out
+        assert "unknown job kind" in captured.err  # traceback surfaced
+        assert queue.results.get(good_id) is not None
+        assert queue.failed_count() == 1
+        assert queue.pending_count() == 0
+
+    def test_worker_idle_timeout_on_empty_queue(self, capsys, tmp_path):
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--idle-timeout", "0"]
+        ) == 0
+        assert "drained 0 task(s)" in capsys.readouterr().out
+
+    def test_worker_rejects_bad_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="lease-ttl"):
+            main(["worker", "--queue-dir", str(tmp_path), "--lease-ttl", "0"])
+        with pytest.raises(SystemExit, match="max-tasks"):
+            main(["worker", "--queue-dir", str(tmp_path), "--max-tasks", "0"])

@@ -1,0 +1,366 @@
+"""Tests for the file-based multi-host work queue.
+
+Covers the claim/complete lifecycle (atomic, race-free by
+construction), idempotent submission, lease expiry and re-queueing, the
+worker drain loop, and — the crash-recovery acceptance test — a sweep
+that still completes with bitwise-correct results after a worker dies
+mid-task and its lease expires.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.models.benchmark import MemoizedResult
+from repro.runner import (
+    ParallelRunner,
+    QueueBackend,
+    QueueDrainTimeout,
+    QueueTaskFailed,
+    SweepJob,
+    Task,
+    WorkQueue,
+    drain,
+    payload_key,
+)
+
+
+def sample_payload(tag: int = 0):
+    """A minimal JSON task payload (queue machinery never inspects it)."""
+    return {"kind": "test", "tag": tag}
+
+
+def echo_handler(payload):
+    return {"echo": payload["tag"]}
+
+
+def expire_lease(task: Task) -> None:
+    """Backdate a lease far enough that any positive TTL has expired."""
+    past = time.time() - 10_000
+    os.utime(task.lease_path, (past, past))
+
+
+def results_equal(a: MemoizedResult, b: MemoizedResult) -> bool:
+    return (
+        a.quality == b.quality
+        and a.quality_loss == b.quality_loss
+        and a.reuse_fraction == b.reuse_fraction
+        and a.stats.reused == b.stats.reused
+        and a.stats.total == b.stats.total
+    )
+
+
+class TestWorkQueueLifecycle:
+    def test_submit_claim_complete(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        task_id = queue.submit(sample_payload())
+        assert task_id == payload_key(sample_payload())
+        assert queue.pending_count() == 1
+
+        task = queue.claim("worker-a")
+        assert task is not None
+        assert task.task_id == task_id
+        assert task.payload == sample_payload()
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 1
+
+        queue.results.put(task.task_id, {"done": True})
+        queue.complete(task)
+        assert queue.active_count() == 0
+
+    def test_claim_on_empty_queue(self, tmp_path):
+        assert WorkQueue(tmp_path).claim() is None
+
+    def test_submit_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        first = queue.submit(sample_payload())
+        second = queue.submit(sample_payload())
+        assert first == second
+        assert queue.pending_count() == 1
+
+    def test_submit_skips_finished_tasks(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        task_id = payload_key(sample_payload())
+        queue.results.put(task_id, {"done": True})
+        queue.submit(sample_payload())
+        assert queue.pending_count() == 0
+
+    def test_submit_skips_active_tasks(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload())
+        task = queue.claim()
+        assert task is not None
+        queue.submit(sample_payload())  # do not race the live worker
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 1
+
+    def test_claim_discards_already_finished_tasks(self, tmp_path):
+        """A task whose result exists is discarded, never re-evaluated."""
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload(1))
+        queue.results.put(payload_key(sample_payload(1)), {"done": True})
+        assert queue.claim() is None
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_claim_drops_corrupt_task_files(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.pending_dir.mkdir(parents=True)
+        (queue.pending_dir / ("ab" * 32 + ".json")).write_text(
+            "{not json", encoding="utf-8"
+        )
+        assert queue.claim() is None
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_two_claimers_cannot_share_a_task(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload())
+        assert queue.claim("worker-a") is not None
+        assert queue.claim("worker-b") is None  # atomically taken
+
+    def test_invalid_lease_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            WorkQueue(tmp_path, lease_ttl=0)
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_is_requeued(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        queue.submit(sample_payload())
+        task = queue.claim("doomed-worker")
+        assert task is not None
+        expire_lease(task)
+
+        assert queue.requeue_expired() == 1
+        assert queue.pending_count() == 1
+        assert queue.active_count() == 0
+        reclaimed = queue.claim("rescue-worker")
+        assert reclaimed is not None
+        assert reclaimed.task_id == task.task_id
+        assert reclaimed.payload == task.payload
+
+    def test_fresh_lease_is_left_alone(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        queue.submit(sample_payload())
+        assert queue.claim() is not None
+        assert queue.requeue_expired() == 0
+        assert queue.active_count() == 1
+
+    def test_extend_pushes_expiry_forward(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        queue.submit(sample_payload())
+        task = queue.claim()
+        expire_lease(task)
+        queue.extend(task)  # heartbeat mid-evaluation
+        assert queue.requeue_expired() == 0
+        assert queue.active_count() == 1
+
+    def test_expired_lease_with_result_is_dropped_not_requeued(self, tmp_path):
+        """A slow-but-alive worker that finished must not cause rework."""
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        queue.submit(sample_payload())
+        task = queue.claim()
+        queue.results.put(task.task_id, {"done": True})
+        expire_lease(task)
+        assert queue.requeue_expired() == 0
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_wall_clock_expiry(self, tmp_path):
+        """Leases really do expire with time, not only via backdating."""
+        queue = WorkQueue(tmp_path, lease_ttl=0.05)
+        queue.submit(sample_payload())
+        assert queue.claim() is not None
+        time.sleep(0.1)
+        assert queue.requeue_expired() == 1
+        assert queue.pending_count() == 1
+
+
+class TestDrain:
+    def test_drain_until_empty(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        ids = [queue.submit(sample_payload(i)) for i in range(3)]
+        completed = drain(queue, echo_handler, idle_timeout=0.0)
+        assert completed == 3
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+        for i, task_id in enumerate(ids):
+            assert queue.results.get(task_id) == {"echo": i}
+
+    def test_drain_respects_max_tasks(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        for i in range(3):
+            queue.submit(sample_payload(i))
+        assert drain(queue, echo_handler, max_tasks=2) == 2
+        assert queue.pending_count() == 1
+
+    def test_drain_idle_timeout_on_empty_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        assert drain(queue, echo_handler, idle_timeout=0.0) == 0
+
+    def test_drain_survives_poison_task(self, tmp_path, capsys):
+        """A task whose evaluation raises is quarantined, not re-queued:
+        re-queueing a deterministic failure would crash-loop the fleet."""
+        queue = WorkQueue(tmp_path)
+        for i in range(3):
+            queue.submit(sample_payload(i))
+
+        def fragile_handler(payload):
+            if payload["tag"] == 1:
+                raise RuntimeError("boom")
+            return echo_handler(payload)
+
+        completed = drain(queue, fragile_handler, idle_timeout=0.0)
+        assert completed == 2  # the two healthy tasks
+        assert queue.failed_count() == 1  # the poison one, moved aside
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+        assert "boom" in capsys.readouterr().err  # traceback surfaced
+
+    def test_heartbeat_keeps_long_task_leased(self, tmp_path):
+        """A task may run far longer than the TTL: the heartbeat thread
+        keeps its lease fresh, so only genuinely dead workers expire."""
+        queue = WorkQueue(tmp_path, lease_ttl=0.2)
+        queue.submit(sample_payload())
+        observed = {}
+
+        def slow_handler(payload):
+            time.sleep(0.5)  # more than 2x the lease TTL
+            observed["requeued_mid_task"] = queue.requeue_expired()
+            return echo_handler(payload)
+
+        assert drain(queue, slow_handler, idle_timeout=0.0) == 1
+        assert observed["requeued_mid_task"] == 0  # lease stayed fresh
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+
+class TestCrashRecovery:
+    """A worker dying mid-task only delays its tasks — never loses them."""
+
+    def test_sweep_completes_after_worker_death(self, tmp_path):
+        job = SweepJob(network="imdb", thetas=(0.1, 0.3))
+        baseline = ParallelRunner().run(job)
+
+        # A "worker" claims the first point's task... and dies: the
+        # task is neither completed nor released.
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        queue.submit(job.point_payload(job.thetas[0]))
+        doomed = queue.claim("doomed-worker")
+        assert doomed is not None
+        expire_lease(doomed)  # its lease has since expired
+
+        backend = QueueBackend(queue, timeout=600)
+        runner = ParallelRunner(backend=backend)
+        results = runner.run(job)
+
+        assert runner.last_report.misses == len(job.thetas)
+        for a, b in zip(baseline, results):
+            assert results_equal(a, b)
+        # The dead worker's task was re-queued, claimed and completed.
+        assert queue.results.get(doomed.task_id) is not None
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_sharded_sweep_recovers_a_dead_shard(self, tmp_path):
+        from repro.runner import EvalShardJob
+
+        job = SweepJob(network="imdb", thetas=(0.2,))
+        baseline = ParallelRunner().run(job, shards=3)
+
+        queue = WorkQueue(tmp_path, lease_ttl=60)
+        shard_job = EvalShardJob.from_sweep_point(job, 0.2, 1, 3)
+        queue.submit(shard_job.payload())
+        doomed = queue.claim("doomed-worker")
+        assert doomed is not None
+        assert doomed.task_id == shard_job.key()
+        expire_lease(doomed)
+
+        runner = ParallelRunner(backend=QueueBackend(queue, timeout=600))
+        results = runner.run(job, shards=3)
+        for a, b in zip(baseline, results):
+            assert results_equal(a, b)
+        assert queue.active_count() == 0
+
+    def test_submitter_drain_surfaces_and_quarantines_poison(self, tmp_path):
+        """In drain mode a failing task of our own is quarantined and
+        then surfaced as QueueTaskFailed with the recorded traceback."""
+        queue = WorkQueue(tmp_path)
+        bad = {"kind": "sweep_point", "network": "imdb"}  # missing fields
+        queue.submit(bad)
+        backend = QueueBackend(queue, timeout=600)
+        with pytest.raises(QueueTaskFailed, match="quarantined"):
+            backend.execute([bad])
+        assert queue.failed_count() == 1
+        assert queue.pending_count() == 0
+        assert "ValueError" in queue.failed_error(payload_key(bad))
+
+    def test_no_drain_submitter_surfaces_worker_quarantine(self, tmp_path):
+        """A task a worker quarantined must raise immediately for its
+        submitter — not hang until the timeout with a misleading
+        'are any workers running?' message."""
+        queue = WorkQueue(tmp_path)
+        payload = SweepJob(network="imdb", thetas=(0.1,)).point_payload(0.1)
+        queue.submit(payload)
+        doomed = queue.claim("worker")
+        queue.fail(doomed, error="RuntimeError: boom on a worker")
+
+        backend = QueueBackend(queue, drain=False, timeout=600)
+        with pytest.raises(QueueTaskFailed, match="boom on a worker"):
+            backend.execute([payload])
+
+    def test_foreign_poison_does_not_abort_healthy_sweep(self, tmp_path):
+        """Another submitter's poison payload must not crash this one's
+        sweep: the drain quarantines it and keeps going."""
+        queue = WorkQueue(tmp_path)
+        queue.submit({"kind": "teleport", "from": "someone-else"})
+        job = SweepJob(network="imdb", thetas=(0.1, 0.3))
+        baseline = ParallelRunner().run(job)
+        results = ParallelRunner(
+            backend=QueueBackend(queue, timeout=600)
+        ).run(job)
+        for a, b in zip(baseline, results):
+            assert results_equal(a, b)
+        assert queue.failed_count() == 1  # the foreign task, moved aside
+
+    def test_live_lease_defers_timeout(self, tmp_path):
+        """A live worker holding one of our leases counts as progress:
+        the timeout must not fire while the task is in good hands."""
+        import threading
+
+        queue = WorkQueue(tmp_path, lease_ttl=3600)
+        payload = sample_payload()
+        queue.submit(payload)
+        task = queue.claim("slow-but-alive-worker")
+        assert task is not None
+
+        def finish_late():
+            time.sleep(0.6)  # slower than the submitter's timeout
+            queue.results.put(task.task_id, {"ok": True})
+            queue.complete(task)
+
+        thread = threading.Thread(target=finish_late)
+        thread.start()
+        backend = QueueBackend(
+            queue, drain=False, timeout=0.2, poll_interval=0.01
+        )
+        assert backend.execute([payload]) == [{"ok": True}]
+        thread.join()
+
+    def test_stuck_queue_times_out_after_lease_expiry(self, tmp_path):
+        """Dead worker, no fleet, no drain: the expired lease is
+        re-queued (progress, clock reset) but with nobody to claim it
+        the submitter eventually gives up."""
+        queue = WorkQueue(tmp_path, lease_ttl=0.1)
+        payload = SweepJob(network="imdb", thetas=(0.1,)).point_payload(0.1)
+        queue.submit(payload)
+        assert queue.claim("dead-worker") is not None
+
+        backend = QueueBackend(
+            queue, drain=False, timeout=0.3, poll_interval=0.01
+        )
+        with pytest.raises(QueueDrainTimeout, match="unresolved"):
+            backend.execute([payload])
+        assert queue.pending_count() == 1  # recovered, awaiting a claim

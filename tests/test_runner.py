@@ -24,6 +24,8 @@ from repro.runner import (
     ParallelRunner,
     ResultCache,
     SweepJob,
+    job_from_payload,
+    payload_key,
     result_from_payload,
     result_to_payload,
     scheme_from_payload,
@@ -173,6 +175,66 @@ class TestEvalShardJob:
         )
 
 
+class TestJobPayloadRoundTrip:
+    """Every job kind survives payload serialization exactly."""
+
+    def test_sweep_point_roundtrip(self):
+        job = make_job(
+            predictor="oracle",
+            throttle=False,
+            calibration=True,
+            layer_thetas=(("lstm", 0.1), ("out", 0.4)),
+        )
+        payload = job.point_payload(0.2)
+        rebuilt = job_from_payload(json.loads(json.dumps(payload)))
+        assert isinstance(rebuilt, SweepJob)
+        assert rebuilt == job.for_theta(0.2)
+        assert rebuilt.point_payload(0.2) == payload  # idempotent
+
+    def test_eval_shard_roundtrip(self):
+        shard = make_shard_job(
+            predictor="oracle",
+            shard_index=1,
+            shard_count=3,
+            layer_thetas=(("lstm", 0.1),),
+        )
+        payload = shard.payload()
+        rebuilt = job_from_payload(json.loads(json.dumps(payload)))
+        assert isinstance(rebuilt, EvalShardJob)
+        assert rebuilt == shard
+        assert rebuilt.payload() == payload  # idempotent
+
+    def test_kind_discriminator_preserved(self):
+        point = job_from_payload(make_job().point_payload(0.2))
+        assert point.point_payload(0.2)["kind"] == "sweep_point"
+        shard = job_from_payload(make_shard_job().payload())
+        assert shard.payload()["kind"] == "eval_shard"
+
+    def test_unknown_kind_is_a_clear_valueerror(self):
+        payload = make_job().point_payload(0.2)
+        payload["kind"] = "teleport"
+        with pytest.raises(ValueError, match="unknown job kind 'teleport'"):
+            job_from_payload(payload)
+
+    def test_missing_kind_is_a_clear_valueerror(self):
+        payload = make_job().point_payload(0.2)
+        del payload["kind"]
+        with pytest.raises(ValueError, match="unknown job kind"):
+            job_from_payload(payload)
+
+    def test_foreign_cache_version_rejected(self):
+        payload = make_job().point_payload(0.2)
+        payload["cache_version"] = CACHE_VERSION + 1
+        with pytest.raises(ValueError, match="cache_version"):
+            job_from_payload(payload)
+
+    def test_payload_key_matches_job_keys(self):
+        job = make_job()
+        assert payload_key(job.point_payload(0.2)) == job.point_key(0.2)
+        shard = make_shard_job()
+        assert payload_key(shard.payload()) == shard.key()
+
+
 class TestCacheKeyCollisions:
     """A shard partial and a whole point with identical parameters must
     never share a cache key, and entries written by a different
@@ -283,6 +345,35 @@ class TestResultCache:
         assert cache.get(key) is None
         assert key not in cache  # corrupt entry deleted
 
+    def test_membership_agrees_with_get_on_truncated_entry(self, tmp_path):
+        """A corrupt entry that get() would discard must not be `in` the
+        cache — a crashed writer's truncated JSON used to satisfy
+        __contains__ while get() treated it as a miss."""
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"quality": 1.0, "stats": {}})
+        # Truncate mid-payload, as a crash between write and rename
+        # never could but a corrupted disk or manual edit can.
+        cache.path_for(key).write_text('{"quality": 1.0, "sta', encoding="utf-8")
+        assert key not in cache
+        assert cache.get(key) is None
+        assert not cache.path_for(key).is_file()  # discarded, like get()
+
+    def test_membership_agrees_with_get_on_non_dict_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "0a" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("[1, 2, 3]", encoding="utf-8")
+        assert key not in cache
+        assert cache.get(key) is None
+
+    def test_membership_still_true_for_valid_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "1b" * 32
+        assert key not in cache
+        cache.put(key, {"x": 1})
+        assert key in cache
+
     def test_non_dict_json_discarded(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "cd" * 32
@@ -296,6 +387,14 @@ class TestResultCache:
         cache.put("cd" * 32, {})
         assert cache.clear() == 2
         assert len(cache) == 0
+
+    def test_discard(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"x": 1})
+        cache.discard(key)
+        assert key not in cache
+        cache.discard(key)  # idempotent on missing entries
 
 
 class TestRunnerCacheSemantics:
@@ -381,11 +480,11 @@ class TestParallelDeterminism:
     def test_pool_persists_across_runs_until_close(self):
         with ParallelRunner(jobs=2) as runner:
             runner.run(make_job(predictor="oracle"))
-            pool = runner._pool
+            pool = runner.backend._pool
             assert pool is not None
             runner.run(make_job(predictor="oracle", calibration=True))
-            assert runner._pool is pool  # reused, not rebuilt
-        assert runner._pool is None
+            assert runner.backend._pool is pool  # reused, not rebuilt
+        assert runner.backend._pool is None
         runner.close()  # idempotent
 
 
