@@ -1,0 +1,139 @@
+"""Dispatch-overhead trajectory: one tiny fixed sweep on every backend.
+
+Every execution backend returns bitwise-identical results, so the only
+thing that separates them is *dispatch cost*: process-pool round trips,
+queue-directory renames, HTTP round trips to a coordinator.  This bench
+times the same tiny uncached sweep (tiny-scale IMDB, two thetas) on
+each backend — serial is the floor, and ``backend - serial`` is that
+backend's end-to-end dispatch overhead for this workload.
+
+The measurements land in ``BENCH_backends.json`` (working directory):
+
+    {"sweep": {...}, "seconds": {"serial": ..., "process": ...},
+     "overhead_vs_serial_seconds": {...}}
+
+so later PRs that touch the transports can diff dispatch overhead
+against history instead of eyeballing bench logs.  The queue and http
+rounds run against a throwaway queue directory / in-process localhost
+coordinator with result reuse disabled, so every round pays the full
+submit -> claim -> evaluate -> collect path.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runner import (
+    CoordinatorServer,
+    HttpBackend,
+    ParallelRunner,
+    QueueBackend,
+    SweepJob,
+    WorkQueue,
+    make_backend,
+)
+
+#: The fixed workload: small enough that dispatch is a visible slice of
+#: the total, identical across backends (and across PRs — changing it
+#: breaks the trajectory).
+JOB = SweepJob(network="imdb", thetas=(0.1, 0.3), scale="tiny")
+
+OUTPUT_PATH = Path("BENCH_backends.json")
+
+_timings = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm():
+    """Pay one-time process warm-up (imports, tiny-net training) before
+    any timing: without this the first-run backend absorbs it and the
+    serial baseline skews, turning the overhead deltas negative."""
+    ParallelRunner().run(JOB)
+
+
+@pytest.fixture(scope="module")
+def overhead_report():
+    """Collects per-backend seconds; writes BENCH_backends.json at the end."""
+    yield _timings
+    if not _timings:
+        return
+    serial = _timings.get("serial")
+    payload = {
+        "sweep": JOB.point_payload(JOB.thetas[0]) | {"thetas": list(JOB.thetas)},
+        "seconds": {name: round(secs, 6) for name, secs in _timings.items()},
+        "overhead_vs_serial_seconds": {
+            name: round(secs - serial, 6)
+            for name, secs in _timings.items()
+            if serial is not None and name != "serial"
+        },
+    }
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {OUTPUT_PATH} ({payload['seconds']})")
+
+
+def _run_and_record(benchmark, overhead_report, name, build_backend):
+    """Time the fixed sweep on a fresh backend per round; record median."""
+
+    def run():
+        backend = build_backend()
+        try:
+            return ParallelRunner(backend=backend).run(JOB)
+        finally:
+            backend.close()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(results) == len(JOB.thetas)
+    overhead_report[name] = benchmark.stats["median"]
+
+
+def test_overhead_serial(benchmark, overhead_report):
+    _run_and_record(
+        benchmark, overhead_report, "serial", lambda: make_backend("serial")
+    )
+
+
+def test_overhead_process(benchmark, overhead_report):
+    _run_and_record(
+        benchmark,
+        overhead_report,
+        "process",
+        lambda: make_backend("process", jobs=2),
+    )
+
+
+def test_overhead_queue(benchmark, overhead_report, tmp_path):
+    counter = iter(range(1_000_000))
+
+    def build():
+        # A fresh directory with reuse disabled: every round pays the
+        # full submit -> claim -> evaluate -> collect queue path.
+        return QueueBackend(
+            tmp_path / f"queue{next(counter)}", timeout=600,
+            reuse_results=False,
+        )
+
+    _run_and_record(benchmark, overhead_report, "queue", build)
+
+
+def test_overhead_http(benchmark, overhead_report, tmp_path):
+    counter = iter(range(1_000_000))
+    servers = []
+
+    def build():
+        server = CoordinatorServer(
+            WorkQueue(tmp_path / f"queue{next(counter)}", lease_ttl=60),
+            port=0,
+            quiet=True,
+        )
+        server.serve_in_thread()
+        servers.append(server)
+        return HttpBackend(server.url, timeout=600, reuse_results=False)
+
+    try:
+        _run_and_record(benchmark, overhead_report, "http", build)
+    finally:
+        for server in servers:
+            server.stop()

@@ -9,14 +9,20 @@ cold session trains the four bench-scale networks once (~30-60 s) and
 re-runs of the figure benches resolve every sweep point from disk and
 complete near-instantly.  Environment knobs:
 
-- ``REPRO_BENCH_BACKEND``: execution backend — ``serial``, ``process``
-  or ``queue`` (default: ``process`` when ``REPRO_BENCH_JOBS`` > 1,
-  else ``serial``; every backend produces bitwise-identical figures).
+- ``REPRO_BENCH_BACKEND``: execution backend — ``serial``, ``process``,
+  ``queue`` or ``http`` (default: ``process`` when ``REPRO_BENCH_JOBS``
+  > 1, else ``serial``; every backend produces bitwise-identical
+  figures).
 - ``REPRO_BENCH_JOBS``: worker processes for the process backend
   (default 1).
 - ``REPRO_BENCH_QUEUE_DIR``: work-queue directory for the queue
   backend (default ``.repro_queue``); external ``repro worker``
   processes sharing it help drain the figure sweeps.
+- ``REPRO_BENCH_COORDINATOR``: ``repro coordinator`` URL for the http
+  backend; any ``repro worker --coordinator`` on any reachable host
+  helps drain the figure sweeps.
+- ``REPRO_BENCH_TOKEN_FILE``: file holding that coordinator's shared
+  auth token.
 - ``REPRO_BENCH_SHARDS``: per-batch evaluation shards per sweep point
   (default 1; any value produces bitwise-identical figures).
 - ``REPRO_BENCH_NO_CACHE``: set to disable the on-disk cache.
@@ -40,7 +46,13 @@ from repro.core.engine import MemoizationScheme
 from repro.models.benchmark import Benchmark
 from repro.models.specs import BENCHMARK_NAMES
 from repro.models.zoo import load_benchmark
-from repro.runner import DEFAULT_QUEUE_DIR, ParallelRunner, ResultCache, make_backend
+from repro.runner import (
+    DEFAULT_QUEUE_DIR,
+    ParallelRunner,
+    ResultCache,
+    make_backend,
+    read_token_file,
+)
 
 #: Threshold grid used by the figure sweeps (x-axis of Figures 1 and 16;
 #: the paper's IMDB plot extends to 1.0).
@@ -56,10 +68,13 @@ def build_runner() -> ParallelRunner:
     backend_name = os.environ.get("REPRO_BENCH_BACKEND")
     if not backend_name:
         backend_name = "process" if jobs > 1 else "serial"
+    token_file = os.environ.get("REPRO_BENCH_TOKEN_FILE")
     backend = make_backend(
         backend_name,
         jobs=jobs,
         queue_dir=os.environ.get("REPRO_BENCH_QUEUE_DIR", DEFAULT_QUEUE_DIR),
+        coordinator=os.environ.get("REPRO_BENCH_COORDINATOR"),
+        token=read_token_file(token_file) if token_file else None,
     )
     cache = None
     if not os.environ.get("REPRO_BENCH_NO_CACHE"):

@@ -8,22 +8,24 @@ Commands mirror the library's main entry points:
 - ``table1``    — print the benchmark-network table.
 - ``area``      — print the area model.
 - ``report``    — full markdown reproduction report.
-- ``worker``    — drain a shared work queue (multi-host execution).
+- ``worker``    — drain a work queue (shared directory or coordinator).
+- ``coordinator`` — serve a work queue over HTTP (no shared filesystem).
 
-``sweep``/``e2e``/``report`` take ``--backend {serial,process,queue}``:
-``serial`` evaluates in-process, ``process`` fans out over ``--jobs``
-local worker processes, and ``queue`` publishes every point into a
-``--queue-dir`` that any number of ``repro worker`` processes (on any
-host sharing that filesystem) drain concurrently.  Every backend prints
+``sweep``/``e2e``/``report`` take ``--backend
+{serial,process,queue,http}``: ``serial`` evaluates in-process,
+``process`` fans out over ``--jobs`` local worker processes, ``queue``
+publishes every point into a ``--queue-dir`` that any number of
+``repro worker`` processes (on any host sharing that filesystem) drain
+concurrently, and ``http`` publishes them to a ``repro coordinator``
+URL that any host with network reach can drain
+(``repro worker --coordinator URL``).  Every backend prints
 byte-identical output.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
-import socket
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.accel.area import DEFAULT_AREA_MODEL
 from repro.accel.epur import compare
@@ -36,14 +38,19 @@ from repro.models.zoo import load_benchmark
 from repro.runner import (
     BACKEND_NAMES,
     DEFAULT_CACHE_DIR,
+    DEFAULT_COORDINATOR_PORT,
     DEFAULT_LEASE_TTL,
     DEFAULT_QUEUE_DIR,
+    CoordinatorServer,
     ParallelRunner,
+    RemoteWorkQueue,
     ResultCache,
     WorkQueue,
+    default_owner,
     drain,
     evaluate_task,
     make_backend,
+    read_token_file,
 )
 
 
@@ -66,6 +73,34 @@ def _add_queue_arguments(sub: argparse.ArgumentParser) -> None:
             f"is re-queued (default: {DEFAULT_LEASE_TTL:.0f})"
         ),
     )
+
+
+def _add_transport_arguments(sub: argparse.ArgumentParser) -> None:
+    """HTTP-coordinator knobs shared by the http backend and ``worker``."""
+    sub.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help=(
+            "coordinator base URL (http://HOST:PORT) for the http "
+            "backend / a network-attached worker"
+        ),
+    )
+    sub.add_argument(
+        "--token-file",
+        default=None,
+        metavar="FILE",
+        help="file holding the coordinator's shared auth token",
+    )
+
+
+def _read_token(args) -> Optional[str]:
+    if args.token_file is None:
+        return None
+    try:
+        return read_token_file(args.token_file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--token-file: {exc}")
 
 
 def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
@@ -108,12 +143,13 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=0, help="benchmark seed (default: 0)"
     )
     _add_queue_arguments(sub)
+    _add_transport_arguments(sub)
     sub.add_argument(
         "--no-drain",
         action="store_true",
         help=(
-            "queue backend only: do not evaluate tasks in this process; "
-            "rely entirely on external `repro worker` processes"
+            "queue/http backends only: do not evaluate tasks in this "
+            "process; rely entirely on external `repro worker` processes"
         ),
     )
     sub.add_argument(
@@ -121,8 +157,8 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help=(
-            "queue backend only: abort after this many seconds without "
-            "progress (default: wait forever)"
+            "queue/http backends only: abort after this many seconds "
+            "without progress (default: wait forever)"
         ),
     )
 
@@ -142,6 +178,8 @@ def _build_runner(args) -> ParallelRunner:
             f"--backend {backend_name} is incompatible with --jobs > 1 "
             "(--jobs only parameterises the process backend)"
         )
+    if backend_name == "http" and not args.coordinator:
+        raise SystemExit("--backend http requires --coordinator URL")
     backend = make_backend(
         backend_name,
         jobs=args.jobs,
@@ -150,6 +188,8 @@ def _build_runner(args) -> ParallelRunner:
         drain=not args.no_drain,
         timeout=args.queue_timeout,
         reuse_results=not args.no_cache,
+        coordinator=args.coordinator,
+        token=_read_token(args),
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return ParallelRunner(cache=cache, backend=backend)
@@ -202,16 +242,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = sub.add_parser(
         "worker",
-        help="drain a shared work queue (multi-host execution)",
+        help="drain a work queue (shared directory or HTTP coordinator)",
         description=(
-            "Claim and evaluate tasks from --queue-dir until the queue "
-            "stays empty for --idle-timeout seconds (or forever without "
-            "it).  Run any number of workers, on any hosts that share "
-            "the queue directory's filesystem; crashed workers' tasks "
-            "are re-queued when their lease expires."
+            "Claim and evaluate tasks until the queue stays empty for "
+            "--idle-timeout seconds (or forever without it).  The queue "
+            "is either a --queue-dir shared over a filesystem, or a "
+            "--coordinator URL served by `repro coordinator` (no shared "
+            "filesystem needed).  Run any number of workers on any "
+            "hosts; crashed workers' tasks are re-queued when their "
+            "lease expires.  Exits non-zero if any task this run was "
+            "quarantined under failed/, so deployment scripts can "
+            "detect poison tasks."
         ),
     )
     _add_queue_arguments(worker)
+    _add_transport_arguments(worker)
     worker.add_argument(
         "--max-tasks",
         type=int,
@@ -232,6 +277,42 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="seconds between queue polls when idle (default: 0.1)",
+    )
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="serve a work queue over HTTP (no shared filesystem needed)",
+        description=(
+            "Wrap --queue-dir in an HTTP coordinator so any machine "
+            "that can reach this URL joins the fleet: workers run "
+            "`repro worker --coordinator http://HOST:PORT`, submitters "
+            "run `repro sweep ... --backend http --coordinator ...`.  "
+            "Queue state lives on disk, so a restarted coordinator "
+            "resumes exactly where the old one stopped.  Pass "
+            "--token-file to require `Authorization: Bearer` on every "
+            "request."
+        ),
+    )
+    _add_queue_arguments(coordinator)
+    coordinator.add_argument(
+        "--host",
+        default="0.0.0.0",
+        help="bind address (default: 0.0.0.0 — all interfaces)",
+    )
+    coordinator.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_COORDINATOR_PORT,
+        help=f"listen port (default: {DEFAULT_COORDINATOR_PORT}; 0 = ephemeral)",
+    )
+    coordinator.add_argument(
+        "--token-file",
+        default=None,
+        metavar="FILE",
+        help=(
+            "file holding the shared auth token workers must present "
+            "(strongly recommended off-loopback)"
+        ),
     )
     return parser
 
@@ -329,26 +410,71 @@ def _cmd_report(args) -> str:
         )
 
 
-def _cmd_worker(args) -> str:
+def _cmd_worker(args) -> Tuple[str, int]:
     if args.lease_ttl <= 0:
         raise SystemExit("--lease-ttl must be positive")
     if args.max_tasks is not None and args.max_tasks < 1:
         raise SystemExit("--max-tasks must be >= 1")
-    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
-    failed_before = queue.failed_count()
+    if args.coordinator:
+        queue = RemoteWorkQueue(args.coordinator, token=_read_token(args))
+    else:
+        queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    owner = default_owner()
+    print(f"worker {owner} draining {queue.location}", flush=True)
+    quarantined = 0
+
+    def counting_evaluate(payload):
+        # Count only *this worker's* quarantines (handler exceptions it
+        # raised itself): a fleet-wide failed_count() delta would blame
+        # every concurrently-draining worker for one poison task.
+        nonlocal quarantined
+        try:
+            return evaluate_task(payload)
+        except Exception:
+            quarantined += 1
+            raise
+
     completed = drain(
         queue,
-        evaluate_task,
+        counting_evaluate,
         max_tasks=args.max_tasks,
         idle_timeout=args.idle_timeout,
         poll_interval=args.poll_interval,
-        worker=f"{socket.gethostname()}-{os.getpid()}",
     )
-    quarantined = queue.failed_count() - failed_before
-    summary = f"drained {completed} task(s) from {args.queue_dir}"
+    summary = f"worker {owner}: drained {completed} task(s) from {queue.location}"
     if quarantined:
+        # Non-zero exit: scripted deployments must be able to see from
+        # the exit code alone that poison tasks are sitting in failed/.
         summary += f" ({quarantined} task(s) quarantined in failed/)"
-    return summary
+    return summary, 1 if quarantined else 0
+
+
+def _cmd_coordinator(args) -> str:
+    if args.lease_ttl <= 0:
+        raise SystemExit("--lease-ttl must be positive")
+    token = _read_token(args)
+    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    server = CoordinatorServer(
+        queue, host=args.host, port=args.port, token=token
+    )
+    auth = "token auth" if token else "NO auth -- trusted networks only"
+    print(
+        f"coordinator serving queue {args.queue_dir} at {server.url} "
+        f"({auth}); Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    stats = queue.stats()
+    return (
+        f"coordinator stopped; queue {args.queue_dir}: "
+        f"{stats['pending']} pending, {stats['active']} active, "
+        f"{stats['failed']} failed, {stats['results']} result(s)"
+    )
 
 
 def _cmd_area(args) -> str:
@@ -368,13 +494,16 @@ _COMMANDS = {
     "area": _cmd_area,
     "report": _cmd_report,
     "worker": _cmd_worker,
+    "coordinator": _cmd_coordinator,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    outcome: Union[str, Tuple[str, int]] = _COMMANDS[args.command](args)
+    text, code = outcome if isinstance(outcome, tuple) else (outcome, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

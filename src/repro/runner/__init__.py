@@ -10,7 +10,10 @@ addressed :class:`ResultCache` and hands cache misses to a pluggable
 - :class:`ProcessBackend` — a persistent local process pool;
 - :class:`QueueBackend` — a file-based multi-host :class:`WorkQueue`
   drained by ``repro worker`` processes, with lease-based crash
-  recovery.
+  recovery;
+- :class:`HttpBackend` — the same queue protocol spoken over HTTP to a
+  ``repro coordinator`` (:mod:`repro.runner.transport`), so hosts that
+  share no filesystem can join a sweep.
 
 A single evaluation can additionally be sharded per-batch
 (:class:`EvalShardJob`, ``run(..., shards=N)``): shard partials carry
@@ -22,6 +25,7 @@ identical results.
 from repro.runner.backends import (
     BACKEND_NAMES,
     ExecutionBackend,
+    HttpBackend,
     ProcessBackend,
     QueueBackend,
     QueueDrainTimeout,
@@ -53,32 +57,53 @@ from repro.runner.queue import (
     DEFAULT_LEASE_TTL,
     DEFAULT_QUEUE_DIR,
     Task,
+    TaskQueue,
     WorkQueue,
+    default_owner,
     drain,
+    lease_owner,
+)
+from repro.runner.transport import (
+    DEFAULT_COORDINATOR_PORT,
+    CoordinatorAuthError,
+    CoordinatorServer,
+    RemoteWorkQueue,
+    TransportError,
+    read_token_file,
 )
 
 __all__ = [
     "BACKEND_NAMES",
     "CACHE_VERSION",
+    "CoordinatorAuthError",
+    "CoordinatorServer",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_COORDINATOR_PORT",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_QUEUE_DIR",
     "DEFAULT_THETAS",
     "EvalShardJob",
     "ExecutionBackend",
+    "HttpBackend",
     "JOB_KINDS",
     "ParallelRunner",
     "ProcessBackend",
     "QueueBackend",
     "QueueDrainTimeout",
     "QueueTaskFailed",
+    "RemoteWorkQueue",
     "ResultCache",
     "RunReport",
     "SerialBackend",
     "SweepJob",
     "Task",
+    "TaskQueue",
+    "TransportError",
     "WorkQueue",
+    "default_owner",
     "drain",
+    "lease_owner",
+    "read_token_file",
     "evaluate_payload",
     "evaluate_point",
     "evaluate_shard",

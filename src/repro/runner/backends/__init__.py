@@ -1,14 +1,16 @@
 """Pluggable execution backends for the sweep runner.
 
-Three strategies behind one :class:`ExecutionBackend` contract:
+Four strategies behind one :class:`ExecutionBackend` contract:
 
 - :class:`SerialBackend` — in-process, one payload at a time (the
   bitwise reference).
 - :class:`ProcessBackend` — a persistent local ``ProcessPoolExecutor``.
 - :class:`QueueBackend` — a file-based multi-host work queue drained by
   ``repro worker`` processes, with lease-based crash recovery.
+- :class:`HttpBackend` — the same work-queue protocol spoken to a
+  ``repro coordinator`` over HTTP, for hosts that share no filesystem.
 
-All three produce bitwise-identical results for any jobs/shards
+All four produce bitwise-identical results for any jobs/shards
 combination; ``tests/test_backends.py`` enforces it.
 """
 
@@ -18,6 +20,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.runner.backends.base import ExecutionBackend
+from repro.runner.backends.http import HttpBackend
 from repro.runner.backends.process import ProcessBackend
 from repro.runner.backends.queue import (
     QueueBackend,
@@ -28,7 +31,7 @@ from repro.runner.backends.serial import SerialBackend
 from repro.runner.queue import DEFAULT_LEASE_TTL, DEFAULT_QUEUE_DIR
 
 #: CLI names of the available backends.
-BACKEND_NAMES = ("serial", "process", "queue")
+BACKEND_NAMES = ("serial", "process", "queue", "http")
 
 
 def make_backend(
@@ -39,12 +42,15 @@ def make_backend(
     drain: bool = True,
     timeout: Optional[float] = None,
     reuse_results: bool = True,
+    coordinator: Optional[str] = None,
+    token: Optional[str] = None,
 ) -> ExecutionBackend:
     """Build a backend from CLI/environment-style knobs.
 
     ``jobs`` only parameterises the process backend; ``queue_dir`` /
-    ``lease_ttl`` / ``drain`` / ``timeout`` / ``reuse_results`` only
-    the queue backend.
+    ``lease_ttl`` only the queue backend; ``coordinator`` / ``token``
+    only the http backend; ``drain`` / ``timeout`` / ``reuse_results``
+    the queue and http backends.
     """
     if name == "serial":
         return SerialBackend()
@@ -58,6 +64,19 @@ def make_backend(
             timeout=timeout,
             reuse_results=reuse_results,
         )
+    if name == "http":
+        if not coordinator:
+            raise ValueError(
+                "the http backend needs a coordinator URL "
+                "(--coordinator http://HOST:PORT)"
+            )
+        return HttpBackend(
+            coordinator,
+            token=token,
+            drain=drain,
+            timeout=timeout,
+            reuse_results=reuse_results,
+        )
     raise ValueError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
     )
@@ -66,6 +85,7 @@ def make_backend(
 __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
+    "HttpBackend",
     "ProcessBackend",
     "QueueBackend",
     "QueueDrainTimeout",

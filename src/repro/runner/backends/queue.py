@@ -19,7 +19,7 @@ from repro.models.benchmark import Benchmark
 from repro.runner.backends.base import ExecutionBackend
 from repro.runner.evaluate import evaluate_task
 from repro.runner.job import payload_key
-from repro.runner.queue import DEFAULT_LEASE_TTL, WorkQueue
+from repro.runner.queue import DEFAULT_LEASE_TTL, TaskQueue, WorkQueue
 
 
 class QueueDrainTimeout(RuntimeError):
@@ -40,8 +40,17 @@ class QueueTaskFailed(RuntimeError):
 class QueueBackend(ExecutionBackend):
     """Execute payloads by publishing them to a shared work queue.
 
+    The submitter logic is written against the
+    :class:`~repro.runner.queue.TaskQueue` contract, not the file
+    layout, so the same class drives the filesystem :class:`WorkQueue`
+    directly *and* — through its :class:`HttpBackend
+    <repro.runner.backends.http.HttpBackend>` subclass — a
+    :class:`~repro.runner.transport.client.RemoteWorkQueue` behind an
+    HTTP coordinator.
+
     Args:
-        queue: a :class:`WorkQueue` or a queue directory path.
+        queue: any :class:`TaskQueue` (a queue directory path builds a
+            :class:`WorkQueue` over it).
         lease_ttl: lease expiry used when ``queue`` is a path.
         drain: when ``True`` (default) the submitting process also
             claims and evaluates tasks while it waits, so a sweep
@@ -73,7 +82,7 @@ class QueueBackend(ExecutionBackend):
 
     def __init__(
         self,
-        queue: Union[WorkQueue, str, Path],
+        queue: Union[TaskQueue, str, Path],
         lease_ttl: float = DEFAULT_LEASE_TTL,
         drain: bool = True,
         timeout: Optional[float] = None,
@@ -81,7 +90,7 @@ class QueueBackend(ExecutionBackend):
         worker: str = "submitter",
         reuse_results: bool = True,
     ):
-        if not isinstance(queue, WorkQueue):
+        if not isinstance(queue, TaskQueue):
             queue = WorkQueue(queue, lease_ttl=lease_ttl)
         self.queue = queue
         self.drain = bool(drain)
@@ -145,7 +154,7 @@ class QueueBackend(ExecutionBackend):
                 raise QueueDrainTimeout(
                     f"no progress for {self.timeout:.0f}s; "
                     f"{len(waiting)} task(s) still unresolved in "
-                    f"{self.queue.root} (are any workers running?)"
+                    f"{self.queue.location} (are any workers running?)"
                 )
             time.sleep(self.poll_interval)
         return [outputs[key] for key in keys]
@@ -157,8 +166,8 @@ class QueueBackend(ExecutionBackend):
                 error = self.queue.failed_error(key)
                 detail = f":\n{error}" if error else " (no traceback recorded)"
                 raise QueueTaskFailed(
-                    f"task {key} was quarantined under "
-                    f"{self.queue.failed_dir}{detail}"
+                    f"task {key} was quarantined under failed/ of "
+                    f"{self.queue.location}{detail}"
                 )
 
     def _drain_one(self) -> bool:

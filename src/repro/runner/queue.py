@@ -1,4 +1,15 @@
-"""File-based multi-host work queue with lease-based fault tolerance.
+"""Multi-host work queues with lease-based fault tolerance.
+
+Two queue implementations share one contract (:class:`TaskQueue`):
+:class:`WorkQueue` here — directory-backed, for hosts that share a
+filesystem — and
+:class:`~repro.runner.transport.client.RemoteWorkQueue`, which speaks
+the same contract to an HTTP coordinator (itself a :class:`WorkQueue`
+served over REST) for hosts that share nothing but a network.  The
+worker loop (:func:`drain`), the heartbeat machinery and the
+:class:`~repro.runner.backends.queue.QueueBackend` submitter are all
+written against the contract, so lease expiry, poison-task quarantine
+and crash recovery behave identically over a mount and over a socket.
 
 Any number of workers on any number of hosts that share one filesystem
 (NFS, a bind mount, plain local disk) drain a single queue directory:
@@ -36,16 +47,18 @@ both the longest task and the worst expected clock skew.
 
 from __future__ import annotations
 
+import abc
 import json
 import os
+import socket
 import threading
 import time
 import traceback
 import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.job import payload_key
@@ -61,14 +74,152 @@ DEFAULT_LEASE_TTL = 300.0
 
 @dataclass(frozen=True)
 class Task:
-    """One claimed unit of work: evaluate ``payload``, store under ``task_id``."""
+    """One claimed unit of work: evaluate ``payload``, store under ``task_id``.
+
+    ``lease`` is the claim's owner nonce — the token that names this
+    particular claim in every later :meth:`TaskQueue.extend` /
+    ``complete`` / ``fail`` call (and, for the file queue, the middle
+    component of the lease file's name).  ``lease_path`` is set only by
+    the file-backed :class:`WorkQueue`; remote queues have no path.
+    """
 
     task_id: str
     payload: Dict[str, object]
-    lease_path: Path
+    lease: str = ""
+    lease_path: Optional[Path] = field(default=None, compare=False)
 
 
-class WorkQueue:
+class TaskQueue(abc.ABC):
+    """The claim/lease/complete contract every work queue implements.
+
+    Both :class:`WorkQueue` (shared filesystem) and the HTTP
+    :class:`~repro.runner.transport.client.RemoteWorkQueue` satisfy this
+    interface, which is what lets :func:`drain`, the heartbeat thread
+    and :class:`~repro.runner.backends.queue.QueueBackend` run unchanged
+    over either transport.  Implementations must guarantee:
+
+    - **atomic claims** — exactly one caller wins any task, no matter
+      how many claim concurrently (from threads, processes or hosts);
+    - **idempotent completes** — completing a task whose lease is gone
+      (expired, re-queued, already completed) is a harmless no-op;
+    - **sticky failure** — a failed task is quarantined, not re-queued.
+
+    Attributes every implementation exposes:
+        lease_ttl: seconds before an unrefreshed lease is considered
+            dead and its task re-queued.
+        results: the content-addressed result store
+            (:class:`~repro.runner.cache.ResultCache`-shaped: ``get`` /
+            ``put`` / ``discard``) where completed task outputs land.
+    """
+
+    lease_ttl: float
+    results: object
+
+    @abc.abstractmethod
+    def submit(self, payload: Mapping[str, object]) -> str:
+        """Enqueue ``payload`` (idempotent); returns its task id."""
+
+    @abc.abstractmethod
+    def claim(self, worker: str = "") -> Optional[Task]:
+        """Atomically claim one pending task, or ``None`` if none remain."""
+
+    @abc.abstractmethod
+    def extend(self, task: Task) -> None:
+        """Heartbeat: push ``task``'s lease expiry ``lease_ttl`` ahead."""
+
+    @abc.abstractmethod
+    def complete(self, task: Task) -> None:
+        """Release ``task``'s lease after its result reached :attr:`results`."""
+
+    @abc.abstractmethod
+    def fail(self, task: Task, error: str = "") -> None:
+        """Quarantine ``task`` (sticky) instead of re-queueing it."""
+
+    @abc.abstractmethod
+    def is_failed(self, task_id: str) -> bool:
+        """Whether ``task_id`` has been quarantined."""
+
+    @abc.abstractmethod
+    def failed_error(self, task_id: str) -> str:
+        """The recorded traceback for a quarantined task ('' if none)."""
+
+    @abc.abstractmethod
+    def has_live_lease(self, task_id: str) -> bool:
+        """Whether some worker currently holds an unexpired lease."""
+
+    @abc.abstractmethod
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        """Move every expired lease back to pending; returns how many."""
+
+    @abc.abstractmethod
+    def pending_count(self) -> int: ...
+
+    @abc.abstractmethod
+    def active_count(self) -> int: ...
+
+    @abc.abstractmethod
+    def failed_count(self) -> int: ...
+
+    @property
+    def location(self) -> str:
+        """Where this queue lives, for log and error messages."""
+        return repr(self)
+
+    def active_owners(self) -> List[str]:
+        """Owner ids (see :func:`lease_owner`) of the live leases."""
+        return []
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of queue health, attributable by owner."""
+        return {
+            "pending": self.pending_count(),
+            "active": self.active_count(),
+            "failed": self.failed_count(),
+            "lease_ttl": self.lease_ttl,
+            "owners": self.active_owners(),
+        }
+
+    @contextmanager
+    def heartbeat(self, task: Task):
+        """Keep ``task``'s lease fresh for the duration of the block.
+
+        A daemon thread extends the lease every ``lease_ttl / 4``
+        seconds (numpy releases the GIL in its kernels, so the beat
+        runs even during a heavy evaluation), so a task may legally
+        take much longer than the TTL: expiry then only ever fires for
+        workers that actually died.
+        """
+        stop = threading.Event()
+        try:
+            interval = self.lease_ttl / 4
+        except Exception:
+            # Remote queues fetch the TTL from the coordinator, which
+            # may be briefly unreachable; beat at the default cadence
+            # rather than not at all.
+            interval = DEFAULT_LEASE_TTL / 4
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.extend(task)
+                except Exception:
+                    # A failed beat must never kill the heartbeat: the
+                    # lease survives missed renewals for up to a full
+                    # TTL, and the next beat may reach a restarted
+                    # coordinator.  (WorkQueue.extend never raises;
+                    # RemoteWorkQueue.extend can, after its retries.)
+                    pass
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join()
+
+
+class WorkQueue(TaskQueue):
     """Directory-backed task queue shared by every host that mounts it."""
 
     def __init__(
@@ -113,6 +264,15 @@ class WorkQueue:
         tmp = path.with_suffix(f".tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}")
         tmp.write_text(_dumps(payload), encoding="utf-8")
         os.replace(tmp, path)
+        if task_id in self.results or self._is_active(task_id):
+            # A claimer (or a finishing worker) slipped in between the
+            # existence checks above and our write, so the file we just
+            # created is a duplicate of a task already in flight —
+            # withdraw it.  Should a racer claim the duplicate first,
+            # that claim is harmless (evaluation is deterministic and
+            # results are content-addressed); this just avoids the
+            # wasted work in the common interleaving.
+            _unlink(path)
         return task_id
 
     # -- claiming -----------------------------------------------------------
@@ -127,7 +287,8 @@ class WorkQueue:
         self.requeue_expired()
         for path in sorted(self.pending_dir.glob("*.json")):
             task_id = path.stem
-            lease = self.active_dir / f"{task_id}.{_nonce(worker)}.json"
+            nonce = _nonce(worker)
+            lease = self.active_dir / f"{task_id}.{nonce}.json"
             self.active_dir.mkdir(parents=True, exist_ok=True)
             try:
                 os.replace(path, lease)
@@ -141,8 +302,28 @@ class WorkQueue:
             except (OSError, ValueError):
                 _unlink(lease)  # unreadable task file; drop it
                 continue
-            return Task(task_id=task_id, payload=payload, lease_path=lease)
+            return Task(
+                task_id=task_id,
+                payload=payload,
+                lease=nonce,
+                lease_path=lease,
+            )
         return None
+
+    def task_for(self, task_id: str, lease: str) -> Task:
+        """Rebind a claim by its ``(task_id, lease)`` coordinates.
+
+        How the HTTP coordinator resolves extend/complete/fail requests:
+        the remote worker only holds the lease nonce its claim returned,
+        and this reconstructs the :class:`Task` (payload-free — none of
+        the lease operations read it) that names the same lease file.
+        """
+        return Task(
+            task_id=task_id,
+            payload={},
+            lease=lease,
+            lease_path=self.active_dir / f"{task_id}.{lease}.json",
+        )
 
     def extend(self, task: Task) -> None:
         """Heartbeat: push ``task``'s lease expiry ``lease_ttl`` into the future."""
@@ -200,30 +381,6 @@ class WorkQueue:
                 continue
         return False
 
-    @contextmanager
-    def heartbeat(self, task: Task):
-        """Keep ``task``'s lease fresh for the duration of the block.
-
-        A daemon thread touches the lease file every ``lease_ttl / 4``
-        seconds (numpy releases the GIL in its kernels, so the beat
-        runs even during a heavy evaluation), so a task may legally
-        take much longer than the TTL: expiry then only ever fires for
-        workers that actually died.
-        """
-        stop = threading.Event()
-
-        def beat() -> None:
-            while not stop.wait(self.lease_ttl / 4):
-                self.extend(task)
-
-        thread = threading.Thread(target=beat, daemon=True)
-        thread.start()
-        try:
-            yield
-        finally:
-            stop.set()
-            thread.join()
-
     # -- fault recovery -----------------------------------------------------
 
     def requeue_expired(self, now: Optional[float] = None) -> int:
@@ -261,12 +418,30 @@ class WorkQueue:
     def failed_count(self) -> int:
         return sum(1 for _ in self.failed_dir.glob("*.json"))
 
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+    def active_owners(self) -> List[str]:
+        """Owners of the live leases, for attributable queue stats."""
+        owners = set()
+        for lease in self.active_dir.glob("*.json"):
+            parts = lease.name.split(".")
+            if len(parts) >= 3:
+                owners.add(lease_owner(parts[1]))
+        return sorted(owners)
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["results"] = len(self.results)
+        return stats
+
     def _is_active(self, task_id: str) -> bool:
         return any(self.active_dir.glob(f"{task_id}.*.json"))
 
 
 def drain(
-    queue: WorkQueue,
+    queue: TaskQueue,
     handler: Callable[[Mapping[str, object]], Dict[str, object]],
     max_tasks: Optional[int] = None,
     idle_timeout: Optional[float] = None,
@@ -320,9 +495,31 @@ def drain(
 # -- helpers ----------------------------------------------------------------
 
 
+def default_owner() -> str:
+    """``<hostname>-<pid>``: who holds a lease, attributable across hosts."""
+    return f"{_sanitize(socket.gethostname()) or 'host'}-{os.getpid()}"
+
+
+def lease_owner(lease: str) -> str:
+    """The owner id embedded in a lease nonce (strips the unique suffix)."""
+    return lease.rsplit("-", 1)[0]
+
+
+def _sanitize(text: str) -> str:
+    return "".join(ch for ch in text if ch.isalnum() or ch in "-_")[:48]
+
+
 def _nonce(worker: str) -> str:
-    tag = "".join(ch for ch in worker if ch.isalnum() or ch in "-_")[:24]
-    return f"{tag or 'w'}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    """A unique lease name that stays attributable: ``[tag-]host-pid-uuid``.
+
+    The hostname and pid are always embedded — not just the caller's
+    tag — so a lease (or a ``failed/`` record, which keeps the lease's
+    file name) identifies *which process on which machine* held it,
+    even across hosts whose workers were started identically.
+    """
+    tag = _sanitize(worker)
+    owner = f"{tag}-{default_owner()}" if tag else default_owner()
+    return f"{owner}-{uuid.uuid4().hex[:8]}"
 
 
 def _unlink(path: Path) -> None:

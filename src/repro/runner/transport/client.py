@@ -1,0 +1,255 @@
+"""``RemoteWorkQueue``: the ``TaskQueue`` contract spoken over HTTP.
+
+A worker (or a ``--backend http`` submitter) holds nothing but a
+coordinator URL and, optionally, a shared token — no mount, no queue
+directory.  Every :class:`~repro.runner.queue.TaskQueue` method maps to
+one coordinator endpoint; the queue semantics (atomic claims, lease
+heartbeats, expiry re-queueing, sticky quarantine, idempotent
+completes) live entirely on the coordinator, so this client is a thin,
+*retrying* proxy:
+
+- Connection failures, timeouts and 5xx responses are retried with
+  bounded exponential backoff — a coordinator restart mid-sweep (its
+  state is on disk) looks like a brief network blip, not a failure.
+- 4xx responses are **not** retried: they mean this client sent
+  something the coordinator will never accept (bad token, malformed
+  task id), and repeating it would just re-fail.
+- Completes are idempotent end to end: re-sending a ``complete`` whose
+  first response was lost re-stores the same content-addressed result
+  and re-releases an already-released lease, both harmless.
+
+Requests are stdlib ``urllib`` — the client side, like the server side,
+adds no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from http.client import HTTPException
+from typing import Dict, List, Mapping, Optional
+
+from repro.runner.queue import Task, TaskQueue
+
+#: Attempts per request: 1 + DEFAULT_RETRIES.  With the default backoff
+#: the final attempt lands ~25 s after the first — enough to ride out a
+#: coordinator restart, bounded enough to fail fast when it's gone.
+DEFAULT_RETRIES = 7
+
+#: First retry delay in seconds; doubles per attempt.
+DEFAULT_BACKOFF = 0.2
+
+
+class TransportError(RuntimeError):
+    """The coordinator could not be reached or rejected the request."""
+
+
+class CoordinatorAuthError(TransportError):
+    """The coordinator rejected this client's bearer token (HTTP 401/403)."""
+
+
+class RemoteResults:
+    """The coordinator's result store, shaped like a ``ResultCache``.
+
+    Exactly the three operations the queue machinery uses: ``get`` /
+    ``put`` / ``discard`` (plus membership).  Results live on the
+    coordinator host, content-addressed under the same keys the local
+    cache would use, so a submitter copies them straight into its own
+    ``--cache-dir``.
+    """
+
+    def __init__(self, queue: "RemoteWorkQueue"):
+        self._queue = queue
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        reply = self._queue._call("results/get", {"key": key})
+        return reply["result"] if reply.get("found") else None
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        self._queue._call("results/put", {"key": key, "result": payload})
+
+    def discard(self, key: str) -> None:
+        self._queue._call("results/discard", {"key": key})
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class RemoteWorkQueue(TaskQueue):
+    """A work queue that lives behind ``repro coordinator`` somewhere.
+
+    Args:
+        url: coordinator base URL, e.g. ``http://10.0.0.5:8642``.
+        token: shared secret matching the coordinator's ``--token-file``
+            (``None`` for an unauthenticated coordinator).
+        retries: retransmissions per request after the first attempt
+            (connection errors / timeouts / 5xx only).
+        backoff: first retry delay in seconds; doubles per attempt.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        token: Optional[str] = None,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        timeout: float = 30.0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.url = url.rstrip("/")
+        self.token = token
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = float(timeout)
+        self.results = RemoteResults(self)
+        self._lease_ttl: Optional[float] = None
+
+    # -- TaskQueue contract -------------------------------------------------
+
+    @property
+    def location(self) -> str:
+        return self.url
+
+    @property
+    def lease_ttl(self) -> float:
+        """The coordinator's TTL (fetched once; it owns the policy)."""
+        if self._lease_ttl is None:
+            self._lease_ttl = float(self.stats()["lease_ttl"])
+        return self._lease_ttl
+
+    def submit(self, payload: Mapping[str, object]) -> str:
+        reply = self._call("submit", {"payload": dict(payload)})
+        return str(reply["task_id"])
+
+    def claim(self, worker: str = "") -> Optional[Task]:
+        reply = self._call("claim", {"worker": worker})
+        if reply.get("task", "present") is None:
+            return None
+        return Task(
+            task_id=str(reply["task_id"]),
+            payload=dict(reply["payload"]),
+            lease=str(reply["lease"]),
+        )
+
+    def extend(self, task: Task) -> None:
+        self._call("extend", {"task_id": task.task_id, "lease": task.lease})
+
+    def complete(self, task: Task) -> None:
+        self._call("complete", {"task_id": task.task_id, "lease": task.lease})
+
+    def fail(self, task: Task, error: str = "") -> None:
+        self._call(
+            "fail",
+            {"task_id": task.task_id, "lease": task.lease, "error": error},
+        )
+
+    def is_failed(self, task_id: str) -> bool:
+        return bool(self._call("failed", {"task_id": task_id})["failed"])
+
+    def failed_error(self, task_id: str) -> str:
+        return str(self._call("failed", {"task_id": task_id})["error"])
+
+    def has_live_lease(self, task_id: str) -> bool:
+        return bool(self._call("lease", {"task_id": task_id})["live"])
+
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        del now  # expiry is judged by the coordinator's clock, not ours
+        return int(self._call("requeue", {})["requeued"])
+
+    def stats(self) -> Dict[str, object]:
+        return self._call("stats", method="GET")
+
+    def pending_count(self) -> int:
+        return int(self.stats()["pending"])
+
+    def active_count(self) -> int:
+        return int(self.stats()["active"])
+
+    def failed_count(self) -> int:
+        return int(self.stats()["failed"])
+
+    def active_owners(self) -> List[str]:
+        return [str(owner) for owner in self.stats()["owners"]]
+
+    # -- wire ---------------------------------------------------------------
+
+    def _call(
+        self,
+        endpoint: str,
+        body: Optional[Dict[str, object]] = None,
+        method: str = "POST",
+    ) -> Dict[str, object]:
+        """One coordinator round-trip with bounded retry-with-backoff."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * 2 ** (attempt - 1))
+            try:
+                return self._once(endpoint, body, method)
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code in (401, 403):
+                    raise CoordinatorAuthError(
+                        f"coordinator {self.url} rejected credentials "
+                        f"({exc.code}): {detail}"
+                    )
+                if 400 <= exc.code < 500 and exc.code != 408:
+                    # Our request is wrong; re-sending it cannot help.
+                    raise TransportError(
+                        f"coordinator {self.url} rejected "
+                        f"/{endpoint} ({exc.code}): {detail}"
+                    )
+                last_error = exc  # 5xx / 408: the coordinator's problem
+            except (
+                urllib.error.URLError,
+                HTTPException,
+                ConnectionError,
+                TimeoutError,
+                json.JSONDecodeError,
+            ) as exc:
+                last_error = exc
+        raise TransportError(
+            f"coordinator {self.url} unreachable: /{endpoint} failed "
+            f"{self.retries + 1} time(s); last error: {last_error}"
+        )
+
+    def _once(
+        self,
+        endpoint: str,
+        body: Optional[Dict[str, object]],
+        method: str,
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if method == "POST":
+            data = json.dumps(body or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}/api/v1/{endpoint}",
+            data=data,
+            headers=headers,
+            method=method,
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            reply = json.loads(response.read().decode("utf-8"))
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"coordinator {self.url} sent a non-object reply "
+                f"for /{endpoint}"
+            )
+        return reply
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        """The server's JSON error message, if it sent one."""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return str(payload.get("error", payload))
+        except Exception:
+            return exc.reason if isinstance(exc.reason, str) else str(exc)

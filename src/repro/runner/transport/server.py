@@ -1,0 +1,346 @@
+"""The HTTP coordinator: one ``WorkQueue`` served to the whole fleet.
+
+``repro coordinator`` wraps the queue *directory* exactly once — on the
+coordinator host — and serves the :class:`~repro.runner.queue.TaskQueue`
+contract as small JSON-over-POST endpoints (stdlib
+``ThreadingHTTPServer``; no third-party dependencies).  Queue state
+stays on disk in the ordinary ``pending/ active/ failed/ results/``
+layout, so the coordinator is **stateless across restarts**: kill it
+mid-sweep, start a new one on the same directory, and every pending
+task, live lease and stored result is still there.  Workers' bounded
+retries (see :class:`~repro.runner.transport.client.RemoteWorkQueue`)
+ride out the gap.
+
+Endpoints (all under ``/api/v1``; request and response bodies are JSON):
+
+====================  ====  ===================================================
+``/stats``            GET   queue counters, lease TTL, live lease owners
+``/submit``           POST  ``{payload}`` -> ``{task_id}``
+``/claim``            POST  ``{worker}`` -> ``{task_id, payload, lease}`` |
+                            ``{task: null}``
+``/extend``           POST  ``{task_id, lease}`` heartbeat
+``/complete``         POST  ``{task_id, lease[, result]}`` store + release
+``/fail``             POST  ``{task_id, lease, error}`` sticky quarantine
+``/failed``           POST  ``{task_id}`` -> ``{failed, error}``
+``/lease``            POST  ``{task_id}`` -> ``{live}``
+``/requeue``          POST  expire dead leases -> ``{requeued}``
+``/results/get``      POST  ``{key}`` -> ``{found, result}``
+``/results/put``      POST  ``{key, result}``
+``/results/discard``  POST  ``{key}``
+====================  ====  ===================================================
+
+Authentication is a shared token (``--token-file``): every request must
+carry ``Authorization: Bearer <token>``; mismatches get 401 without
+touching the queue.  Concurrency needs no locks — the handler threads
+hit the same atomic-rename filesystem protocol that already arbitrates
+between whole *processes* on a shared mount.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.runner.queue import WorkQueue, lease_owner
+
+#: Default coordinator port (``repro coordinator --port``).
+DEFAULT_COORDINATOR_PORT = 8642
+
+#: Requests larger than this are rejected outright (a result payload
+#: for a bench-scale network is ~100 KB; 32 MB is absurd headroom).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_HEX_DIGITS = set("0123456789abcdef")
+_LEASE_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+
+
+def read_token_file(path: Union[str, Path]) -> str:
+    """The shared secret stored at ``path`` (stripped; must be non-empty)."""
+    token = Path(path).read_text(encoding="utf-8").strip()
+    if not token:
+        raise ValueError(f"token file {path} is empty")
+    return token
+
+
+class _RequestError(Exception):
+    """An HTTP error response to send instead of a result body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _valid_key(key: object) -> str:
+    """A task id / result key: exactly the sha256 hex a payload digests to."""
+    if (
+        not isinstance(key, str)
+        or len(key) != 64
+        or not set(key) <= _HEX_DIGITS
+    ):
+        raise _RequestError(400, f"invalid task id {key!r}")
+    return key
+
+
+def _valid_lease(lease: object) -> str:
+    """A lease nonce as minted by the queue: short, path-safe, no dots."""
+    if (
+        not isinstance(lease, str)
+        or not 0 < len(lease) <= 128
+        or not set(lease) <= _LEASE_CHARS
+    ):
+        raise _RequestError(400, f"invalid lease {lease!r}")
+    return lease
+
+
+class CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes one request to the wrapped :class:`WorkQueue`."""
+
+    server: "CoordinatorServer"
+    server_version = "repro-coordinator/1"
+    protocol_version = "HTTP/1.1"  # keep-alive: workers poll in a loop
+
+    # -- plumbing -----------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            if not self._authorized():
+                raise _RequestError(401, "missing or bad bearer token")
+            route = _ROUTES.get(self.path)
+            if route is None:
+                raise _RequestError(404, f"unknown endpoint {self.path}")
+            expected_method, handler = route
+            if method != expected_method:
+                raise _RequestError(405, f"{self.path} requires {expected_method}")
+            body = self._read_body() if method == "POST" else {}
+            self._reply(200, handler(self, body))
+        except _RequestError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except Exception as exc:  # never let a handler kill the server
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _authorized(self) -> bool:
+        token = self.server.token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization", "")
+        return hmac.compare_digest(header, f"Bearer {token}")
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(413, f"body of {length} bytes is too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _RequestError(400, f"request body is not JSON: {exc}")
+        if not isinstance(body, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return body
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        if status >= 400:
+            # Error replies may be sent before the request body was
+            # read (auth failures, unknown endpoints); on a keep-alive
+            # connection the unread bytes would be parsed as the next
+            # request line, desyncing the socket — close it instead.
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        # Per-request access logging is noise at worker poll rates; the
+        # queue-event log lines below are the useful signal.
+        pass
+
+    def _log_event(self, message: str) -> None:
+        self.server.log(message)
+
+    # -- queue endpoints ----------------------------------------------------
+
+    def _ep_stats(self, body: Dict[str, object]) -> Dict[str, object]:
+        del body
+        return self.server.queue.stats()
+
+    def _ep_submit(self, body: Dict[str, object]) -> Dict[str, object]:
+        payload = body.get("payload")
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "submit requires a JSON 'payload' object")
+        return {"task_id": self.server.queue.submit(payload)}
+
+    def _ep_claim(self, body: Dict[str, object]) -> Dict[str, object]:
+        worker = str(body.get("worker", ""))
+        task = self.server.queue.claim(worker)
+        if task is None:
+            return {"task": None}
+        self._log_event(
+            f"claim {task.task_id[:12]} -> {lease_owner(task.lease)}"
+        )
+        return {
+            "task_id": task.task_id,
+            "payload": task.payload,
+            "lease": task.lease,
+        }
+
+    def _ep_extend(self, body: Dict[str, object]) -> Dict[str, object]:
+        self.server.queue.extend(self._task(body))
+        return {"ok": True}
+
+    def _ep_complete(self, body: Dict[str, object]) -> Dict[str, object]:
+        task = self._task(body)
+        result = body.get("result")
+        if result is not None:
+            if not isinstance(result, dict):
+                raise _RequestError(400, "result must be a JSON object")
+            self.server.queue.results.put(task.task_id, result)
+        self.server.queue.complete(task)
+        self._log_event(
+            f"complete {task.task_id[:12]} by {lease_owner(task.lease)}"
+        )
+        return {"ok": True}
+
+    def _ep_fail(self, body: Dict[str, object]) -> Dict[str, object]:
+        task = self._task(body)
+        error = str(body.get("error", ""))
+        self.server.queue.fail(task, error=error)
+        self._log_event(
+            f"FAIL {task.task_id[:12]} by {lease_owner(task.lease)}: "
+            f"quarantined under failed/"
+        )
+        return {"ok": True}
+
+    def _ep_failed(self, body: Dict[str, object]) -> Dict[str, object]:
+        task_id = _valid_key(body.get("task_id"))
+        queue = self.server.queue
+        if not queue.is_failed(task_id):
+            return {"failed": False, "error": ""}
+        return {"failed": True, "error": queue.failed_error(task_id)}
+
+    def _ep_lease(self, body: Dict[str, object]) -> Dict[str, object]:
+        task_id = _valid_key(body.get("task_id"))
+        return {"live": self.server.queue.has_live_lease(task_id)}
+
+    def _ep_requeue(self, body: Dict[str, object]) -> Dict[str, object]:
+        del body
+        requeued = self.server.queue.requeue_expired()
+        if requeued:
+            self._log_event(f"requeued {requeued} expired lease(s)")
+        return {"requeued": requeued}
+
+    def _ep_result_get(self, body: Dict[str, object]) -> Dict[str, object]:
+        key = _valid_key(body.get("key"))
+        result = self.server.queue.results.get(key)
+        return {"found": result is not None, "result": result}
+
+    def _ep_result_put(self, body: Dict[str, object]) -> Dict[str, object]:
+        key = _valid_key(body.get("key"))
+        result = body.get("result")
+        if not isinstance(result, dict):
+            raise _RequestError(400, "result must be a JSON object")
+        self.server.queue.results.put(key, result)
+        return {"ok": True}
+
+    def _ep_result_discard(self, body: Dict[str, object]) -> Dict[str, object]:
+        key = _valid_key(body.get("key"))
+        self.server.queue.results.discard(key)
+        return {"ok": True}
+
+    def _task(self, body: Dict[str, object]):
+        """The (validated) claim a lease-operation request names."""
+        task_id = _valid_key(body.get("task_id"))
+        lease = _valid_lease(body.get("lease"))
+        return self.server.queue.task_for(task_id, lease)
+
+
+#: path -> (method, handler).  One flat table: the whole wire protocol.
+_ROUTES = {
+    "/api/v1/stats": ("GET", CoordinatorHandler._ep_stats),
+    "/api/v1/submit": ("POST", CoordinatorHandler._ep_submit),
+    "/api/v1/claim": ("POST", CoordinatorHandler._ep_claim),
+    "/api/v1/extend": ("POST", CoordinatorHandler._ep_extend),
+    "/api/v1/complete": ("POST", CoordinatorHandler._ep_complete),
+    "/api/v1/fail": ("POST", CoordinatorHandler._ep_fail),
+    "/api/v1/failed": ("POST", CoordinatorHandler._ep_failed),
+    "/api/v1/lease": ("POST", CoordinatorHandler._ep_lease),
+    "/api/v1/requeue": ("POST", CoordinatorHandler._ep_requeue),
+    "/api/v1/results/get": ("POST", CoordinatorHandler._ep_result_get),
+    "/api/v1/results/put": ("POST", CoordinatorHandler._ep_result_put),
+    "/api/v1/results/discard": ("POST", CoordinatorHandler._ep_result_discard),
+}
+
+
+class CoordinatorServer(ThreadingHTTPServer):
+    """A :class:`WorkQueue` exposed over HTTP to any host that can connect.
+
+    Args:
+        queue: the wrapped :class:`WorkQueue` (or a queue directory).
+        host / port: bind address; port ``0`` picks an ephemeral port
+            (`server_port` / `url` report the actual one).
+        token: shared secret; ``None`` serves unauthenticated (loopback
+            testing).  Production deployments should always set one —
+            the queue evaluates arbitrary submitted payloads.
+        quiet: suppress queue-event log lines (tests).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+        quiet: bool = False,
+    ):
+        if not isinstance(queue, WorkQueue):
+            queue = WorkQueue(queue)
+        self.queue = queue
+        self.token = token
+        self.quiet = quiet
+        self._log_lock = threading.Lock()
+        super().__init__((host, port), CoordinatorHandler)
+
+    @property
+    def url(self) -> str:
+        """The base URL workers should be pointed at."""
+        host, port = self.server_address[:2]
+        if host == "0.0.0.0":  # bound everywhere; loopback always works
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"
+
+    def log(self, message: str) -> None:
+        if self.quiet:
+            return
+        with self._log_lock:
+            print(f"[coordinator] {message}", file=sys.stderr, flush=True)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests, embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Shut down the serve loop and release the listening socket."""
+        self.shutdown()
+        self.server_close()

@@ -4,8 +4,10 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.runner import (
+    DEFAULT_COORDINATOR_PORT,
     DEFAULT_LEASE_TTL,
     DEFAULT_QUEUE_DIR,
+    CoordinatorServer,
     SweepJob,
     WorkQueue,
     payload_key,
@@ -75,6 +77,37 @@ class TestParser:
         assert args.max_tasks is None
         assert args.idle_timeout is None
         assert args.poll_interval == 0.1
+        assert args.coordinator is None
+        assert args.token_file is None
+
+    def test_coordinator_defaults(self):
+        args = build_parser().parse_args(["coordinator"])
+        assert args.queue_dir == DEFAULT_QUEUE_DIR
+        assert args.lease_ttl == DEFAULT_LEASE_TTL
+        assert args.host == "0.0.0.0"
+        assert args.port == DEFAULT_COORDINATOR_PORT
+        assert args.token_file is None
+
+    def test_coordinator_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["coordinator", "--queue-dir", "/tmp/q", "--port", "9999",
+             "--host", "127.0.0.1", "--token-file", "/tmp/tok"]
+        )
+        assert args.queue_dir == "/tmp/q"
+        assert args.port == 9999
+        assert args.host == "127.0.0.1"
+        assert args.token_file == "/tmp/tok"
+
+    def test_http_backend_flags_parsed_on_sweep_e2e_report(self):
+        for argv in (["sweep", "imdb"], ["e2e", "imdb"], ["report"]):
+            args = build_parser().parse_args(
+                argv + ["--backend", "http",
+                        "--coordinator", "http://10.0.0.5:8642",
+                        "--token-file", "/tmp/tok"]
+            )
+            assert args.backend == "http"
+            assert args.coordinator == "http://10.0.0.5:8642"
+            assert args.token_file == "/tmp/tok"
 
 
 class TestCommands:
@@ -237,10 +270,12 @@ class TestQueueBackendCLI:
             poison["nonce"] += 1
         queue.submit(poison)
         assert queue.submit(job.point_payload(0.1)) == good_id
+        # Non-zero exit: scripted multi-host deployments detect poison
+        # tasks from the exit code alone.
         assert main(
             ["worker", "--queue-dir", str(tmp_path / "queue"),
              "--max-tasks", "1"]
-        ) == 0
+        ) == 1
         captured = capsys.readouterr()
         assert "drained 1 task(s)" in captured.out
         assert "1 task(s) quarantined in failed/" in captured.out
@@ -248,6 +283,56 @@ class TestQueueBackendCLI:
         assert queue.results.get(good_id) is not None
         assert queue.failed_count() == 1
         assert queue.pending_count() == 0
+
+    def test_worker_exit_code_counts_only_own_quarantines(
+        self, capsys, tmp_path
+    ):
+        """A quarantine by *another* worker while this one drains
+        cleanly must not flip this worker's exit code: blame follows
+        the worker that hit the poison, not the whole fleet."""
+        queue = WorkQueue(tmp_path / "queue")
+        job = SweepJob(network="imdb", thetas=(0.1,))
+        good_id = payload_key(job.point_payload(0.1))
+        # Claims go in task-id order; make the poison task sort first
+        # so the "other worker" deterministically picks it up.
+        poison = {"kind": "teleport", "nonce": 0}
+        while payload_key(poison) > good_id:
+            poison["nonce"] += 1
+        queue.submit(poison)
+        queue.submit(job.point_payload(0.1))
+        other = queue.claim("other-worker")
+        assert other.payload["kind"] == "teleport"
+        # The other worker quarantines its poison task mid-run.
+        queue.fail(other, error="someone else's poison")
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--max-tasks", "1"]
+        ) == 0  # this worker drained only the healthy task
+        out = capsys.readouterr().out
+        assert "drained 1 task(s)" in out
+        assert "quarantined" not in out
+
+    def test_worker_exit_code_ignores_preexisting_quarantine(
+        self, capsys, tmp_path
+    ):
+        """Only quarantines from *this run* flip the exit code: a worker
+        that drained cleanly next to an old failed/ record exits 0."""
+        queue = WorkQueue(tmp_path / "queue")
+        queue.submit({"kind": "teleport"})
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--idle-timeout", "0"]
+        ) == 1  # the run that quarantined it fails loudly ...
+        capsys.readouterr()
+        job = SweepJob(network="imdb", thetas=(0.1,))
+        queue.submit(job.point_payload(0.1))
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--max-tasks", "1"]
+        ) == 0  # ... later clean runs do not re-report it
+        out = capsys.readouterr().out
+        assert "drained 1 task(s)" in out
+        assert "quarantined" not in out
 
     def test_worker_idle_timeout_on_empty_queue(self, capsys, tmp_path):
         assert main(
@@ -261,3 +346,133 @@ class TestQueueBackendCLI:
             main(["worker", "--queue-dir", str(tmp_path), "--lease-ttl", "0"])
         with pytest.raises(SystemExit, match="max-tasks"):
             main(["worker", "--queue-dir", str(tmp_path), "--max-tasks", "0"])
+
+    def test_worker_logs_owner_identity(self, capsys, tmp_path):
+        """Logs name the worker's hostname-pid owner id, so multi-host
+        output is attributable."""
+        from repro.runner import default_owner
+
+        assert main(
+            ["worker", "--queue-dir", str(tmp_path / "queue"),
+             "--idle-timeout", "0"]
+        ) == 0
+        assert default_owner() in capsys.readouterr().out
+
+
+class TestHttpCLI:
+    """The http backend and network worker, end to end over the CLI."""
+
+    @pytest.fixture()
+    def coordinator(self, tmp_path):
+        server = CoordinatorServer(
+            WorkQueue(tmp_path / "queue", lease_ttl=60), port=0, quiet=True
+        )
+        server.serve_in_thread()
+        yield server
+        server.stop()
+
+    def test_http_sweep_matches_serial(self, capsys, coordinator):
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            argv + ["--backend", "http", "--coordinator", coordinator.url,
+                    "--queue-timeout", "600"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_http_sweep_with_shards_matches_serial(self, capsys, coordinator):
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            argv + ["--backend", "http", "--coordinator", coordinator.url,
+                    "--shards", "3", "--queue-timeout", "600"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_network_worker_drains_submitted_task(self, capsys, coordinator):
+        job = SweepJob(network="imdb", thetas=(0.1,))
+        task_id = coordinator.queue.submit(job.point_payload(0.1))
+        assert main(
+            ["worker", "--coordinator", coordinator.url, "--max-tasks", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drained 1 task(s)" in out
+        assert coordinator.url in out  # logs say where it drained from
+        assert coordinator.queue.results.get(task_id) is not None
+
+    def test_token_auth_round_trip(self, capsys, tmp_path):
+        token_file = tmp_path / "token"
+        token_file.write_text("s3cret\n", encoding="utf-8")
+        server = CoordinatorServer(
+            WorkQueue(tmp_path / "queue", lease_ttl=60),
+            port=0,
+            token="s3cret",
+            quiet=True,
+        )
+        server.serve_in_thread()
+        try:
+            argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1"]
+            assert main(argv) == 0
+            serial = capsys.readouterr().out
+            assert main(
+                argv + ["--backend", "http", "--coordinator", server.url,
+                        "--token-file", str(token_file),
+                        "--queue-timeout", "600"]
+            ) == 0
+            assert capsys.readouterr().out == serial
+        finally:
+            server.stop()
+
+    def test_coordinator_command_serves_until_interrupted(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """`repro coordinator` binds, announces its URL, serves until
+        Ctrl-C, and reports the final queue state."""
+        served = {}
+
+        def fake_serve_forever(self):
+            served["url"] = self.url  # really bound: URL has a port
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            CoordinatorServer, "serve_forever", fake_serve_forever
+        )
+        assert main(
+            ["coordinator", "--queue-dir", str(tmp_path / "queue"),
+             "--host", "127.0.0.1", "--port", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert served["url"] in out
+        assert "NO auth" in out  # warns when serving unauthenticated
+        assert "coordinator stopped" in out
+        assert "0 pending" in out
+
+    def test_http_backend_requires_coordinator(self):
+        with pytest.raises(SystemExit, match="--coordinator"):
+            main(["sweep", "imdb", "--no-cache", "--backend", "http"])
+
+    def test_http_backend_rejects_jobs(self):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(
+                ["sweep", "imdb", "--no-cache", "--backend", "http",
+                 "--coordinator", "http://127.0.0.1:1", "--jobs", "4"]
+            )
+
+    def test_missing_token_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="token-file"):
+            main(
+                ["sweep", "imdb", "--no-cache", "--backend", "http",
+                 "--coordinator", "http://127.0.0.1:1",
+                 "--token-file", str(tmp_path / "absent")]
+            )
+
+    def test_empty_token_file_rejected(self, tmp_path):
+        empty = tmp_path / "token"
+        empty.write_text("  \n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="empty"):
+            main(
+                ["worker", "--coordinator", "http://127.0.0.1:1",
+                 "--token-file", str(empty), "--idle-timeout", "0"]
+            )

@@ -1,13 +1,15 @@
 """Tests for the file-based multi-host work queue.
 
 Covers the claim/complete lifecycle (atomic, race-free by
-construction), idempotent submission, lease expiry and re-queueing, the
-worker drain loop, and — the crash-recovery acceptance test — a sweep
-that still completes with bitwise-correct results after a worker dies
-mid-task and its lease expires.
+construction — including under a many-thread claim hammer), idempotent
+submission, lease expiry and re-queueing, owner attribution in leases
+and stats, the worker drain loop, and — the crash-recovery acceptance
+test — a sweep that still completes with bitwise-correct results after
+a worker dies mid-task and its lease expires.
 """
 
 import os
+import threading
 import time
 
 import pytest
@@ -21,7 +23,9 @@ from repro.runner import (
     SweepJob,
     Task,
     WorkQueue,
+    default_owner,
     drain,
+    lease_owner,
     payload_key,
 )
 
@@ -123,6 +127,160 @@ class TestWorkQueueLifecycle:
     def test_invalid_lease_ttl_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="lease_ttl"):
             WorkQueue(tmp_path, lease_ttl=0)
+
+
+class TestOwnership:
+    """Leases and failed/ records are attributable to host + pid."""
+
+    def test_default_owner_names_host_and_pid(self):
+        assert default_owner().endswith(f"-{os.getpid()}")
+
+    def test_lease_embeds_tag_hostname_and_pid(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload())
+        task = queue.claim("alice")
+        owner = lease_owner(task.lease)
+        assert owner == f"alice-{default_owner()}"
+        # The worker tag is optional; host-pid attribution is not.
+        assert task.lease_path.name == f"{task.task_id}.{task.lease}.json"
+
+    def test_untagged_claim_still_attributable(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload())
+        task = queue.claim()
+        assert lease_owner(task.lease) == default_owner()
+
+    def test_stats_list_active_owners(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload(1))
+        queue.submit(sample_payload(2))
+        a = queue.claim("alice")
+        queue.claim("bob")
+        stats = queue.stats()
+        assert stats["pending"] == 0
+        assert stats["active"] == 2
+        assert stats["owners"] == sorted(
+            [f"alice-{default_owner()}", f"bob-{default_owner()}"]
+        )
+        queue.results.put(a.task_id, {"done": True})
+        queue.complete(a)
+        assert queue.stats()["owners"] == [f"bob-{default_owner()}"]
+
+    def test_failed_record_keeps_owner(self, tmp_path):
+        """A quarantined task's file name still says who poisoned on it."""
+        queue = WorkQueue(tmp_path)
+        queue.submit(sample_payload())
+        task = queue.claim("fragile-worker")
+        queue.fail(task, error="boom")
+        (record,) = queue.failed_dir.glob("*.json")
+        assert f"fragile-worker-{default_owner()}" in record.name
+
+
+class TestConcurrentClaims:
+    """The atomicity claim under an actual many-thread hammer.
+
+    ``claim`` promises exactly-one-winner via atomic rename; until this
+    suite it was only exercised sequentially.  Here many threads race
+    over one queue and every submitted task must be claimed exactly
+    once and completed — no double claims, no losses.
+    """
+
+    def test_no_task_double_claimed_or_lost(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        expected = {queue.submit(sample_payload(i)) for i in range(40)}
+        assert len(expected) == 40
+        claimed = []
+        lock = threading.Lock()
+        errors = []
+
+        def hammer(worker_id: int):
+            try:
+                while True:
+                    task = queue.claim(f"hammer{worker_id}")
+                    if task is None:
+                        return
+                    with lock:
+                        claimed.append(task.task_id)
+                    queue.results.put(task.task_id, echo_handler(task.payload))
+                    queue.complete(task)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(claimed) == len(set(claimed))  # nobody double-claimed
+        assert set(claimed) == expected  # nothing was lost
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+
+    def test_hammer_with_interleaved_submitters(self, tmp_path):
+        """Claims racing *submissions* (and re-submissions of the same
+        payloads) still deliver every task exactly once."""
+        queue = WorkQueue(tmp_path)
+        total = 30
+        claimed = []
+        lock = threading.Lock()
+        errors = []
+
+        def submit_all():
+            try:
+                for i in range(total):
+                    queue.submit(sample_payload(i))
+                    queue.submit(sample_payload(i))  # idempotent duplicate
+            except Exception as exc:
+                errors.append(exc)
+
+        stop_claiming = threading.Event()
+
+        def hammer(worker_id: int):
+            try:
+                while not stop_claiming.is_set():
+                    task = queue.claim(f"w{worker_id}")
+                    if task is None:
+                        time.sleep(0.001)
+                        continue
+                    with lock:
+                        claimed.append(task.task_id)
+                    queue.results.put(task.task_id, echo_handler(task.payload))
+                    queue.complete(task)
+            except Exception as exc:
+                errors.append(exc)
+
+        claimers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(6)
+        ]
+        submitters = [threading.Thread(target=submit_all) for _ in range(2)]
+        for thread in claimers + submitters:
+            thread.start()
+        for thread in submitters:
+            thread.join()
+        deadline = time.monotonic() + 30
+        while len(claimed) < total and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stop_claiming.set()
+        for thread in claimers:
+            thread.join()
+
+        assert not errors
+        # Every unique task was delivered and completed; none was lost.
+        # (Unlike the claims-only hammer above, a *re-submission* racing
+        # a claim may — extremely rarely — duplicate one in-flight task;
+        # that costs a redundant deterministic evaluation, never a wrong
+        # or missing result, so no double-claim assertion here.)
+        assert set(claimed) == {
+            payload_key(sample_payload(i)) for i in range(total)
+        }
+        for i in range(total):
+            assert queue.results.get(payload_key(sample_payload(i))) == {
+                "echo": i
+            }
 
 
 class TestLeaseExpiry:

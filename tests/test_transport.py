@@ -1,0 +1,434 @@
+"""Tests for the HTTP coordinator transport (real localhost sockets).
+
+The coordinator serves a ``WorkQueue`` over REST; ``RemoteWorkQueue``
+speaks the same :class:`~repro.runner.queue.TaskQueue` contract back.
+This suite covers the wire protocol (lifecycle, idempotent completes,
+validation), shared-token auth, retry-with-backoff against a flaky /
+restarting coordinator, lease expiry and quarantine over the network,
+worker drain loops, and the claim-atomicity hammer: many threads
+claiming through the server must never double-claim or lose a task.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runner import (
+    CoordinatorAuthError,
+    CoordinatorServer,
+    RemoteWorkQueue,
+    TransportError,
+    WorkQueue,
+    default_owner,
+    drain,
+    lease_owner,
+    payload_key,
+)
+
+
+def sample_payload(tag: int = 0):
+    return {"kind": "test", "tag": tag}
+
+
+def echo_handler(payload):
+    return {"echo": payload["tag"]}
+
+
+@pytest.fixture()
+def coordinator(tmp_path):
+    """A live coordinator on an ephemeral loopback port, plus its queue."""
+    queue = WorkQueue(tmp_path / "queue", lease_ttl=60)
+    server = CoordinatorServer(queue, port=0, quiet=True)
+    server.serve_in_thread()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def remote(coordinator):
+    """A client for the fixture coordinator (fail fast: one retry)."""
+    return RemoteWorkQueue(coordinator.url, retries=1, backoff=0.05)
+
+
+class TestRemoteLifecycle:
+    def test_submit_claim_complete(self, coordinator, remote):
+        task_id = remote.submit(sample_payload())
+        assert task_id == payload_key(sample_payload())
+        assert remote.pending_count() == 1
+
+        task = remote.claim("net-worker")
+        assert task is not None
+        assert task.task_id == task_id
+        assert task.payload == sample_payload()
+        assert task.lease_path is None  # remote claims hold only the nonce
+        assert remote.pending_count() == 0
+        assert remote.active_count() == 1
+
+        remote.results.put(task.task_id, {"done": True})
+        remote.complete(task)
+        assert remote.active_count() == 0
+        assert remote.results.get(task_id) == {"done": True}
+        # ... and the result really lives in the coordinator's queue dir.
+        assert coordinator.queue.results.get(task_id) == {"done": True}
+
+    def test_claim_on_empty_queue(self, remote):
+        assert remote.claim() is None
+
+    def test_submit_is_idempotent(self, remote):
+        assert remote.submit(sample_payload()) == remote.submit(sample_payload())
+        assert remote.pending_count() == 1
+
+    def test_complete_is_idempotent(self, remote):
+        remote.submit(sample_payload())
+        task = remote.claim()
+        remote.results.put(task.task_id, {"done": True})
+        remote.complete(task)
+        remote.complete(task)  # lease already gone: harmless no-op
+        assert remote.active_count() == 0
+        assert remote.results.get(task.task_id) == {"done": True}
+
+    def test_extend_heartbeats_the_lease(self, coordinator, remote):
+        remote.submit(sample_payload())
+        task = remote.claim()
+        lease_file = coordinator.queue.active_dir / (
+            f"{task.task_id}.{task.lease}.json"
+        )
+        before = lease_file.stat().st_mtime
+        time.sleep(0.05)
+        remote.extend(task)
+        assert lease_file.stat().st_mtime >= before
+        assert remote.has_live_lease(task.task_id)
+
+    def test_lease_ttl_comes_from_the_coordinator(self, remote):
+        assert remote.lease_ttl == 60.0
+
+    def test_results_discard(self, remote):
+        key = payload_key(sample_payload())
+        remote.results.put(key, {"done": True})
+        assert key in remote.results
+        remote.results.discard(key)
+        assert remote.results.get(key) is None
+
+    def test_mixed_local_and_remote_participants(self, coordinator, remote):
+        """A filesystem worker and a network worker share one queue."""
+        local = coordinator.queue
+        remote.submit(sample_payload(1))
+        local.submit(sample_payload(2))
+        assert local.pending_count() == 2
+        seen = set()
+        for queue in (local, remote):
+            task = queue.claim()
+            seen.add(task.payload["tag"])
+            queue.results.put(task.task_id, echo_handler(task.payload))
+            queue.complete(task)
+        assert seen == {1, 2}
+
+
+class TestOwnership:
+    def test_lease_owner_includes_hostname_and_pid(self, remote):
+        remote.submit(sample_payload())
+        task = remote.claim("w1")
+        owner = lease_owner(task.lease)
+        assert owner.startswith("w1-")
+        assert owner.endswith(default_owner())  # host + pid of this test
+
+    def test_stats_report_active_owners(self, remote):
+        remote.submit(sample_payload())
+        task = remote.claim("w1")
+        stats = remote.stats()
+        assert stats["active"] == 1
+        assert stats["owners"] == [lease_owner(task.lease)]
+        assert remote.active_owners() == [lease_owner(task.lease)]
+
+
+class TestFailureAndRecovery:
+    def test_fail_quarantines_with_error(self, remote):
+        remote.submit(sample_payload())
+        task = remote.claim()
+        remote.fail(task, error="RuntimeError: boom over http")
+        assert remote.failed_count() == 1
+        assert remote.is_failed(task.task_id)
+        assert "boom over http" in remote.failed_error(task.task_id)
+        assert remote.claim() is None  # sticky: not re-queued
+
+    def test_expired_lease_requeues_over_http(self, coordinator, remote):
+        remote.submit(sample_payload())
+        doomed = remote.claim("doomed")
+        # Back-date the lease on the coordinator's disk: the worker died.
+        lease_file = coordinator.queue.active_dir / (
+            f"{doomed.task_id}.{doomed.lease}.json"
+        )
+        import os
+
+        past = time.time() - 10_000
+        os.utime(lease_file, (past, past))
+        assert not remote.has_live_lease(doomed.task_id)
+        assert remote.requeue_expired() == 1
+        rescued = remote.claim("rescue")
+        assert rescued is not None
+        assert rescued.task_id == doomed.task_id
+        assert rescued.payload == doomed.payload
+
+    def test_drain_loop_over_http(self, remote):
+        ids = [remote.submit(sample_payload(i)) for i in range(3)]
+        assert drain(remote, echo_handler, idle_timeout=0.0) == 3
+        for i, task_id in enumerate(ids):
+            assert remote.results.get(task_id) == {"echo": i}
+        assert remote.pending_count() == 0
+        assert remote.active_count() == 0
+
+    def test_drain_quarantines_poison_over_http(self, remote, capsys):
+        remote.submit(sample_payload(0))
+        remote.submit(sample_payload(1))
+
+        def fragile(payload):
+            if payload["tag"] == 0:
+                raise RuntimeError("poison")
+            return echo_handler(payload)
+
+        completed = drain(remote, fragile, idle_timeout=0.0)
+        assert completed == 1
+        assert remote.failed_count() == 1
+        assert "poison" in capsys.readouterr().err
+
+
+class TestAuth:
+    @pytest.fixture()
+    def secured(self, tmp_path):
+        queue = WorkQueue(tmp_path / "queue", lease_ttl=60)
+        server = CoordinatorServer(queue, port=0, token="s3cret", quiet=True)
+        server.serve_in_thread()
+        yield server
+        server.stop()
+
+    def test_right_token_accepted(self, secured):
+        client = RemoteWorkQueue(secured.url, token="s3cret", retries=0)
+        assert client.submit(sample_payload()) == payload_key(sample_payload())
+
+    def test_missing_token_rejected(self, secured):
+        client = RemoteWorkQueue(secured.url, retries=0)
+        with pytest.raises(CoordinatorAuthError):
+            client.stats()
+
+    def test_wrong_token_rejected_without_retries(self, secured):
+        client = RemoteWorkQueue(secured.url, token="guess", retries=5)
+        start = time.monotonic()
+        with pytest.raises(CoordinatorAuthError):
+            client.submit(sample_payload())
+        # Auth failures must fail fast, not burn the retry budget.
+        assert time.monotonic() - start < 1.0
+        assert secured.queue.pending_count() == 0  # never touched the queue
+
+
+class TestWireValidation:
+    def test_unknown_endpoint_is_not_retried(self, remote):
+        start = time.monotonic()
+        with pytest.raises(TransportError, match="unknown endpoint"):
+            remote._call("teleport", {})
+        assert time.monotonic() - start < 1.0
+
+    def test_invalid_task_id_rejected(self, remote):
+        with pytest.raises(TransportError, match="invalid task id"):
+            remote.is_failed("../../etc/passwd")
+
+    def test_invalid_lease_rejected(self, remote):
+        from repro.runner import Task
+
+        remote.submit(sample_payload())
+        claimed = remote.claim()
+        forged = Task(
+            task_id=claimed.task_id,
+            payload={},
+            lease="../escape",
+        )
+        with pytest.raises(TransportError, match="invalid lease"):
+            remote.complete(forged)
+
+    def test_submit_requires_object_payload(self, remote):
+        with pytest.raises(TransportError, match="payload"):
+            remote._call("submit", {"payload": [1, 2, 3]})
+
+
+class TestRetries:
+    def test_unreachable_coordinator_raises_after_bounded_retries(self):
+        client = RemoteWorkQueue(
+            "http://127.0.0.1:9", retries=2, backoff=0.01, timeout=0.5
+        )
+        with pytest.raises(TransportError, match="unreachable"):
+            client.stats()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            RemoteWorkQueue("http://127.0.0.1:9", retries=-1)
+
+    def test_backoff_rides_out_a_late_coordinator(self, tmp_path):
+        """The coordinator comes up *after* the first attempts fail: the
+        client's backoff must find it instead of giving up."""
+        queue = WorkQueue(tmp_path / "queue", lease_ttl=60)
+        placeholder = CoordinatorServer(queue, port=0, quiet=True)
+        port = placeholder.server_address[1]
+        placeholder.server_close()  # free the port but remember it
+
+        started = {}
+
+        def come_up_late():
+            time.sleep(0.4)
+            server = CoordinatorServer(
+                queue, port=port, quiet=True
+            )
+            server.serve_in_thread()
+            started["server"] = server
+
+        thread = threading.Thread(target=come_up_late)
+        thread.start()
+        try:
+            client = RemoteWorkQueue(
+                f"http://127.0.0.1:{port}",
+                retries=8,
+                backoff=0.1,
+                timeout=2.0,
+            )
+            assert client.submit(sample_payload()) == payload_key(
+                sample_payload()
+            )
+        finally:
+            thread.join()
+            started["server"].stop()
+
+
+class TestKeepAlive:
+    """HTTP/1.1 keep-alive sockets must never desync."""
+
+    def test_two_requests_on_one_connection(self, coordinator):
+        import http.client
+        import json as jsonlib
+
+        host, port = coordinator.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            body = jsonlib.dumps({"payload": sample_payload()})
+            conn.request(
+                "POST", "/api/v1/submit", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 200
+            first.read()
+            # Same socket, second request: the body of the first must
+            # have been fully consumed.
+            conn.request("GET", "/api/v1/stats")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert jsonlib.loads(second.read())["pending"] == 1
+        finally:
+            conn.close()
+
+    def test_error_replies_close_the_connection(self, tmp_path):
+        """An error sent before the body was read (bad token) must not
+        leave the unread body to be parsed as the next request — the
+        server closes the connection instead."""
+        import http.client
+        import json as jsonlib
+
+        queue = WorkQueue(tmp_path / "queue", lease_ttl=60)
+        server = CoordinatorServer(queue, port=0, token="s3cret", quiet=True)
+        server.serve_in_thread()
+        try:
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request(
+                    "POST", "/api/v1/submit",
+                    body=jsonlib.dumps({"payload": sample_payload()}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.status == 401
+                assert response.getheader("Connection") == "close"
+                response.read()
+            finally:
+                conn.close()
+        finally:
+            server.stop()
+
+
+class TestHeartbeatResilience:
+    def test_heartbeat_survives_a_coordinator_outage(self, tmp_path):
+        """A beat that fails (coordinator briefly down) must not kill
+        the heartbeat thread: once the coordinator is back, renewals
+        resume and the lease stays fresh."""
+        queue = WorkQueue(tmp_path / "queue", lease_ttl=0.4)
+        server = CoordinatorServer(queue, port=0, quiet=True)
+        server.serve_in_thread()
+        port = server.server_address[1]
+        client = RemoteWorkQueue(
+            server.url, retries=0, backoff=0.01, timeout=1.0
+        )
+        client.submit(sample_payload())
+        task = client.claim("steady")
+        assert client.lease_ttl == 0.4  # cached; beats every 0.1s
+        lease_file = queue.active_dir / f"{task.task_id}.{task.lease}.json"
+
+        with client.heartbeat(task):
+            server.stop()  # outage: the next beats raise TransportError
+            time.sleep(0.3)
+            replacement = CoordinatorServer(queue, port=port, quiet=True)
+            replacement.serve_in_thread()
+            try:
+                before = lease_file.stat().st_mtime
+                time.sleep(0.3)  # >= 2 beat intervals against the new server
+                assert lease_file.stat().st_mtime > before  # beats resumed
+            finally:
+                replacement.stop()
+
+
+class TestConcurrentClaims:
+    """The atomicity claim, exercised concurrently through the server."""
+
+    def test_no_task_double_claimed_or_lost(self, coordinator):
+        tasks = 24
+        expected = {
+            WorkQueue(coordinator.queue.root).submit(sample_payload(i))
+            for i in range(tasks)
+        }
+        assert len(expected) == tasks
+        claimed = []
+        claimed_lock = threading.Lock()
+        errors = []
+
+        def hammer(worker_id: int):
+            client = RemoteWorkQueue(coordinator.url, retries=2, backoff=0.05)
+            try:
+                while True:
+                    task = client.claim(f"hammer{worker_id}")
+                    if task is None:
+                        return
+                    with claimed_lock:
+                        claimed.append(task.task_id)
+                    client.results.put(
+                        task.task_id, echo_handler(task.payload)
+                    )
+                    client.complete(task)
+            except Exception as exc:  # surfaced below; threads mustn't die silently
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # No double claims ...
+        assert len(claimed) == len(set(claimed))
+        # ... and no lost tasks: every submitted task was claimed once
+        # and completed with its result stored.
+        assert set(claimed) == expected
+        queue = coordinator.queue
+        assert queue.pending_count() == 0
+        assert queue.active_count() == 0
+        for task_id in expected:
+            assert queue.results.get(task_id) is not None
