@@ -10,13 +10,18 @@ backend's end-to-end dispatch overhead for this workload.
 The measurements land in ``BENCH_backends.json`` (working directory):
 
     {"sweep": {...}, "seconds": {"serial": ..., "process": ...},
-     "overhead_vs_serial_seconds": {...}}
+     "overhead_vs_serial_seconds": {...},
+     "wire": {"http": {"round_trips": ..., "bytes_sent": ...,
+                       "bytes_received": ...}}}
 
-so later PRs that touch the transports can diff dispatch overhead
-against history instead of eyeballing bench logs.  The queue and http
-rounds run against a throwaway queue directory / in-process localhost
-coordinator with result reuse disabled, so every round pays the full
-submit -> claim -> evaluate -> collect path.
+so later PRs that touch the transports can diff dispatch overhead —
+and, for the http backend, round trips and bytes on the wire per sweep
+— against history instead of eyeballing bench logs.  The batched
+``batch/submit`` / ``batch/poll`` protocol keeps round trips at
+O(ticks), not O(tasks x ticks); this is where a regression would show.
+The queue and http rounds run against a throwaway queue directory /
+in-process localhost coordinator with result reuse disabled, so every
+round pays the full submit -> claim -> evaluate -> collect path.
 """
 
 import json
@@ -42,6 +47,7 @@ JOB = SweepJob(network="imdb", thetas=(0.1, 0.3), scale="tiny")
 OUTPUT_PATH = Path("BENCH_backends.json")
 
 _timings = {}
+_wire_stats = {}
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -67,6 +73,7 @@ def overhead_report():
             for name, secs in _timings.items()
             if serial is not None and name != "serial"
         },
+        "wire": _wire_stats,
     }
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -121,6 +128,7 @@ def test_overhead_queue(benchmark, overhead_report, tmp_path):
 def test_overhead_http(benchmark, overhead_report, tmp_path):
     counter = iter(range(1_000_000))
     servers = []
+    clients = []
 
     def build():
         server = CoordinatorServer(
@@ -130,10 +138,24 @@ def test_overhead_http(benchmark, overhead_report, tmp_path):
         )
         server.serve_in_thread()
         servers.append(server)
-        return HttpBackend(server.url, timeout=600, reuse_results=False)
+        backend = HttpBackend(server.url, timeout=600, reuse_results=False)
+        clients.append(backend.queue)
+        return backend
 
     try:
         _run_and_record(benchmark, overhead_report, "http", build)
     finally:
         for server in servers:
             server.stop()
+    if clients:
+        # Wire accounting for the *last* (steady-state, post-warmup)
+        # round: with the batched protocol this stays O(ticks) per
+        # sweep, independent of the task count — the number to diff
+        # across PRs.
+        client = clients[-1]
+        _wire_stats["http"] = {
+            "tasks": len(JOB.thetas),
+            "round_trips": client.round_trips,
+            "bytes_sent": client.bytes_sent,
+            "bytes_received": client.bytes_received,
+        }

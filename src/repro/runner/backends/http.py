@@ -29,6 +29,8 @@ class HttpBackend(QueueBackend):
             :class:`QueueBackend`.
         poll_interval: idle sleep between polls — defaults higher than
             the file queue's (a poll is a network round-trip here).
+        gzip_mode: request-body compression policy handed to
+            :class:`RemoteWorkQueue` (``auto`` / ``always`` / ``off``).
     """
 
     name = "http"
@@ -42,9 +44,12 @@ class HttpBackend(QueueBackend):
         poll_interval: float = 0.2,
         worker: str = "submitter",
         reuse_results: bool = True,
+        gzip_mode: str = "auto",
     ):
         if not isinstance(coordinator, RemoteWorkQueue):
-            coordinator = RemoteWorkQueue(coordinator, token=token)
+            coordinator = RemoteWorkQueue(
+                coordinator, token=token, gzip_mode=gzip_mode
+            )
         super().__init__(
             coordinator,
             drain=drain,

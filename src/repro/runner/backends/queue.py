@@ -6,6 +6,13 @@ from the queue's content-addressed result cache.  Any number of
 ``repro worker --queue-dir DIR`` processes — on this host or any host
 mounting the same filesystem — claim and evaluate the tasks; lease
 expiry re-queues the tasks of workers that die mid-evaluation.
+
+Submission and polling go through the queue's *batch* operations
+(:meth:`~repro.runner.queue.TaskQueue.submit_many` /
+:meth:`~repro.runner.queue.TaskQueue.poll_many`): one snapshot per
+tick answers results, quarantine and lease liveness for every
+outstanding task, which the HTTP transport turns into a single round
+trip per tick instead of ~3 per task.
 """
 
 from __future__ import annotations
@@ -107,30 +114,50 @@ class QueueBackend(ExecutionBackend):
         del benchmark  # remote workers rebuild from the payload alone
         keys = [payload_key(payload) for payload in payloads]
         outputs: Dict[str, Dict[str, object]] = {}
-        for payload, key in zip(payloads, keys):
-            if not self.reuse_results:
-                self.queue.results.discard(key)  # force a fresh run
-            else:
-                cached = self.queue.results.get(key)
-                if cached is not None:
+        to_submit: List[Mapping[str, object]] = []
+        if not self.reuse_results:
+            self.queue.results.discard_many(keys)  # force a fresh run
+            to_submit = list(payloads)
+        else:
+            # One poll_many answers every cache-hit question up front —
+            # over HTTP this is one round trip instead of one per point.
+            polled = self.queue.poll_many(keys)
+            for payload, key in zip(payloads, keys):
+                entry = polled.get(key) or {}
+                cached = entry.get("result")
+                if isinstance(cached, dict):
                     outputs[key] = cached
-                    continue
-            self.queue.submit(payload)
+                elif not entry.get("deferred"):
+                    # A deferred entry is a hit whose payload exceeded
+                    # the reply budget: it arrives on a later poll, so
+                    # re-uploading its task payload would be waste.
+                    to_submit.append(payload)
+        self.queue.submit_many(to_submit)
 
         waiting = [key for key in keys if key not in outputs]
         idle_start = time.monotonic()
         while waiting:
+            # One snapshot per tick: results, quarantine state and live
+            # leases for every outstanding task in a single poll_many
+            # (a single batch/poll round trip over HTTP).
+            polled = self.queue.poll_many(waiting)
             arrived = False
+            lease_live = False
             for key in waiting:
-                cached = self.queue.results.get(key)
-                if cached is not None:
-                    outputs[key] = cached
+                entry = polled.get(key) or {}
+                result = entry.get("result")
+                if isinstance(result, dict):
+                    outputs[key] = result
                     arrived = True
+                    continue
+                if entry.get("failed"):
+                    self._raise_failed(key, str(entry.get("error") or ""))
+                if entry.get("lease_live"):
+                    lease_live = True
             if arrived:
                 waiting = [key for key in waiting if key not in outputs]
                 idle_start = time.monotonic()
                 continue
-            self._raise_on_failed(waiting)
             # Progress is anything that moves a task of ours toward a
             # result: an expired lease re-queued (crash recovery), a
             # task evaluated by this process, or a live worker holding
@@ -141,9 +168,7 @@ class QueueBackend(ExecutionBackend):
             if self.drain and self._drain_one():
                 progressed = True
             if not progressed:
-                progressed = any(
-                    self.queue.has_live_lease(key) for key in waiting
-                )
+                progressed = lease_live
             if progressed:
                 idle_start = time.monotonic()
                 continue
@@ -159,16 +184,13 @@ class QueueBackend(ExecutionBackend):
             time.sleep(self.poll_interval)
         return [outputs[key] for key in keys]
 
-    def _raise_on_failed(self, waiting: Sequence[str]) -> None:
+    def _raise_failed(self, key: str, error: str) -> None:
         """Surface a quarantined task of ours instead of waiting forever."""
-        for key in waiting:
-            if self.queue.is_failed(key):
-                error = self.queue.failed_error(key)
-                detail = f":\n{error}" if error else " (no traceback recorded)"
-                raise QueueTaskFailed(
-                    f"task {key} was quarantined under failed/ of "
-                    f"{self.queue.location}{detail}"
-                )
+        detail = f":\n{error}" if error else " (no traceback recorded)"
+        raise QueueTaskFailed(
+            f"task {key} was quarantined under failed/ of "
+            f"{self.queue.location}{detail}"
+        )
 
     def _drain_one(self) -> bool:
         """Claim and evaluate one task (any task — helping other
@@ -177,7 +199,8 @@ class QueueBackend(ExecutionBackend):
         A failing evaluation is quarantined, exactly as a fleet worker
         would (one foreign poison payload must not abort this
         submitter's own healthy sweep); if the failed task was *ours*,
-        the next `_raise_on_failed` check surfaces it.
+        the next tick's ``poll_many`` reports it and `_raise_failed`
+        surfaces it.
         """
         task = self.queue.claim(self.worker)
         if task is None:

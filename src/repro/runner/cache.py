@@ -66,6 +66,16 @@ class ResultCache:
         """Forget ``key`` if present (used by fresh-run queue submits)."""
         self._discard(self.path_for(key))
 
+    def discard_many(self, keys) -> None:
+        """Forget every key in ``keys``.
+
+        A loop here; the remote result store overrides this with one
+        batched round trip, which is why the fresh-run submitter calls
+        it instead of looping over :meth:`discard` itself.
+        """
+        for key in keys:
+            self.discard(key)
+
     def __contains__(self, key: str) -> bool:
         """Membership agrees with :meth:`get`: a corrupt or non-dict
         entry that ``get`` would discard and report as a miss is not

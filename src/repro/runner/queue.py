@@ -58,7 +58,7 @@ import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.job import payload_key
@@ -109,7 +109,8 @@ class TaskQueue(abc.ABC):
             dead and its task re-queued.
         results: the content-addressed result store
             (:class:`~repro.runner.cache.ResultCache`-shaped: ``get`` /
-            ``put`` / ``discard``) where completed task outputs land.
+            ``put`` / ``discard`` / ``discard_many``) where completed
+            task outputs land.
     """
 
     lease_ttl: float
@@ -118,6 +119,52 @@ class TaskQueue(abc.ABC):
     @abc.abstractmethod
     def submit(self, payload: Mapping[str, object]) -> str:
         """Enqueue ``payload`` (idempotent); returns its task id."""
+
+    def submit_many(self, payloads: Sequence[Mapping[str, object]]) -> List[str]:
+        """Enqueue every payload (idempotent); returns their task ids.
+
+        The default is a :meth:`submit` loop — correct for any
+        implementation.  Queues with per-operation latency (the HTTP
+        :class:`~repro.runner.transport.client.RemoteWorkQueue`)
+        override this with one batched round trip.
+        """
+        return [self.submit(payload) for payload in payloads]
+
+    def poll_many(
+        self, task_ids: Sequence[str]
+    ) -> Dict[str, Dict[str, object]]:
+        """One status snapshot per task id, for the submitter poll loop.
+
+        Each entry answers everything a submitter tick asks about a
+        task — ``{"result": payload-or-None, "failed": bool,
+        "error": str, "lease_live": bool}`` — so one call replaces the
+        per-task ``results.get`` + ``is_failed`` + ``has_live_lease``
+        round trips.  ``failed``/``lease_live`` are only probed when
+        there is no result yet: a finished task's other states are
+        irrelevant to the poll loop.
+
+        The default is a per-task loop; the HTTP client overrides it
+        with a single ``batch/poll`` round trip.
+        """
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for task_id in task_ids:
+            result = self.results.get(task_id)
+            failed = False
+            error = ""
+            lease_live = False
+            if result is None:
+                failed = self.is_failed(task_id)
+                if failed:
+                    error = self.failed_error(task_id)
+                else:
+                    lease_live = self.has_live_lease(task_id)
+            snapshot[task_id] = {
+                "result": result,
+                "failed": failed,
+                "error": error,
+                "lease_live": lease_live,
+            }
+        return snapshot
 
     @abc.abstractmethod
     def claim(self, worker: str = "") -> Optional[Task]:
@@ -188,18 +235,26 @@ class TaskQueue(abc.ABC):
         runs even during a heavy evaluation), so a task may legally
         take much longer than the TTL: expiry then only ever fires for
         workers that actually died.
+
+        The interval is re-read before every beat, not frozen at task
+        start: a remote queue's ``lease_ttl`` refreshes when the
+        coordinator is restarted with a different ``--lease-ttl``, and
+        an in-flight task must adopt the new cadence (within one old
+        interval) or its beats could land slower than the new expiry.
         """
         stop = threading.Event()
-        try:
-            interval = self.lease_ttl / 4
-        except Exception:
-            # Remote queues fetch the TTL from the coordinator, which
-            # may be briefly unreachable; beat at the default cadence
-            # rather than not at all.
-            interval = DEFAULT_LEASE_TTL / 4
+
+        def interval() -> float:
+            try:
+                return self.lease_ttl / 4
+            except Exception:
+                # Remote queues fetch the TTL from the coordinator,
+                # which may be briefly unreachable; beat at the default
+                # cadence rather than not at all.
+                return DEFAULT_LEASE_TTL / 4
 
         def beat() -> None:
-            while not stop.wait(interval):
+            while not stop.wait(interval()):
                 try:
                     self.extend(task)
                 except Exception:

@@ -18,18 +18,29 @@ completes) live entirely on the coordinator, so this client is a thin,
   first response was lost re-stores the same content-addressed result
   and re-releases an already-released lease, both harmless.
 
+Batching and compression are *negotiated*, never assumed:
+:meth:`RemoteWorkQueue.submit_many` / :meth:`~RemoteWorkQueue.poll_many`
+try the coordinator's ``batch/*`` endpoints once and permanently fall
+back to the per-task loop on a 404 (an older coordinator), and request
+bodies are gzip-compressed only after a reply has proven the peer
+speaks protocol >= 2 (the ``X-Repro-Protocol`` header) — so a new
+client against an old coordinator degrades to exactly the PR 4 wire
+format instead of breaking.
+
 Requests are stdlib ``urllib`` — the client side, like the server side,
 adds no dependencies.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
 from http.client import HTTPException
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.runner.queue import Task, TaskQueue
 
@@ -41,9 +52,48 @@ DEFAULT_RETRIES = 7
 #: First retry delay in seconds; doubles per attempt.
 DEFAULT_BACKOFF = 0.2
 
+#: Request bodies below this many bytes are sent identity-encoded even
+#: in ``gzip='auto'`` mode: compressing a 200-byte heartbeat wastes
+#: more cycles than wire bytes it saves.
+GZIP_MIN_BYTES = 1024
+
+#: How long (seconds) the cached coordinator ``lease_ttl`` may be
+#: trusted before it is re-fetched: a coordinator restarted with a
+#: different ``--lease-ttl`` must not leave workers heartbeating on the
+#: stale period forever.
+LEASE_TTL_MAX_AGE = 60.0
+
+#: Valid values for :class:`RemoteWorkQueue`'s ``gzip_mode``.
+GZIP_MODES = ("auto", "always", "off")
+
+#: Items per batch request.  Stays far under the coordinator's
+#: 10,000-id ``batch/poll`` cap and keeps ``batch/submit`` bodies well
+#: clear of the request size limit, so a sweep of any size chunks into
+#: a handful of round trips instead of tripping a 413.
+BATCH_CHUNK = 1_000
+
+
+class _CorruptReply(Exception):
+    """A reply body that would not decode (bad gzip).  Internal: raised
+    by ``_once`` and caught by ``_call``'s retry loop, because a
+    mangled reply is as transient as a dropped connection — the same
+    corruption on an identity-encoded reply surfaces as a (retried)
+    ``json.JSONDecodeError``."""
+
 
 class TransportError(RuntimeError):
-    """The coordinator could not be reached or rejected the request."""
+    """The coordinator could not be reached or rejected the request.
+
+    ``status`` carries the HTTP status code when the coordinator
+    answered with an error (``None`` for connection-level failures) —
+    how callers distinguish "this endpoint does not exist on that
+    coordinator" (404: fall back to the old wire format) from "my
+    request is malformed" (400: give up).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
 
 
 class CoordinatorAuthError(TransportError):
@@ -73,7 +123,39 @@ class RemoteResults:
     def discard(self, key: str) -> None:
         self._queue._call("results/discard", {"key": key})
 
+    def discard_many(self, keys: Sequence[str]) -> None:
+        """Forget every key via ``results/discard_many``, chunked.
+
+        The ``--no-cache`` submitter discards all of a sweep's stale
+        results up front; batching keeps that O(1) round trips instead
+        of one per point.  Falls back to per-key ``discard`` against an
+        older coordinator.
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        if self._queue._batch_calls("results/discard_many", "keys", keys) is None:
+            for key in keys:
+                self.discard(key)
+
     def __contains__(self, key: str) -> bool:
+        """Membership without the payload.
+
+        Uses the lightweight ``results/has`` endpoint so a cache-hit
+        check does not download a bench-scale result just to throw it
+        away; against an older coordinator (404) it falls back to
+        :meth:`get`, trading bytes for compatibility.
+        """
+        queue = self._queue
+        if queue._batch_ok is not False:
+            try:
+                reply = queue._call("results/has", {"key": key})
+                queue._batch_ok = True
+                return bool(reply.get("found"))
+            except TransportError as exc:
+                if exc.status != 404:
+                    raise
+                queue._batch_ok = False
         return self.get(key) is not None
 
 
@@ -88,6 +170,18 @@ class RemoteWorkQueue(TaskQueue):
             (connection errors / timeouts / 5xx only).
         backoff: first retry delay in seconds; doubles per attempt.
         timeout: per-request socket timeout in seconds.
+        gzip_mode: ``'auto'`` (default) compresses request bodies above
+            :data:`GZIP_MIN_BYTES` once the coordinator has advertised
+            protocol >= 2; ``'always'`` compresses every body
+            unconditionally (CI's forced-gzip smoke); ``'off'`` never
+            compresses.  Replies are decompressed in every mode.
+        lease_ttl_max_age: seconds before the cached coordinator
+            ``lease_ttl`` is considered stale and re-fetched.
+
+    Wire accounting: ``round_trips``, ``bytes_sent`` and
+    ``bytes_received`` count every attempt's on-the-wire traffic
+    (compressed sizes, not JSON sizes) — the overhead bench records
+    them per backend.
     """
 
     def __init__(
@@ -97,16 +191,40 @@ class RemoteWorkQueue(TaskQueue):
         retries: int = DEFAULT_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
         timeout: float = 30.0,
+        gzip_mode: str = "auto",
+        lease_ttl_max_age: float = LEASE_TTL_MAX_AGE,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if gzip_mode not in GZIP_MODES:
+            raise ValueError(
+                f"gzip_mode must be one of {GZIP_MODES}, got {gzip_mode!r}"
+            )
         self.url = url.rstrip("/")
         self.token = token
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.timeout = float(timeout)
+        self.gzip_mode = gzip_mode
+        self.lease_ttl_max_age = float(lease_ttl_max_age)
         self.results = RemoteResults(self)
+        self.round_trips = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._wire_lock = threading.Lock()
         self._lease_ttl: Optional[float] = None
+        self._lease_ttl_fetched = 0.0
+        #: Tri-state: ``None`` until the first protocol-2 endpoint is
+        #: tried; ``False`` pins the per-task fallback after a 404.
+        self._batch_ok: Optional[bool] = None
+        #: Set once any reply proves the peer speaks protocol >= 2
+        #: (gzip requests are only worth sending after that).
+        self._peer_gzip = False
+        #: Pinned when a gzip request bounced with 400/415 — the
+        #: coordinator was swapped for a build that cannot decompress
+        #: (auto mode then stays on identity even though the old
+        #: replies already advertised protocol 2).
+        self._gzip_refused = False
 
     # -- TaskQueue contract -------------------------------------------------
 
@@ -116,14 +234,108 @@ class RemoteWorkQueue(TaskQueue):
 
     @property
     def lease_ttl(self) -> float:
-        """The coordinator's TTL (fetched once; it owns the policy)."""
+        """The coordinator's TTL (it owns the policy), refreshed when stale.
+
+        A coordinator restarted with a different ``--lease-ttl`` must
+        not leave this client heartbeating on the old period forever,
+        so the cached value is re-fetched after ``lease_ttl_max_age``
+        seconds.  A failed refresh keeps the stale value (a heartbeat
+        on a slightly wrong period beats no heartbeat at all) and is
+        retried within a few seconds, not after another full staleness
+        window.
+        """
+        now = time.monotonic()
         if self._lease_ttl is None:
             self._lease_ttl = float(self.stats()["lease_ttl"])
+            self._lease_ttl_fetched = now
+        elif now - self._lease_ttl_fetched >= self.lease_ttl_max_age:
+            try:
+                self._lease_ttl = float(self.stats()["lease_ttl"])
+                self._lease_ttl_fetched = now
+            except TransportError:
+                # Back-date the stamp so the next read past a short
+                # grace period retries, instead of trusting the stale
+                # value for a whole fresh staleness window.
+                retry = min(5.0, self.lease_ttl_max_age)
+                self._lease_ttl_fetched = now - self.lease_ttl_max_age + retry
         return self._lease_ttl
 
     def submit(self, payload: Mapping[str, object]) -> str:
         reply = self._call("submit", {"payload": dict(payload)})
         return str(reply["task_id"])
+
+    def _batch_calls(
+        self, endpoint: str, field: str, items: List[object]
+    ) -> Optional[List[Dict[str, object]]]:
+        """Send ``items`` to a protocol-2 batch endpoint, chunked.
+
+        One round trip per :data:`BATCH_CHUNK` items (a single trip for
+        any normal sweep), returning the per-chunk replies.  Returns
+        ``None`` when the coordinator predates the endpoint: the first
+        404 pins ``_batch_ok`` False so every batch operation drops to
+        its per-task fallback permanently.  A 404 can only happen on
+        the first chunk (the route either exists or doesn't), and all
+        batch operations are idempotent, so re-running per-task after
+        partial chunks is harmless.
+        """
+        if self._batch_ok is False:
+            return None
+        try:
+            replies = []
+            for start in range(0, len(items), BATCH_CHUNK):
+                replies.append(
+                    self._call(endpoint, {field: items[start:start + BATCH_CHUNK]})
+                )
+                self._batch_ok = True
+            return replies
+        except TransportError as exc:
+            if exc.status != 404:
+                raise
+            self._batch_ok = False
+            return None
+
+    def _malformed(self, endpoint: str) -> TransportError:
+        return TransportError(
+            f"coordinator {self.url} sent a malformed {endpoint} reply"
+        )
+
+    def submit_many(self, payloads: Sequence[Mapping[str, object]]) -> List[str]:
+        """Enqueue every payload via ``batch/submit``; per-task fallback."""
+        payloads = [dict(payload) for payload in payloads]
+        if not payloads:
+            return []
+        replies = self._batch_calls("batch/submit", "payloads", payloads)
+        if replies is None:
+            return super().submit_many(payloads)
+        ids: List[str] = []
+        for reply in replies:
+            task_ids = reply.get("task_ids")
+            if not isinstance(task_ids, list):
+                raise self._malformed("batch/submit")
+            ids.extend(str(task_id) for task_id in task_ids)
+        return ids
+
+    def poll_many(
+        self, task_ids: Sequence[str]
+    ) -> Dict[str, Dict[str, object]]:
+        """Status of every task via ``batch/poll``; per-task fallback
+        (``results/get`` + ``failed`` + ``lease`` per task)."""
+        task_ids = list(dict.fromkeys(task_ids))  # reply is keyed by id
+        if not task_ids:
+            return {}
+        replies = self._batch_calls("batch/poll", "task_ids", task_ids)
+        if replies is None:
+            return super().poll_many(task_ids)
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for reply in replies:
+            tasks = reply.get("tasks")
+            if not isinstance(tasks, dict):
+                raise self._malformed("batch/poll")
+            snapshot.update(
+                (task_id, dict(entry) if isinstance(entry, dict) else {})
+                for task_id, entry in tasks.items()
+            )
+        return snapshot
 
     def claim(self, worker: str = "") -> Optional[Task]:
         reply = self._call("claim", {"worker": worker})
@@ -185,7 +397,8 @@ class RemoteWorkQueue(TaskQueue):
     ) -> Dict[str, object]:
         """One coordinator round-trip with bounded retry-with-backoff."""
         last_error: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        while attempt <= self.retries:
             if attempt:
                 time.sleep(self.backoff * 2 ** (attempt - 1))
             try:
@@ -195,27 +408,58 @@ class RemoteWorkQueue(TaskQueue):
                 if exc.code in (401, 403):
                     raise CoordinatorAuthError(
                         f"coordinator {self.url} rejected credentials "
-                        f"({exc.code}): {detail}"
+                        f"({exc.code}): {detail}",
+                        status=exc.code,
                     )
+                if (
+                    exc.code in (400, 415)
+                    and self.gzip_mode == "auto"
+                    and getattr(exc, "repro_request_gzipped", False)
+                    and not self._gzip_refused
+                ):
+                    # The negotiated gzip bounced: the coordinator was
+                    # likely swapped mid-sweep for an old build that
+                    # cannot decompress.  Degrade to identity (pinned)
+                    # and resend without consuming a retry attempt —
+                    # the pin makes this free retry a once-per-client
+                    # event, and it must run even with retries=0.
+                    self._gzip_refused = True
+                    last_error = exc
+                    continue
                 if 400 <= exc.code < 500 and exc.code != 408:
                     # Our request is wrong; re-sending it cannot help.
                     raise TransportError(
                         f"coordinator {self.url} rejected "
-                        f"/{endpoint} ({exc.code}): {detail}"
+                        f"/{endpoint} ({exc.code}): {detail}",
+                        status=exc.code,
                     )
                 last_error = exc  # 5xx / 408: the coordinator's problem
+                attempt += 1
             except (
                 urllib.error.URLError,
                 HTTPException,
                 ConnectionError,
                 TimeoutError,
                 json.JSONDecodeError,
+                _CorruptReply,
             ) as exc:
                 last_error = exc
+                attempt += 1
         raise TransportError(
             f"coordinator {self.url} unreachable: /{endpoint} failed "
             f"{self.retries + 1} time(s); last error: {last_error}"
         )
+
+    def _gzip_requests(self) -> bool:
+        """Whether to gzip this request's body (mode + peer knowledge)."""
+        if self.gzip_mode == "off":
+            return False
+        if self.gzip_mode == "always":
+            return True
+        # auto: only once the coordinator has proven it understands
+        # gzip bodies — an old coordinator would 400 on one — and has
+        # never bounced one (a mid-sweep downgrade to an old build).
+        return self._peer_gzip and not self._gzip_refused
 
     def _once(
         self,
@@ -224,20 +468,54 @@ class RemoteWorkQueue(TaskQueue):
         method: str,
     ) -> Dict[str, object]:
         data = None
-        headers = {"Accept": "application/json"}
+        request_gzipped = False
+        headers = {
+            "Accept": "application/json",
+            "Accept-Encoding": "gzip",
+        }
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
         if method == "POST":
             data = json.dumps(body or {}).encode("utf-8")
             headers["Content-Type"] = "application/json"
+            if self._gzip_requests() and (
+                self.gzip_mode == "always" or len(data) >= GZIP_MIN_BYTES
+            ):
+                data = gzip.compress(data, compresslevel=5)
+                headers["Content-Encoding"] = "gzip"
+                request_gzipped = True
         request = urllib.request.Request(
             f"{self.url}/api/v1/{endpoint}",
             data=data,
             headers=headers,
             method=method,
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            reply = json.loads(response.read().decode("utf-8"))
+        with self._wire_lock:
+            self.round_trips += 1
+            self.bytes_sent += len(data) if data else 0
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read()
+                reply_headers = response.headers
+        except urllib.error.HTTPError as exc:
+            # Mark whether *this* attempt compressed its body, so the
+            # retry loop can tell a gzip rejection from a genuine 400.
+            exc.repro_request_gzipped = request_gzipped
+            raise
+        with self._wire_lock:
+            self.bytes_received += len(raw)
+        if reply_headers.get("X-Repro-Protocol"):
+            self._peer_gzip = True
+        if reply_headers.get("Content-Encoding", "").lower() == "gzip":
+            try:
+                raw = gzip.decompress(raw)
+            except (OSError, EOFError) as exc:
+                raise _CorruptReply(
+                    f"undecodable gzip reply for /{endpoint}: {exc}"
+                )
+        reply = json.loads(raw.decode("utf-8"))
         if not isinstance(reply, dict):
             raise TransportError(
                 f"coordinator {self.url} sent a non-object reply "

@@ -25,9 +25,28 @@ Endpoints (all under ``/api/v1``; request and response bodies are JSON):
 ``/lease``            POST  ``{task_id}`` -> ``{live}``
 ``/requeue``          POST  expire dead leases -> ``{requeued}``
 ``/results/get``      POST  ``{key}`` -> ``{found, result}``
+``/results/has``      POST  ``{key}`` -> ``{found}`` (no payload transfer)
 ``/results/put``      POST  ``{key, result}``
 ``/results/discard``  POST  ``{key}``
+``/results/discard_many``  POST  ``{keys: [...]}``
+``/batch/submit``     POST  ``{payloads: [...]}`` -> ``{task_ids: [...]}``
+``/batch/poll``       POST  ``{task_ids: [...]}`` ->
+                            ``{tasks: {id: {result, failed, error,
+                            lease_live}}}``
 ====================  ====  ===================================================
+
+The ``batch/*`` endpoints exist so a submitter tick over an N-point
+sweep costs one round trip instead of ~3N (``results/get`` + ``failed``
++ ``lease`` per task); old clients that never call them keep working
+against the per-task endpoints.
+
+Compression: requests may arrive with ``Content-Encoding: gzip`` (the
+body is transparently decompressed, with :data:`MAX_BODY_BYTES`
+enforced on the *decompressed* size so a tiny bomb cannot balloon in
+memory), and replies to clients that sent ``Accept-Encoding: gzip``
+are gzip-compressed above :data:`GZIP_MIN_BYTES`.  Every reply carries
+``X-Repro-Protocol: 2`` so new clients know both facilities exist;
+old clients ignore the header and speak identity encoding.
 
 Authentication is a shared token (``--token-file``): every request must
 carry ``Authorization: Bearer <token>``; mismatches get 401 without
@@ -38,10 +57,13 @@ between whole *processes* on a shared mount.
 
 from __future__ import annotations
 
+import gzip
 import hmac
 import json
 import sys
 import threading
+import zlib
+from collections import Counter
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -53,7 +75,21 @@ DEFAULT_COORDINATOR_PORT = 8642
 
 #: Requests larger than this are rejected outright (a result payload
 #: for a bench-scale network is ~100 KB; 32 MB is absurd headroom).
+#: For gzip requests the limit applies to the *decompressed* size.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Replies smaller than this are sent identity-encoded even to gzip
+#: clients: below a packet's worth of JSON the compression round trip
+#: costs more than the bytes it saves.
+GZIP_MIN_BYTES = 1024
+
+#: ``X-Repro-Protocol`` value: 2 = batch endpoints + gzip both ways.
+PROTOCOL_VERSION = 2
+
+#: Hard cap on items per batch request (for 64-hex ids: ~640 KB of
+#: body).  Clients chunk far below this; the cap stops one request
+#: from pinning a handler thread on an unbounded loop.
+MAX_BATCH_POLL_IDS = 10_000
 
 _HEX_DIGITS = set("0123456789abcdef")
 _LEASE_CHARS = set(
@@ -99,6 +135,45 @@ def _valid_lease(lease: object) -> str:
     return lease
 
 
+def _valid_worker(worker: object) -> str:
+    """A worker tag safe to embed in lease filenames ('' is anonymous).
+
+    The tag flows into ``_nonce(worker)`` and from there into
+    ``active/`` (and possibly ``failed/``) file names, so it gets the
+    same character discipline as a lease nonce — a JSON object, a
+    path-separator or whitespace is a 400, not a filename.
+    """
+    if worker is None:
+        return ""
+    if (
+        not isinstance(worker, str)
+        or len(worker) > 64
+        or not set(worker) <= _LEASE_CHARS
+    ):
+        raise _RequestError(400, f"invalid worker name {worker!r}")
+    return worker
+
+
+def _gunzip_capped(raw: bytes, limit: int) -> bytes:
+    """Decompress a gzip body, refusing to inflate past ``limit`` bytes.
+
+    Streaming decompression with ``max_length`` means a compression
+    bomb is cut off at the cap instead of ballooning in memory first.
+    """
+    decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
+    try:
+        body = decompressor.decompress(raw, limit + 1)
+    except zlib.error as exc:
+        raise _RequestError(400, f"request body is not valid gzip: {exc}")
+    if len(body) > limit or decompressor.unconsumed_tail:
+        raise _RequestError(
+            413, f"decompressed body exceeds {limit} bytes"
+        )
+    if not decompressor.eof:
+        raise _RequestError(400, "truncated gzip body")
+    return body
+
+
 class CoordinatorHandler(BaseHTTPRequestHandler):
     """Routes one request to the wrapped :class:`WorkQueue`."""
 
@@ -115,10 +190,15 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        if self.path in self.server.routes:
+            # Known endpoints only: the counter is keyed by client-sent
+            # paths, and counting arbitrary scanned URLs would grow it
+            # without bound over a coordinator's lifetime.
+            self.server.count_request(self.path)
         try:
             if not self._authorized():
                 raise _RequestError(401, "missing or bad bearer token")
-            route = _ROUTES.get(self.path)
+            route = self.server.routes.get(self.path)
             if route is None:
                 raise _RequestError(404, f"unknown endpoint {self.path}")
             expected_method, handler = route
@@ -139,10 +219,34 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         return hmac.compare_digest(header, f"Bearer {token}")
 
     def _read_body(self) -> Dict[str, object]:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length > MAX_BODY_BYTES:
+        header = self.headers.get("Content-Length")
+        if header is None:
+            # Without a length we cannot know where this request's body
+            # ends on a keep-alive socket; demand one instead of
+            # guessing (411 Length Required).
+            raise _RequestError(411, "POST requires a Content-Length header")
+        try:
+            length = int(header)
+        except (TypeError, ValueError):
+            raise _RequestError(
+                400, f"invalid Content-Length {header!r}"
+            )
+        if length < 0:
+            # rfile.read(-1) would block reading until EOF — on a
+            # keep-alive socket, forever.  Never trust the header.
+            raise _RequestError(
+                400, f"invalid Content-Length {header!r}"
+            )
+        if length > self.server.max_body_bytes:
             raise _RequestError(413, f"body of {length} bytes is too large")
-        raw = self.rfile.read(length) if length else b"{}"
+        raw = self.rfile.read(length) if length else b""
+        encoding = self.headers.get("Content-Encoding", "identity").lower()
+        if encoding == "gzip":
+            raw = _gunzip_capped(raw, self.server.max_body_bytes)
+        elif encoding not in ("", "identity"):
+            raise _RequestError(
+                415, f"unsupported Content-Encoding {encoding!r}"
+            )
         try:
             body = json.loads(raw or b"{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -151,8 +255,31 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
             raise _RequestError(400, "request body must be a JSON object")
         return body
 
+    def _accepts_gzip(self) -> bool:
+        """Whether the client accepts a gzip reply (q=0 is a refusal)."""
+        for token in self.headers.get("Accept-Encoding", "").split(","):
+            coding, _, params = token.partition(";")
+            if coding.strip().lower() != "gzip":
+                continue
+            name, _, value = params.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    return float(value.strip()) > 0
+                except ValueError:
+                    return False
+            return True
+        return False
+
     def _reply(self, status: int, payload: Dict[str, object]) -> None:
         data = json.dumps(payload).encode("utf-8")
+        content_encoding = None
+        if (
+            status < 400
+            and len(data) >= GZIP_MIN_BYTES
+            and self._accepts_gzip()
+        ):
+            data = gzip.compress(data, compresslevel=5)
+            content_encoding = "gzip"
         if status >= 400:
             # Error replies may be sent before the request body was
             # read (auth failures, unknown endpoints); on a keep-alive
@@ -162,6 +289,9 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Repro-Protocol", str(PROTOCOL_VERSION))
+        if content_encoding:
+            self.send_header("Content-Encoding", content_encoding)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -188,7 +318,7 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         return {"task_id": self.server.queue.submit(payload)}
 
     def _ep_claim(self, body: Dict[str, object]) -> Dict[str, object]:
-        worker = str(body.get("worker", ""))
+        worker = _valid_worker(body.get("worker"))
         task = self.server.queue.claim(worker)
         if task is None:
             return {"task": None}
@@ -251,6 +381,10 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         result = self.server.queue.results.get(key)
         return {"found": result is not None, "result": result}
 
+    def _ep_result_has(self, body: Dict[str, object]) -> Dict[str, object]:
+        key = _valid_key(body.get("key"))
+        return {"found": key in self.server.queue.results}
+
     def _ep_result_put(self, body: Dict[str, object]) -> Dict[str, object]:
         key = _valid_key(body.get("key"))
         result = body.get("result")
@@ -263,6 +397,81 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         key = _valid_key(body.get("key"))
         self.server.queue.results.discard(key)
         return {"ok": True}
+
+    def _ep_result_discard_many(
+        self, body: Dict[str, object]
+    ) -> Dict[str, object]:
+        keys = body.get("keys")
+        if not isinstance(keys, list):
+            raise _RequestError(
+                400, "batch discard requires a 'keys' list"
+            )
+        if len(keys) > MAX_BATCH_POLL_IDS:
+            raise _RequestError(
+                413, f"batch discard capped at {MAX_BATCH_POLL_IDS} keys"
+            )
+        for key in [_valid_key(key) for key in keys]:
+            self.server.queue.results.discard(key)
+        return {"ok": True}
+
+    def _ep_batch_submit(self, body: Dict[str, object]) -> Dict[str, object]:
+        payloads = body.get("payloads")
+        if not isinstance(payloads, list) or not all(
+            isinstance(payload, dict) for payload in payloads
+        ):
+            raise _RequestError(
+                400, "batch submit requires a 'payloads' list of JSON objects"
+            )
+        if len(payloads) > MAX_BATCH_POLL_IDS:
+            raise _RequestError(
+                413, f"batch submit capped at {MAX_BATCH_POLL_IDS} payloads"
+            )
+        task_ids = self.server.queue.submit_many(payloads)
+        if task_ids:
+            self._log_event(f"batch submit: {len(task_ids)} task(s)")
+        return {"task_ids": task_ids}
+
+    def _ep_batch_poll(self, body: Dict[str, object]) -> Dict[str, object]:
+        task_ids = body.get("task_ids")
+        if not isinstance(task_ids, list):
+            raise _RequestError(
+                400, "batch poll requires a 'task_ids' list"
+            )
+        if len(task_ids) > MAX_BATCH_POLL_IDS:
+            raise _RequestError(
+                413, f"batch poll capped at {MAX_BATCH_POLL_IDS} ids"
+            )
+        # Dedupe after validation: the reply is keyed by id anyway, and
+        # a duplicate id re-visiting its (shared) entry after the reply
+        # budget ran out would retro-defer a result already counted as
+        # delivered — starving the "one result per reply" guarantee.
+        keys = list(dict.fromkeys(_valid_key(task_id) for task_id in task_ids))
+        tasks = self.server.queue.poll_many(keys)
+        # Reply-side budget: inline result payloads up to roughly the
+        # request body cap, then defer the rest (``result: null`` looks
+        # "not done yet" to the client, which re-polls the undelivered
+        # keys next tick — progressive delivery, never a giant reply).
+        # At least one result is always delivered, so every tick that
+        # has finished tasks makes progress.
+        budget = self.server.max_body_bytes
+        spent = 0
+        exhausted = False
+        for key in keys:
+            entry = tasks.get(key)
+            result = entry.get("result") if entry else None
+            if result is None:
+                continue
+            # Once the budget is spent, defer without even sizing:
+            # delivery is in key order, so the sizing work per tick is
+            # bounded by the budget, not by the backlog.
+            size = 0 if exhausted else len(json.dumps(result))
+            if exhausted or (spent and spent + size > budget):
+                exhausted = True
+                entry["result"] = None
+                entry["deferred"] = True
+            else:
+                spent += size
+        return {"tasks": tasks}
 
     def _task(self, body: Dict[str, object]):
         """The (validated) claim a lease-operation request names."""
@@ -283,8 +492,15 @@ _ROUTES = {
     "/api/v1/lease": ("POST", CoordinatorHandler._ep_lease),
     "/api/v1/requeue": ("POST", CoordinatorHandler._ep_requeue),
     "/api/v1/results/get": ("POST", CoordinatorHandler._ep_result_get),
+    "/api/v1/results/has": ("POST", CoordinatorHandler._ep_result_has),
     "/api/v1/results/put": ("POST", CoordinatorHandler._ep_result_put),
     "/api/v1/results/discard": ("POST", CoordinatorHandler._ep_result_discard),
+    "/api/v1/results/discard_many": (
+        "POST",
+        CoordinatorHandler._ep_result_discard_many,
+    ),
+    "/api/v1/batch/submit": ("POST", CoordinatorHandler._ep_batch_submit),
+    "/api/v1/batch/poll": ("POST", CoordinatorHandler._ep_batch_poll),
 }
 
 
@@ -299,6 +515,9 @@ class CoordinatorServer(ThreadingHTTPServer):
             testing).  Production deployments should always set one —
             the queue evaluates arbitrary submitted payloads.
         quiet: suppress queue-event log lines (tests).
+        max_body_bytes: per-request body cap, applied to the
+            decompressed size for gzip requests (default
+            :data:`MAX_BODY_BYTES`; tests shrink it).
     """
 
     daemon_threads = True
@@ -311,14 +530,28 @@ class CoordinatorServer(ThreadingHTTPServer):
         port: int = 0,
         token: Optional[str] = None,
         quiet: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ):
         if not isinstance(queue, WorkQueue):
             queue = WorkQueue(queue)
         self.queue = queue
         self.token = token
         self.quiet = quiet
+        self.max_body_bytes = int(max_body_bytes)
+        #: The live route table.  An instance copy of the module-level
+        #: :data:`_ROUTES` so tests can delete entries to impersonate an
+        #: older coordinator (fallback-path coverage).
+        self.routes = dict(_ROUTES)
+        #: Requests served, by path — how the wire tests prove a poll
+        #: tick costs one round trip instead of one per task.
+        self.request_counts: Counter = Counter()
         self._log_lock = threading.Lock()
+        self._count_lock = threading.Lock()
         super().__init__((host, port), CoordinatorHandler)
+
+    def count_request(self, path: str) -> None:
+        with self._count_lock:
+            self.request_counts[path] += 1
 
     @property
     def url(self) -> str:

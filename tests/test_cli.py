@@ -79,6 +79,7 @@ class TestParser:
         assert args.poll_interval == 0.1
         assert args.coordinator is None
         assert args.token_file is None
+        assert args.gzip == "auto"
 
     def test_coordinator_defaults(self):
         args = build_parser().parse_args(["coordinator"])
@@ -108,6 +109,17 @@ class TestParser:
             assert args.backend == "http"
             assert args.coordinator == "http://10.0.0.5:8642"
             assert args.token_file == "/tmp/tok"
+            assert args.gzip == "auto"
+
+    def test_gzip_flag_parsed_and_validated(self):
+        args = build_parser().parse_args(
+            ["sweep", "imdb", "--gzip", "always"]
+        )
+        assert args.gzip == "always"
+        args = build_parser().parse_args(["worker", "--gzip", "off"])
+        assert args.gzip == "off"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "imdb", "--gzip", "maybe"])
 
 
 class TestCommands:
@@ -378,6 +390,18 @@ class TestHttpCLI:
         assert main(
             argv + ["--backend", "http", "--coordinator", coordinator.url,
                     "--queue-timeout", "600"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_http_sweep_with_forced_gzip_matches_serial(
+        self, capsys, coordinator
+    ):
+        argv = ["sweep", "imdb", "--no-cache", "--thetas", "0.1", "0.3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            argv + ["--backend", "http", "--coordinator", coordinator.url,
+                    "--gzip", "always", "--queue-timeout", "600"]
         ) == 0
         assert capsys.readouterr().out == serial
 

@@ -394,6 +394,28 @@ class TestDrain:
         assert queue.pending_count() == 0
         assert queue.active_count() == 0
 
+    def test_heartbeat_adopts_a_shrunk_lease_ttl_mid_task(self, tmp_path):
+        """The beat interval is re-read every cycle, not frozen at task
+        start: when a (remote) queue's TTL refresh shrinks ``lease_ttl``
+        mid-task, the in-flight heartbeat must speed up within one old
+        interval, or its beats would land slower than the new expiry."""
+        queue = WorkQueue(tmp_path, lease_ttl=1.0)  # beat every 0.25s
+        queue.submit(sample_payload())
+        task = queue.claim()
+        beats = []
+        filesystem_extend = queue.extend
+        queue.extend = lambda t: (
+            beats.append(time.monotonic()),
+            filesystem_extend(t),
+        )
+        with queue.heartbeat(task):
+            queue.lease_ttl = 0.05  # as a TTL refresh would
+            time.sleep(0.9)
+        # Frozen at 1.0s/4 the window fits ~3 beats; adapted to
+        # 0.05s/4 it fits dozens.
+        assert len(beats) >= 5
+        queue.complete(task)
+
 
 class TestCrashRecovery:
     """A worker dying mid-task only delays its tasks — never loses them."""
