@@ -40,7 +40,13 @@ from repro.core.engine import (
     memoized,
     restore,
 )
-from repro.core.layers import MemoizedGRULayer, MemoizedLSTMLayer, wrap_layer
+from repro.core.layers import (
+    MemoizedGRULayer,
+    MemoizedLSTMLayer,
+    MemoizedRecurrentLayer,
+    wrap_layer,
+)
+from repro.core.memo import MemoTable
 from repro.core.quantization import (
     LinearQuantizer,
     quantize_fp16,
@@ -71,9 +77,11 @@ __all__ = [
     "CorrelationSamples",
     "GatePredictor",
     "InputSimilarityGatePredictor",
+    "MemoTable",
     "MemoizationScheme",
     "MemoizedGRULayer",
     "MemoizedLSTMLayer",
+    "MemoizedRecurrentLayer",
     "OracleGatePredictor",
     "ReuseStats",
     "StepDecision",

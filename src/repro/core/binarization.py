@@ -8,7 +8,14 @@ Two functionally identical evaluation paths are provided:
   binarized operands is XNOR, the reduction is a popcount adder tree, and
   the signed dot product is recovered as ``n - 2 * popcount(xor)``.
 
-The test suite asserts both paths agree bit-exactly on random inputs.
+Sign bits are packed into ``uint64`` machine words so a whole gate phase
+(every gate of an LSTM/GRU cell, stacked) reduces to a handful of XOR +
+popcount operations per neuron — this is the compute path behind the
+vectorized memoization engine, and the reason the BNN predictor costs a
+popcount rather than an integer matmul.
+
+The test suite asserts both paths agree bit-exactly on random inputs,
+including widths that are not multiples of the word size.
 """
 
 from __future__ import annotations
@@ -17,9 +24,13 @@ import numpy as np
 
 Array = np.ndarray
 
-#: Width of the packing words (the FMU's BDPU operates on 2048-bit rows,
-#: i.e. 32 of these words).
-_WORD_BITS = 8  # numpy packbits operates on uint8 words
+#: Width of the packing words.  The FMU's BDPU operates on 2048-bit rows,
+#: i.e. 32 of these 64-bit lanes.
+_WORD_BITS = 64
+
+#: uint8 bytes per packed word (``np.packbits`` emits bytes; groups of
+#: eight bytes are reinterpreted as one ``uint64`` lane).
+_BYTES_PER_WORD = _WORD_BITS // 8
 
 
 def binarize(x: Array) -> Array:
@@ -52,13 +63,25 @@ def binary_dot(w_bin: Array, x_bin: Array) -> Array:
 
 
 def pack_signs(x: Array) -> Array:
-    """Pack sign bits of ``x`` along the last axis into uint8 words.
+    """Pack sign bits of ``x`` along the last axis into uint64 words.
 
-    The last axis is padded with zero-bits (which the packed dot product
-    corrects for via the true bit length).
+    The last axis is padded with zero-bits up to a multiple of 64 (the
+    packed dot product corrects for padding via the true bit length).
+    Both operands of :func:`binary_dot_packed` must be packed by this
+    function: the byte order inside each word is platform-native, which
+    cancels in XOR/popcount as long as the two sides agree.
     """
     bits = binarize_bits(x)
-    return np.packbits(bits, axis=-1)
+    packed = np.packbits(bits, axis=-1)
+    remainder = packed.shape[-1] % _BYTES_PER_WORD
+    if remainder:
+        pad_shape = packed.shape[:-1] + (_BYTES_PER_WORD - remainder,)
+        packed = np.concatenate(
+            [packed, np.zeros(pad_shape, dtype=np.uint8)], axis=-1
+        )
+    if not packed.flags["C_CONTIGUOUS"]:
+        packed = np.ascontiguousarray(packed)
+    return packed.view(np.uint64)
 
 
 def binary_dot_packed(w_packed: Array, x_packed: Array, n_bits: int) -> Array:
@@ -66,15 +89,17 @@ def binary_dot_packed(w_packed: Array, x_packed: Array, n_bits: int) -> Array:
 
     ``dot = n_bits - 2 * popcount(w XOR x)`` over the true ``n_bits`` lane
     width.  Padding bits cancel because both operands pad with 0 (XOR of
-    equal pads is 0, contributing nothing to the popcount).
+    equal pads is 0, contributing nothing to the popcount).  The result is
+    the exact same integer the ±1 matmul produces, at a fraction of the
+    cost: each 64 operand lanes cost one XOR and one popcount.
 
     Args:
-        w_packed: ``(H, W)`` packed weight signs.
+        w_packed: ``(H, W)`` packed weight signs (uint64 words).
         x_packed: ``(W,)`` or ``(B, W)`` packed input signs.
         n_bits: the unpadded operand length D.
     """
-    w_packed = np.asarray(w_packed, dtype=np.uint8)
-    x_packed = np.asarray(x_packed, dtype=np.uint8)
+    w_packed = np.asarray(w_packed, dtype=np.uint64)
+    x_packed = np.asarray(x_packed, dtype=np.uint64)
     if x_packed.ndim == 1:
         xor = np.bitwise_xor(w_packed, x_packed[None, :])
         mismatches = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)

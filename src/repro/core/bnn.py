@@ -5,6 +5,11 @@ forward/recurrent weight matrix ``[W_x | W_h]``.  At inference time it
 binarizes the concatenated operand ``[x_t ; h_{t-1}]`` and produces the
 integer dot product of Equation 8 for every neuron — the signal the
 memoization predictor thresholds on.
+
+A gate may mirror a *stack* of gates: the vectorized engine concatenates
+the per-gate weight matrices of a whole phase along the neuron axis and
+builds one ``BinaryGate`` over the stack, so a single XNOR/popcount pass
+(:meth:`BinaryGate.evaluate_packed`) covers every gate of the cell.
 """
 
 from __future__ import annotations
@@ -24,14 +29,15 @@ Array = np.ndarray
 
 
 class BinaryGate:
-    """The BNN mirror of one RNN gate.
+    """The BNN mirror of one RNN gate (or one stacked gate phase).
 
     Args:
         w_x: full-precision forward weights ``(H, E)``.
         w_h: full-precision recurrent weights ``(H, R)``.
-        use_packed: evaluate via the XNOR/popcount path instead of the
-            ±1 matmul (identical results; the packed path mirrors the
-            hardware BDPU).
+        use_packed: route :meth:`evaluate` through the XNOR/popcount path
+            instead of the ±1 matmul (identical results; the packed path
+            mirrors the hardware BDPU).  Packed weights are built lazily
+            either way, so :meth:`evaluate_packed` is always available.
     """
 
     def __init__(self, w_x: Array, w_h: Array, use_packed: bool = False):
@@ -55,6 +61,17 @@ class BinaryGate:
             pack_signs(full) if use_packed else None
         )
 
+    @property
+    def packed_weights(self) -> Array:
+        """uint64-packed weight signs, built on first use and cached.
+
+        ``weights_bin`` is ±1 with the same ``>= 0`` convention as the raw
+        weights, so packing it reproduces ``pack_signs(full)`` exactly.
+        """
+        if self._weights_packed is None:
+            self._weights_packed = pack_signs(self.weights_bin)
+        return self._weights_packed
+
     def evaluate(self, x: Array, h: Array) -> Array:
         """Binary dot products for operands ``x`` (B, E) and ``h`` (B, R).
 
@@ -63,16 +80,33 @@ class BinaryGate:
         """
         x = np.asarray(x)
         h = np.asarray(h)
-        operand = np.concatenate([x, h], axis=-1)
+        return self.evaluate_operand(np.concatenate([x, h], axis=-1))
+
+    def evaluate_operand(self, operand: Array) -> Array:
+        """Binary dot products for an already-concatenated ``[x ; h]``.
+
+        Honors ``use_packed`` (matmul vs popcount — bit-identical).
+        """
+        operand = np.asarray(operand)
         if operand.shape[-1] != self.n_bits:
             raise ValueError(
                 f"operand width {operand.shape[-1]} != expected {self.n_bits}"
             )
         if self.use_packed:
             return binary_dot_packed(
-                self._weights_packed, pack_signs(operand), self.n_bits
+                self.packed_weights, pack_signs(operand), self.n_bits
             )
         return binary_dot(self.weights_bin, binarize(operand))
+
+    def evaluate_packed(self, packed_operand: Array) -> Array:
+        """Popcount evaluation of pre-packed operand signs.
+
+        The fast path of the vectorized engine: the caller packs the
+        concatenated operand once per phase (``pack_signs``) and this
+        reduces to ``n_bits - 2 * popcount(w XOR x)`` per neuron,
+        regardless of ``use_packed`` (the integers are identical).
+        """
+        return binary_dot_packed(self.packed_weights, packed_operand, self.n_bits)
 
     @property
     def storage_bits(self) -> int:

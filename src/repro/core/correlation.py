@@ -16,11 +16,13 @@ import numpy as np
 
 from repro.core.bnn import BinaryGate
 from repro.metrics.correlation import pearson
+from repro.nn.cells import GatedCell, GatePhase
 from repro.nn.gru import GRULayer
 from repro.nn.lstm import LSTMLayer
+from repro.nn.rnn import RNNLayer
 
 Array = np.ndarray
-RecurrentLayer = Union[LSTMLayer, GRULayer]
+RecurrentLayer = Union[LSTMLayer, GRULayer, RNNLayer]
 
 
 @dataclass
@@ -48,6 +50,39 @@ class CorrelationSamples:
         return pearson(self.full.reshape(-1), self.binary.reshape(-1))
 
 
+class _RecordingHook:
+    """A pure-observer :class:`~repro.nn.cells.MemoHook`.
+
+    For every gate phase it captures the full-precision pre-activation
+    blocks and evaluates each gate's binary mirror on the phase operand
+    (which for the GRU candidate is the resolved ``r_t * h_{t-1}`` —
+    exactly what the hardware FMU would binarize), returning ``preacts``
+    untouched so the trajectory is the layer's own.
+    """
+
+    def __init__(self, cell: GatedCell):
+        self.mirrors = {}
+        for gate in cell.gate_names:
+            w_x, w_h, _ = cell.gate_weights(gate)
+            self.mirrors[gate] = BinaryGate(w_x, w_h)
+        self.full: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
+        self.binary: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
+
+    def on_gates(
+        self,
+        cell: GatedCell,
+        phase: GatePhase,
+        x: Array,
+        h: Array,
+        preacts: Array,
+    ) -> Array:
+        hidden = cell.hidden_size
+        for i, gate in enumerate(phase.gates):
+            self.full[gate].append(preacts[:, i * hidden : (i + 1) * hidden].copy())
+            self.binary[gate].append(self.mirrors[gate].evaluate(x, h))
+        return preacts
+
+
 def collect_gate_samples(
     layer: RecurrentLayer, inputs: Array
 ) -> Dict[str, CorrelationSamples]:
@@ -55,52 +90,24 @@ def collect_gate_samples(
     and binary pre-activations for every gate.
 
     The binary mirrors are built with Figure 9's construction (sign
-    binarization of the gate's concatenated weights).
+    binarization of the gate's concatenated weights).  Collection rides
+    the cell's own ``step_hooked`` path via a recording hook, so it works
+    for any :class:`~repro.nn.cells.GatedCell` without special-casing.
     """
     inputs = np.asarray(inputs, dtype=np.float64)
     if inputs.ndim != 3:
         raise ValueError(f"expected (B, T, E) inputs, got {inputs.shape}")
     cell = layer.cell
-    is_lstm = isinstance(layer, LSTMLayer)
-    mirrors = {}
-    for gate in cell.gate_names:
-        w_x, w_h, _ = cell.gate_weights(gate)
-        mirrors[gate] = BinaryGate(w_x, w_h)
-
-    full_samples: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
-    bin_samples: Dict[str, List[Array]] = {g: [] for g in cell.gate_names}
-
+    hook = _RecordingHook(cell)
     batch, steps, _ = inputs.shape
     state = layer.start_state(batch)
     for t in range(steps):
-        x_t = inputs[:, t, :]
-        h_prev = state[0] if is_lstm else state
-        if is_lstm:
-            pre = cell.gate_preacts(x_t, h_prev)
-            operands = {g: (x_t, h_prev) for g in cell.gate_names}
-        else:
-            pre = cell.zr_preacts(x_t, h_prev)
-            # Resolve the reset gate to build the candidate's operand.
-            from repro.nn.activations import sigmoid
-
-            r = sigmoid(pre["r"] + cell.b_r.value)
-            reset_h = r * h_prev
-            pre["g"] = cell.g_preact(x_t, reset_h)
-            operands = {
-                "z": (x_t, h_prev),
-                "r": (x_t, h_prev),
-                "g": (x_t, reset_h),
-            }
-        for gate in cell.gate_names:
-            full_samples[gate].append(pre[gate])
-            x_op, h_op = operands[gate]
-            bin_samples[gate].append(mirrors[gate].evaluate(x_op, h_op))
-        _, state = layer.step(x_t, state)
+        _, state = layer.step(inputs[:, t, :], state, hook=hook)
 
     return {
         gate: CorrelationSamples(
-            full=np.concatenate(full_samples[gate], axis=0),
-            binary=np.concatenate(bin_samples[gate], axis=0).astype(np.float64),
+            full=np.concatenate(hook.full[gate], axis=0),
+            binary=np.concatenate(hook.binary[gate], axis=0).astype(np.float64),
         )
         for gate in cell.gate_names
     }

@@ -49,6 +49,12 @@ class MemoizationScheme:
         throttle: accumulate relative differences across consecutive
             reuses (Eq. 13).  Only meaningful for the BNN predictor.
         use_packed: evaluate BNNs with the XNOR/popcount bit-packed path.
+        vectorized: route timesteps through the batched fast path — one
+            phase-level predictor over stacked gate weights, uint64
+            packed sign words, contiguous memo tables.  ``False``
+            selects the per-gate scalar reference path.  Results are
+            bitwise identical either way (the equivalence suites pin
+            this), so the flag does not enter cache keys.
         layer_thetas: optional per-layer threshold overrides, keyed by
             the dotted layer name seen in :class:`ReuseStats` (an
             extension beyond the paper's single global threshold; see
@@ -59,6 +65,7 @@ class MemoizationScheme:
     predictor: str = "bnn"
     throttle: bool = True
     use_packed: bool = False
+    vectorized: bool = True
     layer_thetas: Optional[Mapping[str, float]] = None
 
     def __post_init__(self):
@@ -90,7 +97,11 @@ class MemoizationScheme:
         return self.layer_thetas.get(layer_name, self.theta)
 
     def make_predictor(self, w_x: Array, w_h: Array) -> GatePredictor:
-        """Build the per-gate predictor for a gate with these weights.
+        """Build the predictor for a gate (or stacked gate phase).
+
+        The vectorized engine passes the stacked weights of a whole
+        phase; the scalar path passes one gate's weights.  Either way
+        the predictor covers ``w_x.shape[0]`` neurons.
 
         Raises:
             ValueError: if ``predictor`` is not in :data:`PREDICTOR_KINDS`
@@ -141,7 +152,13 @@ def apply_memoization(
     replacements: List[_Replacement] = []
     for parent, attr, layer, dotted in _iter_recurrent_children(model):
         layer_scheme = scheme.with_theta(scheme.theta_for(dotted))
-        wrapper = wrap_layer(layer, layer_scheme.make_predictor, stats, name=dotted)
+        wrapper = wrap_layer(
+            layer,
+            layer_scheme.make_predictor,
+            stats,
+            name=dotted,
+            vectorized=scheme.vectorized,
+        )
         replacements.append(_Replacement(parent, attr, layer))
         # The wrapper is not a Module; remove the child registration so
         # parameter traversal still sees the original weights through the

@@ -1,143 +1,157 @@
-"""Memoized drop-in replacements for the recurrent layers.
+"""Memoized drop-in replacement for the recurrent layers.
 
-Each wrapper shares the wrapped layer's cell (and therefore its weights)
-and reproduces its forward contract, but routes every gate's dot product
-through a :class:`~repro.core.predictors.GatePredictor`: reused neurons
-take their cached pre-activation, the rest are evaluated in full.  Reuse
-decisions are recorded into a :class:`~repro.core.stats.ReuseStats`.
+:class:`MemoizedRecurrentLayer` shares the wrapped layer's cell (and
+therefore its weights) and reproduces its forward contract, but routes
+every gate pre-activation through the memoization machinery.  It is the
+engine's :class:`~repro.nn.cells.MemoHook`: the cell's ``step_hooked``
+offers each gate phase's batched ``(B, G*H)`` pre-activation matrix, the
+hook decides reuse for all gates and neurons at once, substitutes
+memoized values, and records the decisions into a
+:class:`~repro.core.stats.ReuseStats`.
+
+Two modes share the class:
+
+- *vectorized* (default) — one phase-level predictor built from the
+  stacked gate weights, one packed sign evaluation and one
+  :class:`~repro.core.memo.MemoTable` update per phase.  This is the
+  fast path pinned by ``BENCH_eval.json``.
+- *scalar* — the per-gate reference path: one predictor per gate driven
+  through the legacy :meth:`~repro.core.predictors.GatePredictor.step`
+  closure interface.  Kept as the bitwise baseline the equivalence
+  suites compare against.
+
+Because every cell is a :class:`~repro.nn.cells.GatedCell`, nothing here
+special-cases LSTM vs GRU vs vanilla RNN — the phase decomposition
+(``PHASES``) carries all cell-specific structure, including the GRU
+candidate gate's reset-gated operand.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.core.binarization import pack_signs
+from repro.core.memo import MemoTable
 from repro.core.predictors import GatePredictor
 from repro.core.stats import ReuseStats
-from repro.nn.activations import sigmoid
+from repro.nn.cells import GatedCell, GatePhase
 from repro.nn.gru import GRULayer
 from repro.nn.lstm import LSTMLayer
+from repro.nn.rnn import RNNLayer
 
 Array = np.ndarray
 PredictorFactory = Callable[[Array, Array], GatePredictor]
 
 
-class MemoizedLSTMLayer:
-    """An :class:`LSTMLayer` evaluated under neuron-level fuzzy memoization."""
+class MemoizedRecurrentLayer:
+    """Any :class:`~repro.nn.cells.GatedCell` layer evaluated under
+    neuron-level fuzzy memoization.
 
-    def __init__(
-        self,
-        layer: LSTMLayer,
-        predictor_factory: PredictorFactory,
-        stats: ReuseStats,
-        name: str = "lstm",
-    ):
-        self.layer = layer
-        self.cell = layer.cell
-        self.input_size = layer.input_size
-        self.hidden_size = layer.hidden_size
-        self.stats = stats
-        self.name = name
-        self._predictors = {}
-        for gate in self.cell.gate_names:
-            w_x, w_h, _ = self.cell.gate_weights(gate)
-            self._predictors[gate] = predictor_factory(w_x, w_h)
-
-    def start_state(self, batch: int) -> Tuple[Array, Array]:
-        for predictor in self._predictors.values():
-            predictor.begin_sequence(batch)
-        return self.layer.start_state(batch)
-
-    def step(self, x_t: Array, state: Tuple[Array, Array]) -> Tuple[Array, Tuple]:
-        h_prev, c_prev = state
-        preacts = {}
-        for gate, predictor in self._predictors.items():
-            w_x, w_h, _ = self.cell.gate_weights(gate)
-            decision = predictor.step(
-                x_t,
-                h_prev,
-                compute_full=lambda w_x=w_x, w_h=w_h: x_t @ w_x.T + h_prev @ w_h.T,
-            )
-            self.stats.record(self.name, gate, decision.reuse_mask)
-            preacts[gate] = decision.outputs
-        h, c, _ = self.cell.step(x_t, h_prev, c_prev, preacts=preacts)
-        return h, (h, c)
-
-    def forward(self, x: Array) -> Array:
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 3:
-            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
-        batch, steps, _ = x.shape
-        state = self.start_state(batch)
-        outputs = np.empty((batch, steps, self.hidden_size))
-        for t in range(steps):
-            h, state = self.step(x[:, t, :], state)
-            outputs[:, t, :] = h
-        return outputs
-
-    __call__ = forward
-
-
-class MemoizedGRULayer:
-    """A :class:`GRULayer` evaluated under neuron-level fuzzy memoization.
-
-    The candidate gate's recurrent operand is the reset-gated state
-    ``r_t * h_{t-1}``; its predictor therefore sees that operand (both for
-    binarization and for input-similarity), exactly as the hardware FMU
-    would, since the concatenated vector fed to the binary network is
-    built after the reset gate is resolved.
+    For multi-phase cells (GRU) each phase gets its own predictor and
+    memo table, and each predictor sees the operand the hardware FMU
+    would: the candidate gate's concatenated vector is built after the
+    reset gate is resolved.
     """
 
     def __init__(
         self,
-        layer: GRULayer,
+        layer,
         predictor_factory: PredictorFactory,
         stats: ReuseStats,
-        name: str = "gru",
+        name: str = "rnn",
+        vectorized: bool = True,
     ):
         self.layer = layer
-        self.cell = layer.cell
+        self.cell: GatedCell = layer.cell
         self.input_size = layer.input_size
         self.hidden_size = layer.hidden_size
         self.stats = stats
         self.name = name
-        self._predictors = {}
-        for gate in self.cell.gate_names:
-            w_x, w_h, _ = self.cell.gate_weights(gate)
-            self._predictors[gate] = predictor_factory(w_x, w_h)
+        self.vectorized = vectorized
+        if vectorized:
+            #: One predictor + memo table per gate phase, indexed by
+            #: ``phase.index``; the predictor covers the stacked weights
+            #: of every gate in the phase.
+            self._phase_predictors: List[GatePredictor] = []
+            self._tables: List[MemoTable] = []
+            for phase in self.cell.PHASES:
+                w_x, w_h = self.cell.stacked_gate_weights(phase.gates)
+                self._phase_predictors.append(predictor_factory(w_x, w_h))
+                self._tables.append(MemoTable(w_x.shape[0]))
+        else:
+            self._predictors: Dict[str, GatePredictor] = {}
+            for gate in self.cell.gate_names:
+                w_x, w_h, _ = self.cell.gate_weights(gate)
+                self._predictors[gate] = predictor_factory(w_x, w_h)
 
-    def start_state(self, batch: int) -> Array:
-        for predictor in self._predictors.values():
-            predictor.begin_sequence(batch)
+    # -- sequence lifecycle --------------------------------------------------
+
+    def start_state(self, batch: int):
+        """Reset memoization state and return the wrapped layer's state."""
+        if self.vectorized:
+            for predictor, table in zip(self._phase_predictors, self._tables):
+                predictor.begin_sequence(batch)
+                table.begin_sequence(batch)
+        else:
+            for predictor in self._predictors.values():
+                predictor.begin_sequence(batch)
         return self.layer.start_state(batch)
 
-    def step(self, x_t: Array, state: Array) -> Tuple[Array, Array]:
-        h_prev = state
-        preacts = {}
-        for gate in ("z", "r"):
-            w_x, w_h, _ = self.cell.gate_weights(gate)
+    def step(self, x_t: Array, state):
+        """One memoized timestep; returns ``(h_t, new_state)``."""
+        return self.layer.step(x_t, state, hook=self)
+
+    # -- MemoHook ------------------------------------------------------------
+
+    def on_gates(
+        self,
+        cell: GatedCell,
+        phase: GatePhase,
+        x: Array,
+        h: Array,
+        preacts: Array,
+    ) -> Array:
+        if self.vectorized:
+            return self._on_gates_vectorized(phase, x, h, preacts)
+        return self._on_gates_scalar(phase, x, h, preacts)
+
+    def _on_gates_vectorized(
+        self, phase: GatePhase, x: Array, h: Array, preacts: Array
+    ) -> Array:
+        predictor = self._phase_predictors[phase.index]
+        table = self._tables[phase.index]
+        packed = operand = None
+        if predictor.REQUIRES:
+            operand = np.concatenate([x, h], axis=-1)
+            if "packed" in predictor.REQUIRES:
+                packed = pack_signs(operand)
+                if "operand" not in predictor.REQUIRES:
+                    operand = None
+        mask = predictor.predict_many(
+            packed, preacts=preacts, operand=operand, memo=table.memo
+        )
+        outputs = table.substitute(mask, preacts)
+        hidden = self.hidden_size
+        for i, gate in enumerate(phase.gates):
+            self.stats.record(self.name, gate, mask[:, i * hidden : (i + 1) * hidden])
+        return outputs
+
+    def _on_gates_scalar(
+        self, phase: GatePhase, x: Array, h: Array, preacts: Array
+    ) -> Array:
+        hidden = self.hidden_size
+        for i, gate in enumerate(phase.gates):
+            block = preacts[:, i * hidden : (i + 1) * hidden]
             decision = self._predictors[gate].step(
-                x_t,
-                h_prev,
-                compute_full=lambda w_x=w_x, w_h=w_h: x_t @ w_x.T + h_prev @ w_h.T,
+                x, h, compute_full=lambda block=block: block
             )
             self.stats.record(self.name, gate, decision.reuse_mask)
-            preacts[gate] = decision.outputs
+            preacts[:, i * hidden : (i + 1) * hidden] = decision.outputs
+        return preacts
 
-        r = sigmoid(preacts["r"] + self.cell.b_r.value)
-        reset_h = r * h_prev
-        w_gx, w_gh, _ = self.cell.gate_weights("g")
-        decision = self._predictors["g"].step(
-            x_t,
-            reset_h,
-            compute_full=lambda: x_t @ w_gx.T + reset_h @ w_gh.T,
-        )
-        self.stats.record(self.name, "g", decision.reuse_mask)
-        preacts["g"] = decision.outputs
-
-        h, _ = self.cell.step(x_t, h_prev, preacts=preacts)
-        return h, h
+    # -- forward -------------------------------------------------------------
 
     def forward(self, x: Array) -> Array:
         x = np.asarray(x, dtype=np.float64)
@@ -154,10 +168,15 @@ class MemoizedGRULayer:
     __call__ = forward
 
 
+#: Backwards-compatible aliases: the wrapper is cell-agnostic now.
+MemoizedLSTMLayer = MemoizedRecurrentLayer
+MemoizedGRULayer = MemoizedRecurrentLayer
+
 #: Types the engine knows how to wrap, with their wrapper classes.
 WRAPPABLE = {
-    LSTMLayer: MemoizedLSTMLayer,
-    GRULayer: MemoizedGRULayer,
+    LSTMLayer: MemoizedRecurrentLayer,
+    GRULayer: MemoizedRecurrentLayer,
+    RNNLayer: MemoizedRecurrentLayer,
 }
 
 
@@ -166,11 +185,14 @@ def wrap_layer(
     predictor_factory: PredictorFactory,
     stats: ReuseStats,
     name: str,
+    vectorized: bool = True,
     _wrappable=None,
 ):
     """Wrap a recurrent layer in its memoized counterpart."""
     table = _wrappable or WRAPPABLE
     for layer_type, wrapper in table.items():
         if isinstance(layer, layer_type):
-            return wrapper(layer, predictor_factory, stats, name=name)
+            return wrapper(
+                layer, predictor_factory, stats, name=name, vectorized=vectorized
+            )
     raise TypeError(f"cannot memoize layer of type {type(layer).__name__}")

@@ -1,0 +1,67 @@
+"""Contiguous, preallocated memo tables for the vectorized engine.
+
+The paper's memoization buffer holds, per gate neuron, the output of the
+last full evaluation.  The scalar reference path keeps that state inside
+each predictor; the vectorized engine instead owns one :class:`MemoTable`
+per gate *phase* — a single C-contiguous ``(B, G*H)`` float64 array
+covering every gate of the phase, allocated once per batch shape and
+updated in place.
+
+The update exploits an identity of the reuse rule: the substituted
+outputs ``where(reuse, memo, fresh)`` and the refreshed memo
+``where(reuse, memo, fresh)`` are the *same* array, so one buffer serves
+as both and the per-timestep work is a single masked in-place copy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class MemoTable:
+    """Preallocated memo buffer for one gate phase.
+
+    Attributes:
+        neurons: total neuron count covered (sum of gate widths).
+        values: the ``(B, neurons)`` buffer, or ``None`` before the first
+            :meth:`begin_sequence`.  After the first :meth:`substitute`
+            of a sequence it always holds the memoized pre-activations.
+    """
+
+    def __init__(self, neurons: int):
+        if neurons <= 0:
+            raise ValueError("neurons must be positive")
+        self.neurons = neurons
+        self.values: Optional[Array] = None
+        self._fresh = True
+
+    def begin_sequence(self, batch: int) -> None:
+        """Mark the memo empty; reallocate only if the batch shape changed."""
+        if self.values is None or self.values.shape[0] != batch:
+            self.values = np.empty((batch, self.neurons))
+        self._fresh = True
+
+    @property
+    def memo(self) -> Optional[Array]:
+        """Memoized pre-activations, or ``None`` on a fresh sequence."""
+        return None if self._fresh else self.values
+
+    def substitute(self, reuse_mask: Array, fresh: Array) -> Array:
+        """Fold ``fresh`` pre-activations into the memo; return the outputs.
+
+        Where ``reuse_mask`` is True the memoized value stands (the full
+        evaluation is logically skipped); elsewhere ``fresh`` replaces it.
+        The returned array is the live buffer — valid until the next
+        :meth:`substitute`/:meth:`begin_sequence`, which matches the
+        one-timestep lifetime of gate pre-activations.
+        """
+        if self._fresh:
+            self.values[...] = fresh
+            self._fresh = False
+        else:
+            np.copyto(self.values, fresh, where=~reuse_mask)
+        return self.values

@@ -15,15 +15,25 @@ Three predictors are implemented:
   introduction: reuse when the gate's *input* changed little.  It ignores
   the weights, which is exactly why the paper rejects it.
 
-All predictors share the same stepping contract so the memoized layers
-can swap them freely.
+The core contract is :meth:`GatePredictor.predict_many`: one vectorized
+call covering every neuron of a gate phase (and every sequence in the
+batch) that returns a boolean reuse mask.  The engine feeds it
+pre-packed uint64 sign words (for the BNN), the raw operand (for the
+input-similarity strawman) or the current/memoized pre-activations (for
+the oracle); predictors own only their *decision* state, while the memo
+tables live with the engine (:class:`repro.core.memo.MemoTable`).
+
+The single-row :meth:`GatePredictor.predict` and the legacy
+:meth:`GatePredictor.step` closure interface remain as thin wrappers
+around ``predict_many`` so existing call sites keep working; both are
+deprecated in favour of the batched call.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, FrozenSet, Optional
 
 import numpy as np
 
@@ -53,15 +63,96 @@ class StepDecision:
 
 
 class GatePredictor(ABC):
-    """Per-gate memoization state machine."""
+    """Reuse decision-maker for one gate (or one stacked gate phase).
 
-    @abstractmethod
+    Subclasses implement :meth:`predict_many` — the vectorized contract —
+    and declare in ``REQUIRES`` which inputs they consume so callers only
+    materialise what is needed:
+
+    - ``"packed"``: uint64-packed sign words of the operand ``[x ; h]``
+      (see :func:`repro.core.binarization.pack_signs`),
+    - ``"operand"``: the raw concatenated operand itself.
+
+    The true pre-activations (``preacts``) and the engine-held memo
+    (``memo``) are always offered; only the oracle may base its decision
+    on them.
+    """
+
+    #: Which operand forms :meth:`predict_many` consumes.
+    REQUIRES: FrozenSet[str] = frozenset()
+
+    theta: float
+
+    _memo: Optional[Array] = None
+
     def begin_sequence(self, batch: int) -> None:
         """Reset all memoization state for a new batch of sequences."""
+        self._memo = None
+        self._reset(batch)
+
+    def _reset(self, batch: int) -> None:
+        """Clear subclass decision state; default no-op."""
 
     @abstractmethod
+    def predict_many(
+        self,
+        packed_signs: Optional[Array] = None,
+        *,
+        preacts: Optional[Array] = None,
+        operand: Optional[Array] = None,
+        memo: Optional[Array] = None,
+    ) -> Array:
+        """Vectorized reuse decision for one timestep.
+
+        Args:
+            packed_signs: ``(B, W)`` uint64 sign words of the operand —
+                required iff ``"packed" in REQUIRES`` (the BNN falls back
+                to ``operand`` when absent).
+            preacts: the true pre-activations ``(B, N)``.  Practical
+                predictors must ignore it; the oracle thresholds on it.
+            operand: the raw concatenated operand ``(B, D)`` — required
+                iff ``"operand" in REQUIRES``.
+            memo: the engine-held memoized pre-activations, or ``None``
+                on the first timestep of a sequence.
+
+        Returns:
+            Boolean reuse mask ``(B, N)``; all-False on the first call
+            after :meth:`begin_sequence` (nothing is memoized yet).
+        """
+
+    def predict(
+        self,
+        packed_signs: Optional[Array] = None,
+        *,
+        preacts: Optional[Array] = None,
+        operand: Optional[Array] = None,
+        memo: Optional[Array] = None,
+    ) -> Array:
+        """Single-row convenience wrapper around :meth:`predict_many`.
+
+        .. deprecated:: PR6
+            Kept for scalar call sites and tests; new code should batch
+            decisions through :meth:`predict_many`.
+        """
+
+        def lift(a: Optional[Array]) -> Optional[Array]:
+            return None if a is None else np.asarray(a)[None, ...]
+
+        mask = self.predict_many(
+            lift(packed_signs),
+            preacts=lift(preacts),
+            operand=lift(operand),
+            memo=lift(memo),
+        )
+        return mask[0]
+
     def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
-        """Decide reuse for one timestep.
+        """Legacy closure interface: decide reuse for one gate timestep.
+
+        .. deprecated:: PR6
+            The scalar reference path.  It owns a private memo (the
+            vectorized engine keeps memo tables outside the predictor)
+            and is bitwise identical to the batched path.
 
         Args:
             x: the gate's forward operand ``(B, E)``.
@@ -72,6 +163,17 @@ class GatePredictor(ABC):
                 but a predictor must treat its result as unavailable when
                 deciding — only the oracle may peek.
         """
+        y_t = compute_full()
+        operand = None
+        if self.REQUIRES:
+            operand = np.concatenate([np.asarray(x), np.asarray(h)], axis=-1)
+        mask = self.predict_many(operand=operand, preacts=y_t, memo=self._memo)
+        if self._memo is None:
+            self._memo = y_t.copy()
+            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+        outputs = np.where(mask, self._memo, y_t)
+        self._memo = outputs
+        return StepDecision(outputs, mask)
 
 
 class OracleGatePredictor(GatePredictor):
@@ -79,29 +181,30 @@ class OracleGatePredictor(GatePredictor):
 
     ``delta = |(y_t - y_m) / y_t|``; reuse keeps ``y_m`` unchanged, a full
     evaluation replaces it (Equations 9-11).  No accumulation is applied —
-    the oracle already sees the true drift.
+    the oracle already sees the true drift.  Stateless beyond the memo:
+    the decision is a pure function of ``(preacts, memo)``.
     """
 
     def __init__(self, theta: float):
         if theta < 0:
             raise ValueError("theta must be non-negative")
         self.theta = theta
-        self._y_m: Optional[Array] = None
 
-    def begin_sequence(self, batch: int) -> None:
-        self._y_m = None
-
-    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
-        y_t = compute_full()
-        if self._y_m is None:
-            self._y_m = y_t.copy()
-            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
-        denom = np.maximum(np.abs(y_t), _DENOM_FLOOR)
-        delta = np.abs(y_t - self._y_m) / denom
-        reuse = delta <= self.theta
-        outputs = np.where(reuse, self._y_m, y_t)
-        self._y_m = np.where(reuse, self._y_m, y_t)
-        return StepDecision(outputs, reuse)
+    def predict_many(
+        self,
+        packed_signs: Optional[Array] = None,
+        *,
+        preacts: Optional[Array] = None,
+        operand: Optional[Array] = None,
+        memo: Optional[Array] = None,
+    ) -> Array:
+        if preacts is None:
+            raise ValueError("oracle prediction requires the true preacts")
+        if memo is None:
+            return np.zeros(preacts.shape, dtype=bool)
+        denom = np.maximum(np.abs(preacts), _DENOM_FLOOR)
+        delta = np.abs(preacts - memo) / denom
+        return delta <= self.theta
 
 
 class BNNGatePredictor(GatePredictor):
@@ -109,12 +212,18 @@ class BNNGatePredictor(GatePredictor):
 
     State per neuron (Equations 12-17):
 
-    - ``y_m``  — memoized full-precision pre-activation,
     - ``y_b_m`` — memoized binary output (updated only on full evals),
     - ``delta`` — accumulated relative binary change since the last full
       evaluation.  With ``throttle=False`` the accumulator is replaced by
       the instantaneous ``epsilon`` (the ablation of Figure 11).
+
+    The vectorized fast path feeds :meth:`predict_many` pre-packed uint64
+    sign words so the binary mirror is a XNOR/popcount over whole gate
+    phases; the legacy path reuses the mirror's matmul or packed kernel
+    per :class:`repro.core.bnn.BinaryGate` configuration.
     """
+
+    REQUIRES = frozenset({"packed"})
 
     def __init__(
         self,
@@ -127,44 +236,55 @@ class BNNGatePredictor(GatePredictor):
         self.gate = binary_gate
         self.theta = theta
         self.throttle = throttle
-        self._y_m: Optional[Array] = None
         self._y_b_m: Optional[Array] = None
         self._delta: Optional[Array] = None
+        self._scratch: Optional[Array] = None
 
-    def begin_sequence(self, batch: int) -> None:
-        self._y_m = None
+    def _reset(self, batch: int) -> None:
         self._y_b_m = None
         self._delta = None
+        self._scratch = None
 
-    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
-        y_b = self.gate.evaluate(x, h).astype(np.float64)
-        if self._y_m is None:
-            y_t = compute_full()
-            self._y_m = y_t.copy()
-            self._y_b_m = y_b.copy()
-            self._delta = np.zeros_like(y_b)
-            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+    def predict_many(
+        self,
+        packed_signs: Optional[Array] = None,
+        *,
+        preacts: Optional[Array] = None,
+        operand: Optional[Array] = None,
+        memo: Optional[Array] = None,
+    ) -> Array:
+        if packed_signs is not None:
+            y_b = self.gate.evaluate_packed(packed_signs)
+        elif operand is not None:
+            y_b = self.gate.evaluate_operand(operand)
+        else:
+            raise ValueError("BNN prediction requires packed signs or the operand")
+        if self._y_b_m is None:
+            self._y_b_m = y_b.astype(np.float64)
+            self._delta = np.zeros(y_b.shape)
+            self._scratch = np.empty(y_b.shape)
+            return np.zeros(y_b.shape, dtype=bool)
 
         # Eq. 12: relative difference between current and memoized binary
-        # outputs.  A zero binary output cannot be compared relatively;
-        # treat an exact match as zero change, anything else as "changed".
-        diff = np.abs(y_b - self._y_b_m)
-        denom = np.abs(y_b)
-        epsilon = np.where(
-            diff == 0.0, 0.0, diff / np.maximum(denom, 1.0)
-        )
+        # outputs.  The denominator is floored at 1 (binary outputs are
+        # integers), which also makes an exact match yield exactly zero
+        # change — a zero binary output cannot be compared relatively.
+        diff = np.subtract(y_b, self._y_b_m, out=self._scratch)
+        np.abs(diff, out=diff)
+        epsilon = diff / np.maximum(np.abs(y_b), 1)
         # Eq. 13: throttling accumulates epsilon across consecutive reuses.
-        delta_candidate = self._delta + epsilon if self.throttle else epsilon
+        if self.throttle:
+            delta_candidate = np.add(self._delta, epsilon, out=self._delta)
+        else:
+            delta_candidate = epsilon
         reuse = delta_candidate <= self.theta  # Eq. 14
-
-        y_t = compute_full()
-        outputs = np.where(reuse, self._y_m, y_t)
-        # Eq. 15-17: full evaluations refresh the memo and clear delta;
-        # reuses keep the memo and carry the accumulated delta.
-        self._y_m = np.where(reuse, self._y_m, y_t)
-        self._y_b_m = np.where(reuse, self._y_b_m, y_b)
-        self._delta = np.where(reuse, delta_candidate, 0.0)
-        return StepDecision(outputs, reuse)
+        fresh = ~reuse
+        # Eq. 15-17: full evaluations refresh the binary memo and clear
+        # delta; reuses keep the memo and carry the accumulated delta.
+        np.copyto(self._y_b_m, y_b, where=fresh)
+        if self.throttle:
+            np.copyto(self._delta, 0.0, where=fresh)
+        return reuse
 
 
 class InputSimilarityGatePredictor(GatePredictor):
@@ -178,6 +298,8 @@ class InputSimilarityGatePredictor(GatePredictor):
     worse than the BNN, which the ablation bench demonstrates.
     """
 
+    REQUIRES = frozenset({"operand"})
+
     def __init__(self, theta: float, neurons: int):
         if theta < 0:
             raise ValueError("theta must be non-negative")
@@ -185,27 +307,27 @@ class InputSimilarityGatePredictor(GatePredictor):
             raise ValueError("neurons must be positive")
         self.theta = theta
         self.neurons = neurons
-        self._y_m: Optional[Array] = None
         self._u_m: Optional[Array] = None
 
-    def begin_sequence(self, batch: int) -> None:
-        self._y_m = None
+    def _reset(self, batch: int) -> None:
         self._u_m = None
 
-    def step(self, x: Array, h: Array, compute_full: ComputeFull) -> StepDecision:
-        operand = np.concatenate([x, h], axis=-1)
-        if self._y_m is None:
-            y_t = compute_full()
-            self._y_m = y_t.copy()
+    def predict_many(
+        self,
+        packed_signs: Optional[Array] = None,
+        *,
+        preacts: Optional[Array] = None,
+        operand: Optional[Array] = None,
+        memo: Optional[Array] = None,
+    ) -> Array:
+        if operand is None:
+            raise ValueError("input-similarity prediction requires the operand")
+        if self._u_m is None:
             self._u_m = operand.copy()
-            return StepDecision(y_t, np.zeros(y_t.shape, dtype=bool))
+            return np.zeros((operand.shape[0], self.neurons), dtype=bool)
         num = np.abs(operand - self._u_m).sum(axis=-1)
         den = np.maximum(np.abs(operand).sum(axis=-1), _DENOM_FLOOR)
         change = num / den  # (B,)
         reuse_rows = change <= self.theta
-        reuse = np.repeat(reuse_rows[:, None], self.neurons, axis=1)
-        y_t = compute_full()
-        outputs = np.where(reuse, self._y_m, y_t)
-        self._y_m = np.where(reuse, self._y_m, y_t)
         self._u_m = np.where(reuse_rows[:, None], self._u_m, operand)
-        return StepDecision(outputs, reuse)
+        return np.repeat(reuse_rows[:, None], self.neurons, axis=1)

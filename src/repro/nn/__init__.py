@@ -16,6 +16,7 @@ from repro.nn.activations import (
     softmax,
     tanh,
 )
+from repro.nn.cells import GatedCell, GatePhase, MemoHook
 from repro.nn.embedding import Embedding
 from repro.nn.gru import GRUCell, GRULayer
 from repro.nn.initializers import orthogonal, uniform, xavier_uniform, zeros
@@ -28,7 +29,7 @@ from repro.nn.losses import (
 from repro.nn.lstm import LSTMCell, LSTMLayer
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, Optimizer
-from repro.nn.rnn import Bidirectional, RNNStack
+from repro.nn.rnn import Bidirectional, RNNCell, RNNLayer, RNNStack
 from repro.nn.serialization import load_state, save_state
 from repro.nn.trainer import Trainer, TrainingLog
 
@@ -39,12 +40,17 @@ __all__ = [
     "Embedding",
     "GRUCell",
     "GRULayer",
+    "GatePhase",
+    "GatedCell",
     "LSTMCell",
     "LSTMLayer",
     "Linear",
+    "MemoHook",
     "Module",
     "Optimizer",
     "Parameter",
+    "RNNCell",
+    "RNNLayer",
     "RNNStack",
     "SGD",
     "SequenceCrossEntropy",

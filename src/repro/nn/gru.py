@@ -1,10 +1,12 @@
 """GRU cell and sequence layer (paper Figure 3; Cho et al. 2014).
 
-Like :class:`repro.nn.lstm.LSTMCell`, the GRU exposes per-gate weights and
-a pre-activation hook so the memoization engine can substitute cached dot
-products.  The candidate gate's recurrent operand is ``r_t * h_{t-1}``,
-which is why ``gate_preacts`` is split in two stages (``z``/``r`` first,
-then ``g`` once the reset gate is known).
+Like :class:`repro.nn.lstm.LSTMCell`, the GRU is a
+:class:`~repro.nn.cells.GatedCell`.  The candidate gate's recurrent
+operand is ``r_t * h_{t-1}``, so the cell decomposes into *two* gate
+phases: ``z``/``r`` over ``(x_t, h_{t-1})`` first, then ``g`` over
+``(x_t, r_t * h_{t-1})`` once the reset gate is resolved.  The
+:class:`~repro.nn.cells.MemoHook` sees one batched pre-activation matrix
+per phase.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.activations import sigmoid, tanh
+from repro.nn.cells import GatedCell, GatePhase, MemoHook
 from repro.nn.initializers import orthogonal, xavier_uniform, zeros
 from repro.nn.module import Module, Parameter
 
@@ -23,7 +26,7 @@ Array = np.ndarray
 GRU_GATES: Tuple[str, ...] = ("z", "r", "g")
 
 
-class GRUCell(Module):
+class GRUCell(GatedCell):
     """A single GRU cell::
 
         z_t = sigmoid(W_zx x_t + W_zh h_{t-1} + b_z)
@@ -31,6 +34,13 @@ class GRUCell(Module):
         g_t = tanh   (W_gx x_t + W_gh (r_t * h_{t-1}) + b_g)
         h_t = (1 - z_t) * h_{t-1} + z_t * g_t
     """
+
+    GATES = GRU_GATES
+    #: z/r share (x, h_prev); the candidate sees the reset-gated state.
+    PHASES = (
+        GatePhase(0, ("z", "r"), "h_prev"),
+        GatePhase(1, ("g",), "reset_h"),
+    )
 
     def __init__(
         self,
@@ -57,26 +67,14 @@ class GRUCell(Module):
             )
             setattr(self, f"b_{gate}", Parameter(zeros((hidden_size,))))
 
-    # -- weight access -------------------------------------------------------
-
-    def gate_weights(self, gate: str) -> Tuple[Array, Array, Array]:
-        """Return ``(W_x, W_h, b)`` for ``gate`` in ``{'z','r','g'}``."""
-        if gate not in GRU_GATES:
-            raise KeyError(f"unknown GRU gate {gate!r}")
-        return (
-            getattr(self, f"w_{gate}x").value,
-            getattr(self, f"w_{gate}h").value,
-            getattr(self, f"b_{gate}").value,
-        )
-
-    @property
-    def gate_names(self) -> Tuple[str, ...]:
-        return GRU_GATES
-
     # -- forward -------------------------------------------------------------
 
     def zr_preacts(self, x: Array, h_prev: Array) -> Dict[str, Array]:
-        """Matmul pre-activations for the update and reset gates."""
+        """Matmul pre-activations for the update and reset gates.
+
+        Legacy dict view of phase 0 — the batched equivalent is
+        :meth:`~repro.nn.cells.GatedCell.phase_preacts`.
+        """
         pre = {}
         for gate in ("z", "r"):
             w_x, w_h, _ = self.gate_weights(gate)
@@ -119,6 +117,34 @@ class GRUCell(Module):
             "reset_h": reset_h,
         }
         return h, cache
+
+    def step_hooked(
+        self,
+        x: Array,
+        state: Array,
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Array]:
+        """One inference timestep over stacked pre-activation buffers.
+
+        Phase 0 offers the ``(B, 2H)`` z/r matrix to ``hook``, the reset
+        gate is resolved, then phase 1 offers the ``(B, H)`` candidate
+        matrix (whose recurrent operand is ``r_t * h_{t-1}``).  Bitwise
+        identical to the legacy dict path.
+        """
+        h_prev = state
+        hidden = self.hidden_size
+        pre_zr = self.phase_preacts(self.PHASES[0].gates, x, h_prev)
+        if hook is not None:
+            pre_zr = hook.on_gates(self, self.PHASES[0], x, h_prev, pre_zr)
+        z = sigmoid(pre_zr[:, :hidden] + self.b_z.value)
+        r = sigmoid(pre_zr[:, hidden:] + self.b_r.value)
+        reset_h = r * h_prev
+        pre_g = self.phase_preacts(self.PHASES[1].gates, x, reset_h)
+        if hook is not None:
+            pre_g = hook.on_gates(self, self.PHASES[1], x, reset_h, pre_g)
+        g = tanh(pre_g + self.b_g.value)
+        h = (1.0 - z) * h_prev + z * g
+        return h, h
 
     def backward_step(self, d_h: Array, cache: dict) -> Tuple[Array, Array]:
         """Backward through one timestep -> ``(d_x, d_h_prev)``."""
@@ -192,10 +218,18 @@ class GRULayer(Module):
         """Fresh hidden state for a new sequence."""
         return np.zeros((batch, self.hidden_size))
 
-    def step(self, x_t: Array, state: Array) -> Tuple[Array, Array]:
-        """One inference step; returns ``(h_t, new_state)``."""
-        h, _ = self.cell.step(x_t, state)
-        return h, h
+    def step(
+        self,
+        x_t: Array,
+        state: Array,
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Array]:
+        """One inference step; returns ``(h_t, new_state)``.
+
+        Routes through the cell's stacked-buffer path (bitwise identical
+        to the legacy dict path); ``hook`` is the memoization seam.
+        """
+        return self.cell.step_hooked(x_t, state, hook=hook)
 
     def backward(self, grad_out: Array) -> Array:
         if not self._caches:

@@ -1,8 +1,11 @@
 """Peephole LSTM cell and sequence layer (paper Figure 4, Equations 1-6).
 
-The cell exposes its per-gate weight matrices and a ``gate_preacts`` hook
-so :mod:`repro.core` can intercept exactly the dot products the paper's
-memoization scheme skips: for each gate, the expensive part of a neuron is
+The cell is a :class:`~repro.nn.cells.GatedCell`: it exposes its gate
+order (``GATES``), a single-phase decomposition (``PHASES``) and a
+``step_hooked`` timestep that offers the whole batched pre-activation
+matrix to a :class:`~repro.nn.cells.MemoHook`, so :mod:`repro.core` can
+intercept exactly the dot products the paper's memoization scheme skips:
+for each gate, the expensive part of a neuron is
 ``W_x @ x_t + W_h @ h_{t-1}``; bias, peephole and activation are applied
 afterwards by the (cheap) multi-functional unit.
 """
@@ -14,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.activations import sigmoid, tanh
+from repro.nn.cells import GatedCell, GatePhase, MemoHook
 from repro.nn.initializers import orthogonal, xavier_uniform, zeros
 from repro.nn.module import Module, Parameter
 
@@ -23,7 +27,7 @@ Array = np.ndarray
 LSTM_GATES: Tuple[str, ...] = ("i", "f", "g", "o")
 
 
-class LSTMCell(Module):
+class LSTMCell(GatedCell):
     """A single LSTM cell with optional peephole connections.
 
     Computations follow the paper exactly::
@@ -35,6 +39,10 @@ class LSTMCell(Module):
         o_t = sigmoid(W_ox x_t + W_oh h_{t-1} + p_o * c_t   + b_o)
         h_t = o_t * tanh(c_t)
     """
+
+    GATES = LSTM_GATES
+    #: All four gates share the (x_t, h_{t-1}) operand: one phase.
+    PHASES = (GatePhase(0, LSTM_GATES, "h_prev"),)
 
     def __init__(
         self,
@@ -70,29 +78,14 @@ class LSTMCell(Module):
             for gate in ("i", "f", "o"):
                 setattr(self, f"p_{gate}", Parameter(zeros((hidden_size,))))
 
-    # -- weight access -------------------------------------------------------
-
-    def gate_weights(self, gate: str) -> Tuple[Array, Array, Array]:
-        """Return ``(W_x, W_h, b)`` for ``gate`` in ``{'i','f','g','o'}``."""
-        if gate not in LSTM_GATES:
-            raise KeyError(f"unknown LSTM gate {gate!r}")
-        return (
-            getattr(self, f"w_{gate}x").value,
-            getattr(self, f"w_{gate}h").value,
-            getattr(self, f"b_{gate}").value,
-        )
-
-    @property
-    def gate_names(self) -> Tuple[str, ...]:
-        return LSTM_GATES
-
     # -- forward -------------------------------------------------------------
 
     def gate_preacts(self, x: Array, h_prev: Array) -> Dict[str, Array]:
         """The four matmul results ``W_x x + W_h h`` (no bias/peephole).
 
-        These are exactly the values the memoization scheme caches and
-        reuses; everything downstream of them is recomputed every step.
+        Legacy dict view of the single phase's pre-activations — the
+        batched equivalent is :meth:`~repro.nn.cells.GatedCell.phase_preacts`,
+        which :meth:`step_hooked` feeds to the :class:`MemoHook`.
         """
         pre = {}
         for gate in LSTM_GATES:
@@ -111,7 +104,7 @@ class LSTMCell(Module):
 
         Args:
             preacts: optional substitute for the gate matmul results — the
-                hook used by the memoization engine.
+                legacy per-gate hook (the engine now uses ``step_hooked``).
 
         Returns:
             ``(h_t, c_t, cache)`` where ``cache`` holds everything the
@@ -119,17 +112,67 @@ class LSTMCell(Module):
         """
         if preacts is None:
             preacts = self.gate_preacts(x, h_prev)
+        return self._apply_gates(
+            x,
+            h_prev,
+            c_prev,
+            preacts["i"],
+            preacts["f"],
+            preacts["g"],
+            preacts["o"],
+        )
 
-        a_i = preacts["i"] + self.b_i.value
-        a_f = preacts["f"] + self.b_f.value
+    def step_hooked(
+        self,
+        x: Array,
+        state: Tuple[Array, Array],
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Tuple[Array, Array]]:
+        """One inference timestep over the stacked pre-activation buffer.
+
+        Computes every gate's GEMM pair into one contiguous ``(B, 4H)``
+        matrix, offers it to ``hook`` (the memoization seam), then applies
+        the identical gate math as :meth:`step` — bitwise equal to the
+        legacy path with or without a hook that substitutes values the
+        way the engine does.
+        """
+        h_prev, c_prev = state
+        pre = self.phase_preacts(self.GATES, x, h_prev)
+        if hook is not None:
+            pre = hook.on_gates(self, self.PHASES[0], x, h_prev, pre)
+        hidden = self.hidden_size
+        h, c, _ = self._apply_gates(
+            x,
+            h_prev,
+            c_prev,
+            pre[:, :hidden],
+            pre[:, hidden : 2 * hidden],
+            pre[:, 2 * hidden : 3 * hidden],
+            pre[:, 3 * hidden :],
+        )
+        return h, (h, c)
+
+    def _apply_gates(
+        self,
+        x: Array,
+        h_prev: Array,
+        c_prev: Array,
+        pre_i: Array,
+        pre_f: Array,
+        pre_g: Array,
+        pre_o: Array,
+    ) -> Tuple[Array, Array, dict]:
+        """Bias/peephole/activation math shared by ``step``/``step_hooked``."""
+        a_i = pre_i + self.b_i.value
+        a_f = pre_f + self.b_f.value
         if self.peephole:
             a_i = a_i + self.p_i.value * c_prev
             a_f = a_f + self.p_f.value * c_prev
         i = sigmoid(a_i)
         f = sigmoid(a_f)
-        g = tanh(preacts["g"] + self.b_g.value)
+        g = tanh(pre_g + self.b_g.value)
         c = f * c_prev + i * g
-        a_o = preacts["o"] + self.b_o.value
+        a_o = pre_o + self.b_o.value
         if self.peephole:
             a_o = a_o + self.p_o.value * c
         o = sigmoid(a_o)
@@ -248,11 +291,19 @@ class LSTMLayer(Module):
             np.zeros((batch, self.hidden_size)),
         )
 
-    def step(self, x_t: Array, state: Tuple[Array, Array]) -> Tuple[Array, Tuple]:
-        """One inference step; returns ``(h_t, new_state)``."""
-        h, c = state
-        h, c, _ = self.cell.step(x_t, h, c)
-        return h, (h, c)
+    def step(
+        self,
+        x_t: Array,
+        state: Tuple[Array, Array],
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Tuple]:
+        """One inference step; returns ``(h_t, new_state)``.
+
+        Routes through the cell's stacked-buffer path (bitwise identical
+        to the legacy per-gate dict path); ``hook`` is the memoization
+        seam.
+        """
+        return self.cell.step_hooked(x_t, state, hook=hook)
 
     def backward(self, grad_out: Array) -> Array:
         """BPTT over the cached sequence; returns ``dL/dx`` (B, T, E)."""

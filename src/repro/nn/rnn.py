@@ -1,23 +1,164 @@
-"""Deep and bidirectional RNN composition.
+"""Vanilla (Elman) RNN cell plus deep and bidirectional composition.
 
 The paper's benchmark networks range from a single LSTM layer (IMDB) to a
 10-layer bidirectional LSTM (EESEN); these wrappers compose the cell
-layers from :mod:`repro.nn.lstm` / :mod:`repro.nn.gru` into those shapes
-while keeping every underlying cell reachable for the memoization engine.
+layers from :mod:`repro.nn.lstm` / :mod:`repro.nn.gru` /
+:class:`RNNLayer` into those shapes while keeping every underlying cell
+reachable for the memoization engine.
+
+:class:`RNNCell` is the smallest :class:`~repro.nn.cells.GatedCell`: a
+single tanh "gate" named ``h`` in one phase — useful both as a network
+building block and as the minimal exercise of the ``MemoHook`` seam.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.activations import tanh
+from repro.nn.cells import GatedCell, GatePhase, MemoHook
 from repro.nn.gru import GRULayer
+from repro.nn.initializers import orthogonal, xavier_uniform, zeros
 from repro.nn.lstm import LSTMLayer
-from repro.nn.module import Module
+from repro.nn.module import Module, Parameter
 
 Array = np.ndarray
-RecurrentLayer = Union[LSTMLayer, GRULayer]
+
+#: The Elman cell has a single gate, named after its output.
+RNN_GATES: Tuple[str, ...] = ("h",)
+
+
+class RNNCell(GatedCell):
+    """A single Elman RNN cell::
+
+        h_t = tanh(W_hx x_t + W_hh h_{t-1} + b_h)
+    """
+
+    GATES = RNN_GATES
+    PHASES = (GatePhase(0, RNN_GATES, "h_prev"),)
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_hx = Parameter(xavier_uniform((hidden_size, input_size), rng))
+        self.w_hh = Parameter(orthogonal((hidden_size, hidden_size), rng))
+        self.b_h = Parameter(zeros((hidden_size,)))
+
+    # -- forward -------------------------------------------------------------
+
+    def gate_preacts(self, x: Array, h_prev: Array) -> Dict[str, Array]:
+        """Legacy dict view of the single gate's pre-activation."""
+        return {"h": x @ self.w_hx.value.T + h_prev @ self.w_hh.value.T}
+
+    def step(
+        self,
+        x: Array,
+        h_prev: Array,
+        preacts: Optional[Dict[str, Array]] = None,
+    ) -> Tuple[Array, dict]:
+        """One timestep; returns ``(h_t, cache)``."""
+        if preacts is None:
+            preacts = self.gate_preacts(x, h_prev)
+        h = tanh(preacts["h"] + self.b_h.value)
+        cache = {"x": x, "h_prev": h_prev, "h": h}
+        return h, cache
+
+    def step_hooked(
+        self,
+        x: Array,
+        state: Array,
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Array]:
+        """One inference timestep over the stacked (single-gate) buffer."""
+        h_prev = state
+        pre = self.phase_preacts(self.GATES, x, h_prev)
+        if hook is not None:
+            pre = hook.on_gates(self, self.PHASES[0], x, h_prev, pre)
+        h = tanh(pre + self.b_h.value)
+        return h, h
+
+    def backward_step(self, d_h: Array, cache: dict) -> Tuple[Array, Array]:
+        """Backward through one timestep -> ``(d_x, d_h_prev)``."""
+        x, h_prev, h = cache["x"], cache["h_prev"], cache["h"]
+        d_a = d_h * (1.0 - h * h)
+        self.w_hx.grad += d_a.T @ x
+        self.w_hh.grad += d_a.T @ h_prev
+        self.b_h.grad += d_a.sum(axis=0)
+        return d_a @ self.w_hx.value, d_a @ self.w_hh.value
+
+
+class RNNLayer(Module):
+    """Runs an :class:`RNNCell` over a batch of sequences (B, T, E)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.cell = RNNCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self._caches: List[dict] = []
+
+    def forward(self, x: Array, h0: Optional[Array] = None) -> Array:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, E) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else np.zeros((batch, self.hidden_size))
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, cache = self.cell.step(x[:, t, :], h)
+            self._caches.append(cache)
+            outputs[:, t, :] = h
+        return outputs
+
+    __call__ = forward
+
+    # -- stepping interface (inference-time) ---------------------------------
+
+    def start_state(self, batch: int) -> Array:
+        """Fresh hidden state for a new sequence."""
+        return np.zeros((batch, self.hidden_size))
+
+    def step(
+        self,
+        x_t: Array,
+        state: Array,
+        hook: Optional[MemoHook] = None,
+    ) -> Tuple[Array, Array]:
+        """One inference step; returns ``(h_t, new_state)``."""
+        return self.cell.step_hooked(x_t, state, hook=hook)
+
+    def backward(self, grad_out: Array) -> Array:
+        if not self._caches:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        steps = len(self._caches)
+        d_h = np.zeros((batch, self.hidden_size))
+        d_x = np.empty((batch, steps, self.input_size))
+        for t in reversed(range(steps)):
+            d_h_total = d_h + grad_out[:, t, :]
+            d_x_t, d_h = self.cell.backward_step(d_h_total, self._caches[t])
+            d_x[:, t, :] = d_x_t
+        return d_x
+
+
+RecurrentLayer = Union[LSTMLayer, GRULayer, RNNLayer]
 
 
 class Bidirectional(Module):
@@ -65,6 +206,19 @@ class Bidirectional(Module):
         return cls(
             GRULayer(input_size, hidden_size, rng=rng),
             GRULayer(input_size, hidden_size, rng=rng),
+        )
+
+    @classmethod
+    def rnn(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Bidirectional":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return cls(
+            RNNLayer(input_size, hidden_size, rng=rng),
+            RNNLayer(input_size, hidden_size, rng=rng),
         )
 
     def forward(self, x: Array) -> Array:

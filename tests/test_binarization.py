@@ -83,14 +83,63 @@ class TestPackedPath:
         np.testing.assert_array_equal(reference, packed)
 
     def test_padding_cancels(self):
-        """Non-multiple-of-8 widths must not corrupt the dot product."""
+        """Non-multiple-of-64 widths must not corrupt the dot product."""
         w = np.ones((1, 3))
         x = np.ones(3)
         assert binary_dot_packed(pack_signs(w), pack_signs(x), 3)[0] == 3
 
+    def test_packed_words_are_uint64(self):
+        packed = pack_signs(np.ones((2, 70)))
+        assert packed.dtype == np.uint64
+        assert packed.shape == (2, 2)  # 70 bits -> two 64-bit words
+
+    @pytest.mark.parametrize("n_bits", [1, 63, 64, 65, 127, 128, 129, 200])
+    def test_word_boundary_widths(self, n_bits):
+        """Widths straddling 64-bit word boundaries stay bit-exact."""
+        rng = np.random.default_rng(n_bits)
+        w = rng.standard_normal((7, n_bits))
+        x = rng.standard_normal((3, n_bits))
+        reference = binary_dot(binarize(w), binarize(x))
+        packed = binary_dot_packed(pack_signs(w), pack_signs(x), n_bits)
+        np.testing.assert_array_equal(reference, packed)
+
+
+class TestSignAgreement:
+    """The popcount correlation signal == the float ±1 dot product.
+
+    The vectorized predictor thresholds on the packed popcount output;
+    these properties pin it to the mathematical definition: the dot
+    product of the float-binarized sign vectors.
+    """
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_equals_float_dot(self, n_bits, neurons, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((neurons, n_bits))
+        x = rng.standard_normal((2, n_bits))
+        float_dot = binarize(x).astype(np.float64) @ binarize(w).astype(np.float64).T
+        packed = binary_dot_packed(pack_signs(w), pack_signs(x), n_bits)
+        np.testing.assert_array_equal(float_dot, packed.astype(np.float64))
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_self_agreement_is_full(self, n_bits):
+        """A sign vector dotted with itself yields exactly n_bits."""
+        rng = np.random.default_rng(n_bits)
+        v = rng.standard_normal((1, n_bits))
+        packed = pack_signs(v)
+        assert binary_dot_packed(packed, packed[0], n_bits)[0] == n_bits
+
 
 class TestPaddedBitLength:
-    @pytest.mark.parametrize("n,expected", [(1, 8), (8, 8), (9, 16), (2048, 2048)])
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 64), (64, 64), (65, 128), (2048, 2048)]
+    )
     def test_values(self, n, expected):
         assert padded_bit_length(n) == expected
 

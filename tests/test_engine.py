@@ -174,3 +174,69 @@ class TestContextManager:
             ):
                 outs[packed] = stack(x)
         np.testing.assert_array_equal(outs[False], outs[True])
+
+
+class TestVectorizedFlag:
+    """`MemoizationScheme.vectorized` selects the engine path without
+    changing any result bit."""
+
+    def test_default_is_vectorized(self):
+        assert MemoizationScheme().vectorized is True
+
+    def test_flag_reaches_wrappers(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
+        stats = ReuseStats()
+        scheme = MemoizationScheme(vectorized=False)
+        replacements = apply_memoization(stack, scheme, stats)
+        try:
+            assert stack.layer0.vectorized is False
+        finally:
+            restore(replacements)
+
+    def test_mixed_stack_bitwise_equivalent(self, rng):
+        """Scalar and vectorized engines agree bitwise across a stack
+        mixing every wrappable layer type, outputs and reuse stats."""
+        from repro.nn.rnn import RNNLayer
+
+        x = smooth_inputs(rng, batch=3, steps=20)
+
+        def run(vectorized):
+            stack = RNNStack(
+                [
+                    LSTMLayer(5, 6, rng=np.random.default_rng(37)),
+                    GRULayer(6, 4, rng=np.random.default_rng(38)),
+                    RNNLayer(4, 5, rng=np.random.default_rng(39)),
+                    Bidirectional.lstm(5, 3, rng=np.random.default_rng(40)),
+                ]
+            )
+            stats = ReuseStats()
+            scheme = MemoizationScheme(theta=0.3, vectorized=vectorized)
+            with memoized(stack, scheme, stats):
+                out = stack(x)
+            return out, stats
+
+        vec_out, vec_stats = run(True)
+        sca_out, sca_stats = run(False)
+        np.testing.assert_array_equal(vec_out, sca_out)
+        assert vec_stats.reused == sca_stats.reused
+        assert vec_stats.total == sca_stats.total
+
+
+class TestZooEquivalence:
+    """Vectorized vs scalar engine on every zoo network: quality and
+    reuse must agree exactly (end-to-end, trained tiny models)."""
+
+    @pytest.mark.parametrize("name", ["imdb", "deepspeech2", "eesen", "mnmt"])
+    def test_vectorized_matches_scalar(self, name):
+        from dataclasses import replace
+
+        from repro.models.zoo import load_benchmark
+
+        benchmark = load_benchmark(name, scale="tiny")
+        scheme = MemoizationScheme(theta=0.3)
+        vectorized = benchmark.evaluate_memoized(scheme)
+        scalar = benchmark.evaluate_memoized(replace(scheme, vectorized=False))
+        assert vectorized.quality == scalar.quality
+        assert vectorized.reuse_fraction == scalar.reuse_fraction
+        assert vectorized.stats.reused == scalar.stats.reused
+        assert vectorized.stats.total == scalar.stats.total

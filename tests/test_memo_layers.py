@@ -1,13 +1,19 @@
-"""Tests for the memoized LSTM/GRU layer wrappers."""
+"""Tests for the memoized recurrent layer wrappers."""
 
 import numpy as np
 import pytest
 
 from repro.core.engine import MemoizationScheme
-from repro.core.layers import MemoizedGRULayer, MemoizedLSTMLayer, wrap_layer
+from repro.core.layers import (
+    MemoizedGRULayer,
+    MemoizedLSTMLayer,
+    MemoizedRecurrentLayer,
+    wrap_layer,
+)
 from repro.core.stats import ReuseStats
 from repro.nn.gru import GRULayer
 from repro.nn.lstm import LSTMLayer
+from repro.nn.rnn import RNNLayer
 
 
 @pytest.fixture
@@ -143,6 +149,77 @@ class TestMemoizedGRU:
         assert fractions[0] <= fractions[1] <= fractions[2]
 
 
+class TestMemoizedRNN:
+    def test_oracle_theta_zero_is_exact(self, rng):
+        layer = RNNLayer(6, 8, rng=rng)
+        x = smooth_inputs(rng)
+        reference = layer(x)
+        stats = ReuseStats()
+        wrapped = MemoizedRecurrentLayer(
+            layer, make_scheme("oracle", theta=0.0).make_predictor, stats
+        )
+        np.testing.assert_array_equal(wrapped(x), reference)
+
+    def test_records_single_gate(self, rng):
+        layer = RNNLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedRecurrentLayer(
+            layer, make_scheme().make_predictor, stats, name="R"
+        )
+        wrapped(smooth_inputs(rng))
+        assert set(stats.total) == {("R", "h")}
+
+    def test_bnn_sees_reuse_on_smooth_input(self, rng):
+        layer = RNNLayer(6, 8, rng=rng)
+        stats = ReuseStats()
+        wrapped = MemoizedRecurrentLayer(
+            layer, make_scheme("bnn", theta=0.3).make_predictor, stats
+        )
+        wrapped(smooth_inputs(rng))
+        assert stats.reuse_fraction() > 0.05
+
+
+def _run_wrapped(layer_type, rng_seed, vectorized, predictor, x):
+    layer = layer_type(6, 8, rng=np.random.default_rng(rng_seed))
+    stats = ReuseStats()
+    wrapped = MemoizedRecurrentLayer(
+        layer,
+        make_scheme(predictor, theta=0.3).make_predictor,
+        stats,
+        vectorized=vectorized,
+    )
+    return wrapped(x), stats
+
+
+class TestVectorizedScalarEquivalence:
+    """The batched fast path must be bitwise identical to the per-gate
+    scalar reference path, for every cell type and predictor."""
+
+    @pytest.mark.parametrize("layer_type", [LSTMLayer, GRULayer, RNNLayer])
+    @pytest.mark.parametrize("predictor", ["bnn", "oracle", "input"])
+    def test_outputs_and_stats_identical(self, rng, layer_type, predictor):
+        x = smooth_inputs(rng, batch=3, steps=25)
+        vec_out, vec_stats = _run_wrapped(layer_type, 31, True, predictor, x)
+        sca_out, sca_stats = _run_wrapped(layer_type, 31, False, predictor, x)
+        np.testing.assert_array_equal(vec_out, sca_out)
+        assert vec_stats.reused == sca_stats.reused
+        assert vec_stats.total == sca_stats.total
+
+    def test_throttle_ablation_also_equivalent(self, rng):
+        x = smooth_inputs(rng)
+
+        def run(vectorized):
+            layer = LSTMLayer(6, 8, rng=np.random.default_rng(31))
+            stats = ReuseStats()
+            scheme = MemoizationScheme(theta=0.3, throttle=False)
+            wrapped = MemoizedRecurrentLayer(
+                layer, scheme.make_predictor, stats, vectorized=vectorized
+            )
+            return wrapped(x)
+
+        np.testing.assert_array_equal(run(True), run(False))
+
+
 class TestWrapLayer:
     def test_dispatch(self, rng):
         stats = ReuseStats()
@@ -155,6 +232,19 @@ class TestWrapLayer:
             wrap_layer(GRULayer(4, 4, rng=rng), factory, stats, "b"),
             MemoizedGRULayer,
         )
+        assert isinstance(
+            wrap_layer(RNNLayer(4, 4, rng=rng), factory, stats, "c"),
+            MemoizedRecurrentLayer,
+        )
+
+    def test_vectorized_flag_propagates(self, rng):
+        factory = make_scheme().make_predictor
+        wrapped = wrap_layer(
+            LSTMLayer(4, 4, rng=rng), factory, ReuseStats(), "a", vectorized=False
+        )
+        assert wrapped.vectorized is False
+        default = wrap_layer(GRULayer(4, 4, rng=rng), factory, ReuseStats(), "b")
+        assert default.vectorized is True
 
     def test_unknown_type_raises(self):
         with pytest.raises(TypeError):

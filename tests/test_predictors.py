@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.binarization import pack_signs
 from repro.core.bnn import BinaryGate
 from repro.core.predictors import (
     BNNGatePredictor,
@@ -214,3 +215,104 @@ class TestInputSimilarity:
             InputSimilarityGatePredictor(theta=-1.0, neurons=3)
         with pytest.raises(ValueError):
             InputSimilarityGatePredictor(theta=0.1, neurons=0)
+
+
+class TestPredictMany:
+    """The vectorized contract shared by every predictor."""
+
+    def test_first_call_is_all_false(self, rng):
+        gate = make_gate(rng)
+        pred = BNNGatePredictor(gate, theta=100.0)
+        pred.begin_sequence(3)
+        operand = rng.standard_normal((3, 9))
+        mask = pred.predict_many(pack_signs(operand))
+        assert mask.shape == (3, 6)
+        assert mask.dtype == bool
+        assert not mask.any()
+
+    def test_bnn_packed_and_operand_paths_agree(self, rng):
+        """Feeding pre-packed sign words or the raw operand must walk the
+        predictor through the identical decision stream."""
+        operands = [rng.standard_normal((2, 9)) for _ in range(12)]
+
+        def run(packed):
+            gate = make_gate(np.random.default_rng(29))
+            pred = BNNGatePredictor(gate, theta=0.3)
+            pred.begin_sequence(2)
+            masks = []
+            for operand in operands:
+                if packed:
+                    masks.append(pred.predict_many(pack_signs(operand)))
+                else:
+                    masks.append(pred.predict_many(operand=operand))
+            return masks
+
+        for a, b in zip(run(True), run(False)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_bnn_requires_some_operand_form(self, rng):
+        pred = BNNGatePredictor(make_gate(rng), theta=0.3)
+        pred.begin_sequence(1)
+        with pytest.raises(ValueError, match="packed signs or the operand"):
+            pred.predict_many(preacts=np.ones((1, 6)))
+
+    def test_oracle_requires_preacts(self):
+        pred = OracleGatePredictor(theta=0.3)
+        pred.begin_sequence(1)
+        with pytest.raises(ValueError, match="preacts"):
+            pred.predict_many()
+
+    def test_input_similarity_requires_operand(self):
+        pred = InputSimilarityGatePredictor(theta=0.3, neurons=4)
+        pred.begin_sequence(1)
+        with pytest.raises(ValueError, match="operand"):
+            pred.predict_many()
+
+    def test_oracle_decision_is_pure_function_of_memo(self, rng):
+        """The oracle's predict_many consults only (preacts, memo)."""
+        pred = OracleGatePredictor(theta=0.5)
+        pred.begin_sequence(1)
+        memo = np.array([[1.0, 1.0]])
+        mask = pred.predict_many(preacts=np.array([[1.2, 3.0]]), memo=memo)
+        np.testing.assert_array_equal(mask, [[True, False]])
+        # No memo -> nothing to reuse.
+        assert not pred.predict_many(preacts=np.array([[1.2, 3.0]])).any()
+
+    def test_predict_wrapper_matches_predict_many_row(self, rng):
+        """The deprecated single-row predict() is predict_many on a
+        singleton batch."""
+        operands = [rng.standard_normal(9) for _ in range(8)]
+
+        def run(single):
+            gate = make_gate(np.random.default_rng(29))
+            pred = BNNGatePredictor(gate, theta=0.3)
+            pred.begin_sequence(1)
+            masks = []
+            for operand in operands:
+                if single:
+                    masks.append(pred.predict(operand=operand))
+                else:
+                    masks.append(pred.predict_many(operand=operand[None, :])[0])
+            return masks
+
+        for a, b in zip(run(True), run(False)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_throttle_state_carries_across_calls(self):
+        """Accumulated delta (Eq. 13) must survive between predict_many
+        calls and reset on begin_sequence."""
+        gate = BinaryGate(np.ones((1, 4)), np.ones((1, 4)))
+        pred = BNNGatePredictor(gate, theta=0.4)
+        base = np.ones((1, 8))  # binary output 8
+        drifted = base.copy()
+        drifted[0, 0] = -1.0  # binary output 6: epsilon = 2/6 vs memo 8
+        pred.begin_sequence(1)
+        pred.predict_many(operand=base)
+        first = pred.predict_many(operand=drifted)
+        second = pred.predict_many(operand=drifted)
+        # 1/3 <= 0.4 reuses; accumulated 2/3 > 0.4 forces the evaluation.
+        assert first[0, 0]
+        assert not second[0, 0]
+        pred.begin_sequence(1)
+        assert not pred.predict_many(operand=base).any()  # state was cleared
+        assert pred.predict_many(operand=base).all()

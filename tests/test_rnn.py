@@ -1,11 +1,12 @@
-"""Tests for bidirectional wrappers and deep RNN stacks."""
+"""Tests for the Elman RNN cell/layer, bidirectional wrappers and stacks."""
 
 import numpy as np
 import pytest
 
+from repro.nn.cells import GatePhase
 from repro.nn.gru import GRULayer
 from repro.nn.lstm import LSTMLayer
-from repro.nn.rnn import Bidirectional, RNNStack
+from repro.nn.rnn import RNN_GATES, Bidirectional, RNNCell, RNNLayer, RNNStack
 
 from helpers import assert_grad_close, numeric_grad
 
@@ -13,6 +14,126 @@ from helpers import assert_grad_close, numeric_grad
 @pytest.fixture
 def rng():
     return np.random.default_rng(13)
+
+
+class TestRNNCell:
+    def test_gate_and_phase_exports(self):
+        assert RNNCell.GATES == RNN_GATES == ("h",)
+        assert RNNCell.PHASES == (GatePhase(0, ("h",), "h_prev"),)
+
+    def test_step_shapes_and_bounds(self, rng):
+        cell = RNNCell(4, 3, rng=rng)
+        h, cache = cell.step(rng.standard_normal((2, 4)), np.zeros((2, 3)))
+        assert h.shape == (2, 3)
+        assert np.all(np.abs(h) <= 1.0)  # tanh-bounded
+        assert cache["h"] is h
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            RNNCell(0, 3)
+        with pytest.raises(ValueError):
+            RNNCell(3, -1)
+
+    def test_step_hooked_matches_step(self, rng):
+        """The hooked inference path is bitwise identical to the legacy
+        training-time step."""
+        cell = RNNCell(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        h_prev = rng.standard_normal((2, 3))
+        legacy, _ = cell.step(x, h_prev)
+        hooked, state = cell.step_hooked(x, h_prev)
+        np.testing.assert_array_equal(legacy, hooked)
+        np.testing.assert_array_equal(hooked, state)
+
+    def test_hook_sees_single_phase(self, rng):
+        cell = RNNCell(4, 3, rng=rng)
+        seen = []
+
+        class Observer:
+            def on_gates(self, cell, phase, x, h, preacts):
+                seen.append((phase, preacts.shape))
+                return preacts
+
+        cell.step_hooked(
+            rng.standard_normal((2, 4)), np.zeros((2, 3)), hook=Observer()
+        )
+        assert seen == [(cell.PHASES[0], (2, 3))]
+
+    def test_hook_substitution_changes_output(self, rng):
+        cell = RNNCell(4, 3, rng=rng)
+
+        class Zeroer:
+            def on_gates(self, cell, phase, x, h, preacts):
+                return np.zeros_like(preacts)
+
+        h, _ = cell.step_hooked(
+            rng.standard_normal((2, 4)), np.zeros((2, 3)), hook=Zeroer()
+        )
+        np.testing.assert_array_equal(h, np.tanh(np.zeros((2, 3)) + cell.b_h.value))
+
+
+class TestRNNLayer:
+    def test_forward_shape(self, rng):
+        layer = RNNLayer(4, 3, rng=rng)
+        assert layer(rng.standard_normal((2, 5, 4))).shape == (2, 5, 3)
+
+    def test_rejects_non_3d(self, rng):
+        with pytest.raises(ValueError):
+            RNNLayer(4, 3, rng=rng)(rng.standard_normal((5, 4)))
+
+    def test_step_interface_matches_forward(self, rng):
+        layer = RNNLayer(4, 3, rng=rng)
+        x = rng.standard_normal((2, 6, 4))
+        full = layer(x)
+        state = layer.start_state(2)
+        for t in range(6):
+            h, state = layer.step(x[:, t, :], state)
+            np.testing.assert_array_equal(full[:, t, :], h)
+
+    def test_gradient(self, rng):
+        layer = RNNLayer(3, 4, rng=rng)
+        x = rng.standard_normal((2, 5, 3))
+        probe = rng.standard_normal((2, 5, 4))
+
+        def loss(v):
+            return float(np.sum(layer.forward(v) * probe))
+
+        layer.forward(x)
+        analytic = layer.backward(probe)
+        assert_grad_close(analytic, numeric_grad(loss, x), rtol=1e-4, atol=1e-7)
+
+    def test_parameter_gradients(self, rng):
+        """Weight grads check out against numeric differentiation."""
+        layer = RNNLayer(3, 2, rng=rng)
+        x = rng.standard_normal((1, 4, 3))
+        probe = rng.standard_normal((1, 4, 2))
+        layer.forward(x)
+        layer.zero_grad()
+        layer.backward(probe)
+        for name, param in layer.named_parameters():
+            original = param.value.copy()
+
+            def loss(v, param=param, original=original):
+                param.value[...] = v
+                try:
+                    return float(np.sum(layer.forward(x) * probe))
+                finally:
+                    param.value[...] = original
+
+            numeric = numeric_grad(loss, original.copy())
+            assert_grad_close(param.grad, numeric, rtol=1e-3, atol=1e-6)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RNNLayer(3, 2, rng=rng).backward(np.zeros((1, 2, 2)))
+
+    def test_rnn_bidirectional_factory(self, rng):
+        bi = Bidirectional.rnn(4, 3, rng=rng)
+        assert bi(rng.standard_normal((1, 4, 4))).shape == (1, 4, 6)
+
+    def test_stacks_with_other_cells(self, rng):
+        stack = RNNStack([LSTMLayer(4, 5, rng=rng), RNNLayer(5, 3, rng=rng)])
+        assert stack(rng.standard_normal((2, 6, 4))).shape == (2, 6, 3)
 
 
 class TestBidirectional:
