@@ -10,6 +10,11 @@ Commands mirror the library's main entry points:
 - ``report``    — full markdown reproduction report.
 - ``worker``    — drain a work queue (shared directory or coordinator).
 - ``coordinator`` — serve a work queue over HTTP (no shared filesystem).
+- ``serve``     — online fuzzy-memoized inference over HTTP (one warm
+  model, live-retunable threshold).
+- ``loadgen``   — drive a running ``serve`` endpoint with deterministic
+  traffic; report latency percentiles and optionally verify served
+  predictions bitwise against the offline batch path.
 
 ``sweep``/``e2e``/``report`` take ``--backend
 {serial,process,queue,http}``: ``serial`` evaluates in-process,
@@ -25,6 +30,7 @@ byte-identical output.
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.accel.area import DEFAULT_AREA_MODEL
@@ -51,6 +57,14 @@ from repro.runner import (
     evaluate_task,
     make_backend,
     read_token_file,
+)
+from repro.serve import (
+    DEFAULT_SERVE_PORT,
+    InferenceServer,
+    ServeError,
+    ServeState,
+    parse_layer_thetas,
+    run_loadgen,
 )
 
 
@@ -325,6 +339,122 @@ def build_parser() -> argparse.ArgumentParser:
             "(strongly recommended off-loopback)"
         ),
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="online fuzzy-memoized inference over HTTP",
+        description=(
+            "Train (or load) one zoo network, wrap it with fuzzy "
+            "memoization once, and answer inference requests over HTTP "
+            "with the memo buffers warm across requests.  The reuse "
+            "threshold is retunable live (globally and per layer) via "
+            "PUT /api/v1/theta; /api/v1/metrics reports request "
+            "counters, a latency histogram and the running reuse rate.  "
+            "Pass --token-file to require `Authorization: Bearer` on "
+            "every request."
+        ),
+    )
+    serve.add_argument("network", choices=BENCHMARK_NAMES)
+    serve.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    serve.add_argument(
+        "--seed", type=int, default=0, help="benchmark seed (default: 0)"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVE_PORT,
+        help=f"listen port (default: {DEFAULT_SERVE_PORT}; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--token-file",
+        default=None,
+        metavar="FILE",
+        help="file holding the shared auth token clients must present",
+    )
+    serve.add_argument(
+        "--theta",
+        type=float,
+        default=0.05,
+        help="initial reuse threshold (default: 0.05)",
+    )
+    serve.add_argument(
+        "--predictor", choices=PREDICTOR_KINDS, default="bnn"
+    )
+    serve.add_argument("--no-throttle", action="store_true")
+    serve.add_argument(
+        "--layer-theta",
+        action="append",
+        default=[],
+        metavar="LAYER=THETA",
+        help=(
+            "per-layer threshold override (repeatable), e.g. "
+            "--layer-theta stack.layer0=0.1"
+        ),
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running `repro serve` endpoint; print a JSON summary",
+        description=(
+            "Send deterministic test-split traffic at a running server "
+            "and report client-side latency percentiles (p50/p95/p99), "
+            "throughput, and the server's reuse metrics.  With --verify, "
+            "train the same benchmark locally (bitwise the server's "
+            "weights) and diff every served prediction against the "
+            "offline batch path under the server's live scheme."
+        ),
+    )
+    loadgen.add_argument("network", choices=BENCHMARK_NAMES)
+    loadgen.add_argument(
+        "--url", required=True, help="server base URL (http://HOST:PORT)"
+    )
+    loadgen.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="benchmark seed (default: 0)"
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help="number of requests to send (default: 32)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="client threads (default: 4)",
+    )
+    loadgen.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="rows per request (default: 4)",
+    )
+    loadgen.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        help="PUT this threshold to the server before the run",
+    )
+    loadgen.add_argument(
+        "--token-file",
+        default=None,
+        metavar="FILE",
+        help="file holding the server's shared auth token",
+    )
+    loadgen.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "diff served predictions bitwise against the local offline "
+            "batch path (trains the benchmark locally first)"
+        ),
+    )
     return parser
 
 
@@ -490,6 +620,66 @@ def _cmd_coordinator(args) -> str:
     )
 
 
+def _cmd_serve(args) -> str:
+    token = _read_token(args)
+    try:
+        scheme = MemoizationScheme(
+            theta=args.theta,
+            predictor=args.predictor,
+            throttle=not args.no_throttle,
+            layer_thetas=parse_layer_thetas(args.layer_theta) or None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"loading {args.network} ({args.scale}, seed {args.seed}); "
+        "training if needed...",
+        flush=True,
+    )
+    bench = load_benchmark(args.network, scale=args.scale, seed=args.seed)
+    state = ServeState(bench, scheme)
+    server = InferenceServer(state, host=args.host, port=args.port, token=token)
+    auth = "token auth" if token else "NO auth -- trusted networks only"
+    print(
+        f"serving {args.network} at {server.url} (theta={scheme.theta}, "
+        f"predictor={scheme.predictor}, {auth}); Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return (
+        f"serve stopped; {state.infer_requests} inference request(s), "
+        f"{state.rows_served} row(s), "
+        f"{100.0 * state.stats.reuse_fraction():.1f}% reuse"
+    )
+
+
+def _cmd_loadgen(args) -> Tuple[str, int]:
+    try:
+        summary = run_loadgen(
+            args.url,
+            args.network,
+            scale=args.scale,
+            seed=args.seed,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            batch=args.batch,
+            token=_read_token(args),
+            verify=args.verify,
+            theta=args.theta,
+        )
+    except (ServeError, ValueError) as exc:
+        raise SystemExit(f"loadgen: {exc}")
+    failed = bool(summary["errors"]) or (
+        args.verify and summary["verify"]["mismatches"] > 0
+    )
+    return json.dumps(summary, indent=2), 1 if failed else 0
+
+
 def _cmd_area(args) -> str:
     del args
     model = DEFAULT_AREA_MODEL
@@ -508,6 +698,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "worker": _cmd_worker,
     "coordinator": _cmd_coordinator,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -146,25 +146,34 @@ def apply_memoization(
 
     Returns the replacement records needed by :func:`restore`.
 
+    The walk is atomic: if wrapping any layer fails (a bad per-layer
+    threshold, a predictor construction error), every layer already
+    swapped is restored before the exception propagates, so a failed
+    application never leaves the model half-memoized.
+
     Raises:
         ValueError: if the model contains no recurrent layers.
     """
     replacements: List[_Replacement] = []
-    for parent, attr, layer, dotted in _iter_recurrent_children(model):
-        layer_scheme = scheme.with_theta(scheme.theta_for(dotted))
-        wrapper = wrap_layer(
-            layer,
-            layer_scheme.make_predictor,
-            stats,
-            name=dotted,
-            vectorized=scheme.vectorized,
-        )
-        replacements.append(_Replacement(parent, attr, layer))
-        # The wrapper is not a Module; remove the child registration so
-        # parameter traversal still sees the original weights through the
-        # record we keep, then restore re-registers the layer.
-        del parent._children[attr]
-        object.__setattr__(parent, attr, wrapper)
+    try:
+        for parent, attr, layer, dotted in _iter_recurrent_children(model):
+            layer_scheme = scheme.with_theta(scheme.theta_for(dotted))
+            wrapper = wrap_layer(
+                layer,
+                layer_scheme.make_predictor,
+                stats,
+                name=dotted,
+                vectorized=scheme.vectorized,
+            )
+            replacements.append(_Replacement(parent, attr, layer))
+            # The wrapper is not a Module; remove the child registration so
+            # parameter traversal still sees the original weights through the
+            # record we keep, then restore re-registers the layer.
+            del parent._children[attr]
+            object.__setattr__(parent, attr, wrapper)
+    except Exception:
+        restore(replacements)
+        raise
     if not replacements:
         raise ValueError("model contains no recurrent layers to memoize")
     return replacements
@@ -174,6 +183,34 @@ def restore(replacements: List[_Replacement]) -> None:
     """Undo :func:`apply_memoization`."""
     for record in reversed(replacements):
         setattr(record.parent, record.attr, record.original)
+
+
+def swap_scheme(
+    model: Module,
+    replacements: List[_Replacement],
+    old_scheme: MemoizationScheme,
+    new_scheme: MemoizationScheme,
+    stats: ReuseStats,
+) -> List[_Replacement]:
+    """Atomically re-wrap a memoized ``model`` under ``new_scheme``.
+
+    The live-retuning primitive behind ``repro serve``'s theta endpoint:
+    ``model`` must currently be wrapped (``replacements`` from the
+    earlier :func:`apply_memoization` under ``old_scheme``).  On success
+    the fresh replacement records are returned *and* ``replacements`` is
+    updated in place, so the caller's handle stays valid either way.  If
+    wrapping under ``new_scheme`` fails, the model is re-wrapped under
+    ``old_scheme`` and the original exception re-raised — a failed
+    retune never leaves the model unwrapped or half-wrapped.
+    """
+    restore(replacements)
+    try:
+        fresh = apply_memoization(model, new_scheme, stats)
+    except Exception:
+        replacements[:] = apply_memoization(model, old_scheme, stats)
+        raise
+    replacements[:] = fresh
+    return replacements
 
 
 @contextmanager

@@ -58,7 +58,18 @@ class MemoTable:
         The returned array is the live buffer — valid until the next
         :meth:`substitute`/:meth:`begin_sequence`, which matches the
         one-timestep lifetime of gate pre-activations.
+
+        Raises:
+            RuntimeError: if :meth:`begin_sequence` has never been
+                called — the buffer does not exist yet, and failing
+                loudly beats the opaque ``NoneType`` item-assignment
+                error the raw buffer access would produce.
         """
+        if self.values is None:
+            raise RuntimeError(
+                "begin_sequence was not called: the memo table has no "
+                "buffer to substitute into"
+            )
         if self._fresh:
             self.values[...] = fresh
             self._fresh = False

@@ -31,6 +31,7 @@ deprecated in favour of the batched call.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Optional
@@ -134,6 +135,12 @@ class GatePredictor(ABC):
             Kept for scalar call sites and tests; new code should batch
             decisions through :meth:`predict_many`.
         """
+        warnings.warn(
+            "GatePredictor.predict is deprecated since PR6; batch "
+            "decisions through predict_many instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
         def lift(a: Optional[Array]) -> Optional[Array]:
             return None if a is None else np.asarray(a)[None, ...]
@@ -163,6 +170,12 @@ class GatePredictor(ABC):
                 but a predictor must treat its result as unavailable when
                 deciding — only the oracle may peek.
         """
+        warnings.warn(
+            "GatePredictor.step is deprecated since PR6; batch decisions "
+            "through predict_many instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         y_t = compute_full()
         operand = None
         if self.REQUIRES:

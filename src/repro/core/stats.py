@@ -9,6 +9,7 @@ between consecutive input elements.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
@@ -97,6 +98,51 @@ class ReuseStats:
             self.total[key] = self.total.get(key, 0) + count
         for key, count in other.reused.items():
             self.reused[key] = self.reused.get(key, 0) + count
+
+    def snapshot(self) -> "ReuseStats":
+        """A detached copy of the current counters.
+
+        The returned instance is a plain :class:`ReuseStats` whose dicts
+        share nothing with this one, so readers can aggregate at leisure
+        while recording continues.  On the thread-safe subclass the copy
+        is taken under the lock — an atomic, consistent view.
+        """
+        copy = ReuseStats()
+        copy.reused = dict(self.reused)
+        copy.total = dict(self.total)
+        return copy
+
+
+class ThreadSafeReuseStats(ReuseStats):
+    """A :class:`ReuseStats` safe to record into from many threads.
+
+    ``repro serve`` answers concurrent requests against one cumulative
+    stats instance; the base class's read-modify-write counter updates
+    would lose increments under that interleaving.  Every mutation and
+    the :meth:`snapshot` read are serialized on an internal lock.  The
+    lock is deliberately *not* part of the dataclass state: snapshots
+    and merges hand out plain :class:`ReuseStats` semantics.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._lock = threading.RLock()
+
+    def record(self, layer: str, gate: str, reuse_mask: Array) -> None:
+        with self._lock:
+            super().record(layer, gate, reuse_mask)
+
+    def merge(self, other: "ReuseStats") -> None:
+        with self._lock:
+            super().merge(other)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+    def snapshot(self) -> ReuseStats:
+        with self._lock:
+            return super().snapshot()
 
 
 class DetailedReuseStats(ReuseStats):

@@ -1,0 +1,300 @@
+"""Shared stdlib HTTP plumbing for repro's JSON-over-HTTP services.
+
+Two services speak the same dialect — the sweep coordinator
+(:mod:`repro.runner.transport.server`) and the online inference front
+end (:mod:`repro.serve.server`).  Everything they share lives here, so
+the wire hardening is written (and tested) once:
+
+- Bearer-token auth (constant-time compare) before any body is read.
+- Capped body reads: ``Content-Length`` is required on POST/PUT, never
+  trusted (400 on garbage, 411 when missing, 413 over the cap), and
+  gzip request bodies are streamed through a decompressor that enforces
+  the cap on the *decompressed* size — a tiny bomb cannot balloon in
+  memory.
+- Transparent gzip replies for clients that sent ``Accept-Encoding:
+  gzip`` (honouring ``q=0`` refusals), above a minimum size where the
+  compression round trip pays for itself.
+- A flat per-instance route table (``{path: {method: handler}}``, with
+  a ``(method, handler)`` tuple accepted as single-method shorthand),
+  request counting on known routes only, and error replies that close
+  the connection so unread bodies cannot desync a keep-alive socket.
+
+Handlers raise :class:`RequestError` to turn any condition into a clean
+HTTP error; everything else becomes a 500 without killing the server.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hmac
+import json
+import sys
+import threading
+import zlib
+from collections import Counter
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+#: Requests larger than this are rejected outright (a result payload
+#: for a bench-scale network is ~100 KB; 32 MB is absurd headroom).
+#: For gzip requests the limit applies to the *decompressed* size.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Replies smaller than this are sent identity-encoded even to gzip
+#: clients: below a packet's worth of JSON the compression round trip
+#: costs more than the bytes it saves.
+GZIP_MIN_BYTES = 1024
+
+#: ``X-Repro-Protocol`` value: 2 = batch endpoints + gzip both ways.
+PROTOCOL_VERSION = 2
+
+#: A single route: either ``{method: handler}`` or the single-method
+#: shorthand ``(method, handler)``.
+Handler = Callable[["JsonApiHandler", Dict[str, object]], Dict[str, object]]
+Route = Union[Tuple[str, Handler], Mapping[str, Handler]]
+
+
+def read_token_file(path: Union[str, Path]) -> str:
+    """The shared secret stored at ``path`` (stripped; must be non-empty)."""
+    token = Path(path).read_text(encoding="utf-8").strip()
+    if not token:
+        raise ValueError(f"token file {path} is empty")
+    return token
+
+
+class RequestError(Exception):
+    """An HTTP error response to send instead of a result body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def gunzip_capped(raw: bytes, limit: int) -> bytes:
+    """Decompress a gzip body, refusing to inflate past ``limit`` bytes.
+
+    Streaming decompression with ``max_length`` means a compression
+    bomb is cut off at the cap instead of ballooning in memory first.
+    """
+    decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
+    try:
+        body = decompressor.decompress(raw, limit + 1)
+    except zlib.error as exc:
+        raise RequestError(400, f"request body is not valid gzip: {exc}")
+    if len(body) > limit or decompressor.unconsumed_tail:
+        raise RequestError(413, f"decompressed body exceeds {limit} bytes")
+    if not decompressor.eof:
+        raise RequestError(400, "truncated gzip body")
+    return body
+
+
+class JsonApiHandler(BaseHTTPRequestHandler):
+    """Routes one request through the owning :class:`JsonApiServer`."""
+
+    server: "JsonApiServer"
+    protocol_version = "HTTP/1.1"  # keep-alive: clients call in a loop
+
+    # -- plumbing -----------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+    @staticmethod
+    def _methods(route: Route) -> Mapping[str, Handler]:
+        if isinstance(route, tuple):
+            method, handler = route
+            return {method: handler}
+        return route
+
+    def _dispatch(self, method: str) -> None:
+        if self.path in self.server.routes:
+            # Known endpoints only: the counter is keyed by client-sent
+            # paths, and counting arbitrary scanned URLs would grow it
+            # without bound over the server's lifetime.
+            self.server.count_request(self.path)
+        try:
+            if not self._authorized():
+                raise RequestError(401, "missing or bad bearer token")
+            route = self.server.routes.get(self.path)
+            if route is None:
+                raise RequestError(404, f"unknown endpoint {self.path}")
+            methods = self._methods(route)
+            handler = methods.get(method)
+            if handler is None:
+                allowed = "/".join(sorted(methods))
+                raise RequestError(405, f"{self.path} requires {allowed}")
+            body = self._read_body() if method != "GET" else {}
+            self._reply(200, handler(self, body))
+        except RequestError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except Exception as exc:  # never let a handler kill the server
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _authorized(self) -> bool:
+        token = self.server.token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization", "")
+        return hmac.compare_digest(header, f"Bearer {token}")
+
+    def _read_body(self) -> Dict[str, object]:
+        header = self.headers.get("Content-Length")
+        if header is None:
+            # Without a length we cannot know where this request's body
+            # ends on a keep-alive socket; demand one instead of
+            # guessing (411 Length Required).
+            raise RequestError(411, "POST requires a Content-Length header")
+        try:
+            length = int(header)
+        except (TypeError, ValueError):
+            raise RequestError(400, f"invalid Content-Length {header!r}")
+        if length < 0:
+            # rfile.read(-1) would block reading until EOF — on a
+            # keep-alive socket, forever.  Never trust the header.
+            raise RequestError(400, f"invalid Content-Length {header!r}")
+        if length > self.server.max_body_bytes:
+            raise RequestError(413, f"body of {length} bytes is too large")
+        raw = self.rfile.read(length) if length else b""
+        encoding = self.headers.get("Content-Encoding", "identity").lower()
+        if encoding == "gzip":
+            raw = gunzip_capped(raw, self.server.max_body_bytes)
+        elif encoding not in ("", "identity"):
+            raise RequestError(415, f"unsupported Content-Encoding {encoding!r}")
+        try:
+            body = json.loads(raw or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(400, f"request body is not JSON: {exc}")
+        if not isinstance(body, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        return body
+
+    def _accepts_gzip(self) -> bool:
+        """Whether the client accepts a gzip reply (q=0 is a refusal)."""
+        for token in self.headers.get("Accept-Encoding", "").split(","):
+            coding, _, params = token.partition(";")
+            if coding.strip().lower() != "gzip":
+                continue
+            name, _, value = params.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    return float(value.strip()) > 0
+                except ValueError:
+                    return False
+            return True
+        return False
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        content_encoding = None
+        if (
+            status < 400
+            and len(data) >= GZIP_MIN_BYTES
+            and self._accepts_gzip()
+        ):
+            data = gzip.compress(data, compresslevel=5)
+            content_encoding = "gzip"
+        if status >= 400:
+            # Error replies may be sent before the request body was
+            # read (auth failures, unknown endpoints); on a keep-alive
+            # connection the unread bytes would be parsed as the next
+            # request line, desyncing the socket — close it instead.
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Repro-Protocol", str(PROTOCOL_VERSION))
+        if content_encoding:
+            self.send_header("Content-Encoding", content_encoding)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        # Per-request access logging is noise at client poll/request
+        # rates; explicit event log lines are the useful signal.
+        pass
+
+    def _log_event(self, message: str) -> None:
+        self.server.log(message)
+
+
+class JsonApiServer(ThreadingHTTPServer):
+    """Threaded HTTP server shell: auth, routes, counters, lifecycle.
+
+    Args:
+        host / port: bind address; port ``0`` picks an ephemeral port
+            (``server_port`` / ``url`` report the actual one).
+        handler: the :class:`JsonApiHandler` subclass to dispatch to.
+        routes: the instance route table (a mutable copy is kept, so
+            tests can delete entries to impersonate older peers).
+        token: shared secret; ``None`` serves unauthenticated (loopback
+            testing).  Production deployments should always set one.
+        quiet: suppress event log lines (tests).
+        max_body_bytes: per-request body cap, applied to the
+            decompressed size for gzip requests.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    #: Prefix on event log lines; subclasses override.
+    log_name = "api"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        handler: type,
+        routes: Mapping[str, Route],
+        token: Optional[str] = None,
+        quiet: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
+        self.token = token
+        self.quiet = quiet
+        self.max_body_bytes = int(max_body_bytes)
+        #: The live route table — an instance copy, free to edit.
+        self.routes: Dict[str, Route] = dict(routes)
+        #: Requests served, by path — how the wire tests prove how many
+        #: round trips an operation costs.
+        self.request_counts: Counter = Counter()
+        self._log_lock = threading.Lock()
+        self._count_lock = threading.Lock()
+        super().__init__((host, port), handler)
+
+    def count_request(self, path: str) -> None:
+        with self._count_lock:
+            self.request_counts[path] += 1
+
+    @property
+    def url(self) -> str:
+        """The base URL clients should be pointed at."""
+        host, port = self.server_address[:2]
+        if host == "0.0.0.0":  # bound everywhere; loopback always works
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"
+
+    def log(self, message: str) -> None:
+        if self.quiet:
+            return
+        with self._log_lock:
+            print(f"[{self.log_name}] {message}", file=sys.stderr, flush=True)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests, embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Shut down the serve loop and release the listening socket."""
+        self.shutdown()
+        self.server_close()

@@ -40,77 +40,61 @@ sweep costs one round trip instead of ~3N (``results/get`` + ``failed``
 + ``lease`` per task); old clients that never call them keep working
 against the per-task endpoints.
 
-Compression: requests may arrive with ``Content-Encoding: gzip`` (the
-body is transparently decompressed, with :data:`MAX_BODY_BYTES`
-enforced on the *decompressed* size so a tiny bomb cannot balloon in
-memory), and replies to clients that sent ``Accept-Encoding: gzip``
-are gzip-compressed above :data:`GZIP_MIN_BYTES`.  Every reply carries
-``X-Repro-Protocol: 2`` so new clients know both facilities exist;
-old clients ignore the header and speak identity encoding.
-
-Authentication is a shared token (``--token-file``): every request must
-carry ``Authorization: Bearer <token>``; mismatches get 401 without
-touching the queue.  Concurrency needs no locks — the handler threads
-hit the same atomic-rename filesystem protocol that already arbitrates
-between whole *processes* on a shared mount.
+The generic HTTP machinery — Bearer-token auth, capped body reads,
+transparent gzip on requests and replies, route/counter bookkeeping —
+is shared with ``repro serve`` and lives in
+:mod:`repro.runner.transport.http_common`.  Queue concurrency needs no
+locks: the handler threads hit the same atomic-rename filesystem
+protocol that already arbitrates between whole *processes* on a shared
+mount.
 """
 
 from __future__ import annotations
 
-import gzip
-import hmac
 import json
-import sys
-import threading
-import zlib
-from collections import Counter
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.runner.queue import WorkQueue, lease_owner
+from repro.runner.transport.http_common import (
+    GZIP_MIN_BYTES,
+    MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    JsonApiHandler,
+    JsonApiServer,
+    RequestError,
+    gunzip_capped,
+    read_token_file,
+)
+
+__all__ = [
+    "CoordinatorServer",
+    "CoordinatorHandler",
+    "DEFAULT_COORDINATOR_PORT",
+    "MAX_BODY_BYTES",
+    "GZIP_MIN_BYTES",
+    "PROTOCOL_VERSION",
+    "MAX_BATCH_POLL_IDS",
+    "read_token_file",
+]
 
 #: Default coordinator port (``repro coordinator --port``).
 DEFAULT_COORDINATOR_PORT = 8642
-
-#: Requests larger than this are rejected outright (a result payload
-#: for a bench-scale network is ~100 KB; 32 MB is absurd headroom).
-#: For gzip requests the limit applies to the *decompressed* size.
-MAX_BODY_BYTES = 32 * 1024 * 1024
-
-#: Replies smaller than this are sent identity-encoded even to gzip
-#: clients: below a packet's worth of JSON the compression round trip
-#: costs more than the bytes it saves.
-GZIP_MIN_BYTES = 1024
-
-#: ``X-Repro-Protocol`` value: 2 = batch endpoints + gzip both ways.
-PROTOCOL_VERSION = 2
 
 #: Hard cap on items per batch request (for 64-hex ids: ~640 KB of
 #: body).  Clients chunk far below this; the cap stops one request
 #: from pinning a handler thread on an unbounded loop.
 MAX_BATCH_POLL_IDS = 10_000
 
+#: Backwards-compatible aliases: the PR 5 wire tests (and any external
+#: code) reach for these under their pre-factoring names.
+_RequestError = RequestError
+_gunzip_capped = gunzip_capped
+
 _HEX_DIGITS = set("0123456789abcdef")
 _LEASE_CHARS = set(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
 )
-
-
-def read_token_file(path: Union[str, Path]) -> str:
-    """The shared secret stored at ``path`` (stripped; must be non-empty)."""
-    token = Path(path).read_text(encoding="utf-8").strip()
-    if not token:
-        raise ValueError(f"token file {path} is empty")
-    return token
-
-
-class _RequestError(Exception):
-    """An HTTP error response to send instead of a result body."""
-
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
 
 
 def _valid_key(key: object) -> str:
@@ -120,7 +104,7 @@ def _valid_key(key: object) -> str:
         or len(key) != 64
         or not set(key) <= _HEX_DIGITS
     ):
-        raise _RequestError(400, f"invalid task id {key!r}")
+        raise RequestError(400, f"invalid task id {key!r}")
     return key
 
 
@@ -131,7 +115,7 @@ def _valid_lease(lease: object) -> str:
         or not 0 < len(lease) <= 128
         or not set(lease) <= _LEASE_CHARS
     ):
-        raise _RequestError(400, f"invalid lease {lease!r}")
+        raise RequestError(400, f"invalid lease {lease!r}")
     return lease
 
 
@@ -150,160 +134,15 @@ def _valid_worker(worker: object) -> str:
         or len(worker) > 64
         or not set(worker) <= _LEASE_CHARS
     ):
-        raise _RequestError(400, f"invalid worker name {worker!r}")
+        raise RequestError(400, f"invalid worker name {worker!r}")
     return worker
 
 
-def _gunzip_capped(raw: bytes, limit: int) -> bytes:
-    """Decompress a gzip body, refusing to inflate past ``limit`` bytes.
-
-    Streaming decompression with ``max_length`` means a compression
-    bomb is cut off at the cap instead of ballooning in memory first.
-    """
-    decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
-    try:
-        body = decompressor.decompress(raw, limit + 1)
-    except zlib.error as exc:
-        raise _RequestError(400, f"request body is not valid gzip: {exc}")
-    if len(body) > limit or decompressor.unconsumed_tail:
-        raise _RequestError(
-            413, f"decompressed body exceeds {limit} bytes"
-        )
-    if not decompressor.eof:
-        raise _RequestError(400, "truncated gzip body")
-    return body
-
-
-class CoordinatorHandler(BaseHTTPRequestHandler):
+class CoordinatorHandler(JsonApiHandler):
     """Routes one request to the wrapped :class:`WorkQueue`."""
 
     server: "CoordinatorServer"
     server_version = "repro-coordinator/1"
-    protocol_version = "HTTP/1.1"  # keep-alive: workers poll in a loop
-
-    # -- plumbing -----------------------------------------------------------
-
-    def do_GET(self) -> None:
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:
-        self._dispatch("POST")
-
-    def _dispatch(self, method: str) -> None:
-        if self.path in self.server.routes:
-            # Known endpoints only: the counter is keyed by client-sent
-            # paths, and counting arbitrary scanned URLs would grow it
-            # without bound over a coordinator's lifetime.
-            self.server.count_request(self.path)
-        try:
-            if not self._authorized():
-                raise _RequestError(401, "missing or bad bearer token")
-            route = self.server.routes.get(self.path)
-            if route is None:
-                raise _RequestError(404, f"unknown endpoint {self.path}")
-            expected_method, handler = route
-            if method != expected_method:
-                raise _RequestError(405, f"{self.path} requires {expected_method}")
-            body = self._read_body() if method == "POST" else {}
-            self._reply(200, handler(self, body))
-        except _RequestError as exc:
-            self._reply(exc.status, {"error": str(exc)})
-        except Exception as exc:  # never let a handler kill the server
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
-
-    def _authorized(self) -> bool:
-        token = self.server.token
-        if token is None:
-            return True
-        header = self.headers.get("Authorization", "")
-        return hmac.compare_digest(header, f"Bearer {token}")
-
-    def _read_body(self) -> Dict[str, object]:
-        header = self.headers.get("Content-Length")
-        if header is None:
-            # Without a length we cannot know where this request's body
-            # ends on a keep-alive socket; demand one instead of
-            # guessing (411 Length Required).
-            raise _RequestError(411, "POST requires a Content-Length header")
-        try:
-            length = int(header)
-        except (TypeError, ValueError):
-            raise _RequestError(
-                400, f"invalid Content-Length {header!r}"
-            )
-        if length < 0:
-            # rfile.read(-1) would block reading until EOF — on a
-            # keep-alive socket, forever.  Never trust the header.
-            raise _RequestError(
-                400, f"invalid Content-Length {header!r}"
-            )
-        if length > self.server.max_body_bytes:
-            raise _RequestError(413, f"body of {length} bytes is too large")
-        raw = self.rfile.read(length) if length else b""
-        encoding = self.headers.get("Content-Encoding", "identity").lower()
-        if encoding == "gzip":
-            raw = _gunzip_capped(raw, self.server.max_body_bytes)
-        elif encoding not in ("", "identity"):
-            raise _RequestError(
-                415, f"unsupported Content-Encoding {encoding!r}"
-            )
-        try:
-            body = json.loads(raw or b"{}")
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise _RequestError(400, f"request body is not JSON: {exc}")
-        if not isinstance(body, dict):
-            raise _RequestError(400, "request body must be a JSON object")
-        return body
-
-    def _accepts_gzip(self) -> bool:
-        """Whether the client accepts a gzip reply (q=0 is a refusal)."""
-        for token in self.headers.get("Accept-Encoding", "").split(","):
-            coding, _, params = token.partition(";")
-            if coding.strip().lower() != "gzip":
-                continue
-            name, _, value = params.partition("=")
-            if name.strip().lower() == "q":
-                try:
-                    return float(value.strip()) > 0
-                except ValueError:
-                    return False
-            return True
-        return False
-
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
-        data = json.dumps(payload).encode("utf-8")
-        content_encoding = None
-        if (
-            status < 400
-            and len(data) >= GZIP_MIN_BYTES
-            and self._accepts_gzip()
-        ):
-            data = gzip.compress(data, compresslevel=5)
-            content_encoding = "gzip"
-        if status >= 400:
-            # Error replies may be sent before the request body was
-            # read (auth failures, unknown endpoints); on a keep-alive
-            # connection the unread bytes would be parsed as the next
-            # request line, desyncing the socket — close it instead.
-            self.close_connection = True
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.send_header("X-Repro-Protocol", str(PROTOCOL_VERSION))
-        if content_encoding:
-            self.send_header("Content-Encoding", content_encoding)
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(data)
-
-    def log_message(self, format: str, *args) -> None:
-        # Per-request access logging is noise at worker poll rates; the
-        # queue-event log lines below are the useful signal.
-        pass
-
-    def _log_event(self, message: str) -> None:
-        self.server.log(message)
 
     # -- queue endpoints ----------------------------------------------------
 
@@ -314,7 +153,7 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
     def _ep_submit(self, body: Dict[str, object]) -> Dict[str, object]:
         payload = body.get("payload")
         if not isinstance(payload, dict):
-            raise _RequestError(400, "submit requires a JSON 'payload' object")
+            raise RequestError(400, "submit requires a JSON 'payload' object")
         return {"task_id": self.server.queue.submit(payload)}
 
     def _ep_claim(self, body: Dict[str, object]) -> Dict[str, object]:
@@ -340,7 +179,7 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         result = body.get("result")
         if result is not None:
             if not isinstance(result, dict):
-                raise _RequestError(400, "result must be a JSON object")
+                raise RequestError(400, "result must be a JSON object")
             self.server.queue.results.put(task.task_id, result)
         self.server.queue.complete(task)
         self._log_event(
@@ -389,7 +228,7 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         key = _valid_key(body.get("key"))
         result = body.get("result")
         if not isinstance(result, dict):
-            raise _RequestError(400, "result must be a JSON object")
+            raise RequestError(400, "result must be a JSON object")
         self.server.queue.results.put(key, result)
         return {"ok": True}
 
@@ -403,11 +242,9 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
     ) -> Dict[str, object]:
         keys = body.get("keys")
         if not isinstance(keys, list):
-            raise _RequestError(
-                400, "batch discard requires a 'keys' list"
-            )
+            raise RequestError(400, "batch discard requires a 'keys' list")
         if len(keys) > MAX_BATCH_POLL_IDS:
-            raise _RequestError(
+            raise RequestError(
                 413, f"batch discard capped at {MAX_BATCH_POLL_IDS} keys"
             )
         for key in [_valid_key(key) for key in keys]:
@@ -419,11 +256,11 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
         if not isinstance(payloads, list) or not all(
             isinstance(payload, dict) for payload in payloads
         ):
-            raise _RequestError(
+            raise RequestError(
                 400, "batch submit requires a 'payloads' list of JSON objects"
             )
         if len(payloads) > MAX_BATCH_POLL_IDS:
-            raise _RequestError(
+            raise RequestError(
                 413, f"batch submit capped at {MAX_BATCH_POLL_IDS} payloads"
             )
         task_ids = self.server.queue.submit_many(payloads)
@@ -434,11 +271,9 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
     def _ep_batch_poll(self, body: Dict[str, object]) -> Dict[str, object]:
         task_ids = body.get("task_ids")
         if not isinstance(task_ids, list):
-            raise _RequestError(
-                400, "batch poll requires a 'task_ids' list"
-            )
+            raise RequestError(400, "batch poll requires a 'task_ids' list")
         if len(task_ids) > MAX_BATCH_POLL_IDS:
-            raise _RequestError(
+            raise RequestError(
                 413, f"batch poll capped at {MAX_BATCH_POLL_IDS} ids"
             )
         # Dedupe after validation: the reply is keyed by id anyway, and
@@ -504,7 +339,7 @@ _ROUTES = {
 }
 
 
-class CoordinatorServer(ThreadingHTTPServer):
+class CoordinatorServer(JsonApiServer):
     """A :class:`WorkQueue` exposed over HTTP to any host that can connect.
 
     Args:
@@ -520,8 +355,7 @@ class CoordinatorServer(ThreadingHTTPServer):
             :data:`MAX_BODY_BYTES`; tests shrink it).
     """
 
-    daemon_threads = True
-    allow_reuse_address = True
+    log_name = "coordinator"
 
     def __init__(
         self,
@@ -535,45 +369,12 @@ class CoordinatorServer(ThreadingHTTPServer):
         if not isinstance(queue, WorkQueue):
             queue = WorkQueue(queue)
         self.queue = queue
-        self.token = token
-        self.quiet = quiet
-        self.max_body_bytes = int(max_body_bytes)
-        #: The live route table.  An instance copy of the module-level
-        #: :data:`_ROUTES` so tests can delete entries to impersonate an
-        #: older coordinator (fallback-path coverage).
-        self.routes = dict(_ROUTES)
-        #: Requests served, by path — how the wire tests prove a poll
-        #: tick costs one round trip instead of one per task.
-        self.request_counts: Counter = Counter()
-        self._log_lock = threading.Lock()
-        self._count_lock = threading.Lock()
-        super().__init__((host, port), CoordinatorHandler)
-
-    def count_request(self, path: str) -> None:
-        with self._count_lock:
-            self.request_counts[path] += 1
-
-    @property
-    def url(self) -> str:
-        """The base URL workers should be pointed at."""
-        host, port = self.server_address[:2]
-        if host == "0.0.0.0":  # bound everywhere; loopback always works
-            host = "127.0.0.1"
-        return f"http://{host}:{port}"
-
-    def log(self, message: str) -> None:
-        if self.quiet:
-            return
-        with self._log_lock:
-            print(f"[coordinator] {message}", file=sys.stderr, flush=True)
-
-    def serve_in_thread(self) -> threading.Thread:
-        """Start serving on a daemon thread (tests, embedded use)."""
-        thread = threading.Thread(target=self.serve_forever, daemon=True)
-        thread.start()
-        return thread
-
-    def stop(self) -> None:
-        """Shut down the serve loop and release the listening socket."""
-        self.shutdown()
-        self.server_close()
+        super().__init__(
+            host,
+            port,
+            CoordinatorHandler,
+            _ROUTES,
+            token=token,
+            quiet=quiet,
+            max_body_bytes=max_body_bytes,
+        )

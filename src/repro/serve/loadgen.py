@@ -1,0 +1,315 @@
+"""Load generator and JSON client for a ``repro serve`` endpoint.
+
+``repro loadgen`` drives a running server with deterministic traffic
+drawn from the benchmark's own test split: ``--requests`` requests of
+``--batch`` rows each, spread over ``--concurrency`` threads, then
+reports client-side latency percentiles (exact, not histogram
+estimates), throughput, and the server's reuse metrics.
+
+With ``--verify`` it also trains the *same* benchmark locally (training
+is deterministic in ``(network, scale, seed)``, so the local weights are
+bitwise the server's weights), evaluates every row it sent through the
+offline batch path under the server's live scheme, and diffs the served
+predictions bitwise — the end-to-end proof that serving one row at a
+time through a warm shared model equals the paper's batch evaluation.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import MemoizationScheme, memoized
+from repro.core.stats import ReuseStats
+from repro.models.benchmark import Benchmark
+from repro.models.zoo import build_benchmark
+
+Array = np.ndarray
+
+
+class ServeError(Exception):
+    """An HTTP error from the inference server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Minimal stdlib JSON client for the ``repro serve`` API."""
+
+    def __init__(
+        self, url: str, token: Optional[str] = None, timeout: float = 60.0
+    ):
+        self.url = url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept-Encoding": "gzip"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read()
+                if reply.headers.get("Content-Encoding", "") == "gzip":
+                    raw = gzip.decompress(raw)
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                message = detail.decode("utf-8", "replace")
+            raise ServeError(exc.code, message or exc.reason) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.url}: {exc.reason}")
+        return json.loads(raw)
+
+    def get(self, path: str) -> Dict[str, object]:
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: Dict[str, object]) -> Dict[str, object]:
+        return self.request("POST", path, payload)
+
+    def put(self, path: str, payload: Dict[str, object]) -> Dict[str, object]:
+        return self.request("PUT", path, payload)
+
+
+# -- deterministic traffic ---------------------------------------------------
+
+
+def _row_payload(benchmark: Benchmark, index: int) -> list:
+    """One test-split row as the JSON the server expects."""
+    name = benchmark.name
+    if name == "imdb":
+        return benchmark.dataset.tokens[index].tolist()
+    if name in ("deepspeech2", "eesen"):
+        return benchmark.dataset.features[index].tolist()
+    if name == "mnmt":
+        return benchmark.dataset.source[index].tolist()
+    raise ValueError(f"no loadgen traffic source for benchmark {name!r}")
+
+
+def expected_outputs(
+    benchmark: Benchmark, scheme: MemoizationScheme, indices: Sequence[int]
+) -> List[object]:
+    """The offline batch path's predictions for ``indices``.
+
+    One memoized batch evaluation over all rows at once — exactly the
+    :meth:`~repro.models.benchmark.Benchmark.evaluate_memoized` inference
+    path, producing the reference the served predictions must match
+    bitwise (row independence makes the batch/serve split irrelevant).
+    """
+    benchmark.ensure_trained()
+    indices = np.asarray(indices, dtype=np.int64)
+    model = benchmark.model
+    name = benchmark.name
+    with memoized(model, scheme, ReuseStats()):
+        if name == "imdb":
+            return [int(p) for p in model.predict(benchmark.dataset.tokens[indices])]
+        if name in ("deepspeech2", "eesen"):
+            return [
+                list(t)
+                for t in model.transcribe(benchmark.dataset.features[indices])
+            ]
+        if name == "mnmt":
+            return [
+                list(h)
+                for h in model.translate(
+                    benchmark.dataset.source[indices],
+                    max_len=benchmark.dataset.length + 2,
+                    early_stop=False,
+                )
+            ]
+    raise ValueError(f"no verification path for benchmark {name!r}")
+
+
+def scheme_from_info(info: Dict[str, object]) -> MemoizationScheme:
+    """Rebuild a :class:`MemoizationScheme` from a ``GET /theta`` reply."""
+    return MemoizationScheme(
+        theta=float(info["theta"]),
+        predictor=str(info["predictor"]),
+        throttle=bool(info["throttle"]),
+        vectorized=bool(info.get("vectorized", True)),
+        layer_thetas=info.get("layer_thetas") or None,
+    )
+
+
+def _percentiles(latencies_ms: Sequence[float]) -> Dict[str, float]:
+    values = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p95": float(np.percentile(values, 95)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+    }
+
+
+def run_loadgen(
+    url: str,
+    network: str,
+    scale: str = "tiny",
+    seed: int = 0,
+    requests: int = 32,
+    concurrency: int = 4,
+    batch: int = 4,
+    token: Optional[str] = None,
+    verify: bool = False,
+    theta: Optional[float] = None,
+    timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Drive a running server; return the traffic + latency summary.
+
+    The traffic is deterministic in ``(network, scale, seed, requests,
+    batch)``: request ``i`` carries test-split rows ``i*batch ..
+    i*batch+batch-1`` (mod split size), regardless of which thread sends
+    it — so two runs against equal servers see identical predictions.
+
+    Args:
+        theta: if given, ``PUT /theta`` this global threshold first.
+        verify: train the benchmark locally (deterministic, bitwise the
+            server's weights) and diff every served prediction against
+            the offline batch path under the server's scheme.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    client = ServeClient(url, token=token, timeout=timeout)
+    health = client.get("/api/v1/health")
+    if health.get("model") != network:
+        raise ServeError(
+            0,
+            f"server at {url} serves {health.get('model')!r}, "
+            f"loadgen was asked for {network!r}",
+        )
+    if theta is not None:
+        client.put("/api/v1/theta", {"theta": theta})
+    scheme_info = client.get("/api/v1/theta")
+
+    # A fresh (never cached) instance: --verify wraps its model, which
+    # must not collide with a same-process server holding the cached one.
+    benchmark = build_benchmark(network, scale=scale, seed=seed)
+    test_idx = np.asarray(benchmark.test_idx)
+    plan = [
+        [int(test_idx[(i * batch + j) % len(test_idx)]) for j in range(batch)]
+        for i in range(requests)
+    ]
+    payloads = {
+        index: _row_payload(benchmark, index)
+        for index in sorted({i for row in plan for i in row})
+    }
+
+    next_request = iter(range(requests))
+    counter_lock = threading.Lock()
+    latencies_ms: List[float] = [0.0] * requests
+    responses: List[Optional[Dict[str, object]]] = [None] * requests
+    errors: List[str] = []
+
+    def worker() -> None:
+        thread_client = ServeClient(url, token=token, timeout=timeout)
+        while True:
+            with counter_lock:
+                i = next(next_request, None)
+            if i is None:
+                return
+            body = {"inputs": [payloads[index] for index in plan[i]]}
+            start = time.perf_counter()
+            try:
+                reply = thread_client.post("/api/v1/infer", body)
+            except ServeError as exc:
+                with counter_lock:
+                    errors.append(f"request {i}: {exc}")
+                continue
+            latencies_ms[i] = 1000.0 * (time.perf_counter() - start)
+            responses[i] = reply
+
+        # (unreached)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(min(concurrency, requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+
+    completed = [i for i in range(requests) if responses[i] is not None]
+    summary: Dict[str, object] = {
+        "url": url,
+        "network": network,
+        "scale": scale,
+        "seed": seed,
+        "requests": requests,
+        "completed": len(completed),
+        "concurrency": concurrency,
+        "batch": batch,
+        "wall_s": wall_s,
+        "req_per_s": len(completed) / wall_s if wall_s > 0 else 0.0,
+        "rows_per_s": len(completed) * batch / wall_s if wall_s > 0 else 0.0,
+        "scheme": scheme_info,
+        "errors": errors,
+    }
+    if completed:
+        summary["latency_ms"] = _percentiles(
+            [latencies_ms[i] for i in completed]
+        )
+    metrics = client.get("/api/v1/metrics")
+    summary["reuse"] = metrics["reuse"]
+
+    if verify:
+        scheme = scheme_from_info(scheme_info)
+        versions = {responses[i]["scheme_version"] for i in completed}
+        if len(versions) > 1 or (
+            completed
+            and versions != {scheme_info["scheme_version"]}
+        ):
+            raise ServeError(
+                0,
+                "scheme changed mid-run (versions "
+                f"{sorted(versions)}); cannot attribute predictions "
+                "to a single threshold for verification",
+            )
+        unique = sorted(payloads)
+        expected = dict(zip(unique, expected_outputs(benchmark, scheme, unique)))
+        checked = 0
+        mismatches = []
+        for i in completed:
+            for index, output in zip(plan[i], responses[i]["outputs"]):
+                checked += 1
+                if output != expected[index]:
+                    mismatches.append(
+                        {"request": i, "row": index,
+                         "served": output, "expected": expected[index]}
+                    )
+        summary["verify"] = {
+            "checked": checked,
+            "mismatches": len(mismatches),
+            "examples": mismatches[:5],
+        }
+    return summary

@@ -1,0 +1,583 @@
+"""Serving state: one warm memoized model answering many requests.
+
+:class:`ServeState` is everything behind the HTTP surface of ``repro
+serve``: the trained benchmark model wrapped with fuzzy memoization
+exactly once at startup, a lock that serializes model access (numpy
+inference releases the GIL mid-GEMM, and the memoized wrappers carry
+per-sequence decision state, so concurrent forwards through one model
+would corrupt each other), cumulative thread-safe reuse statistics, a
+bounded latency histogram, and the streaming sessions.
+
+Request rows are evaluated exactly like the batch evaluation path
+(:meth:`repro.models.benchmark.Benchmark.evaluate_memoized`): every
+forward starts a fresh sequence, and the repo's row-independence
+invariant — per-row model computation is bitwise independent of which
+other rows share a batch — makes a served row identical to the same row
+inside any offline batch at the same scheme.  The memo *buffers* stay
+allocated between requests (``begin_sequence`` reallocates only on a
+batch-shape change), so a warm server does no per-request allocation for
+its steady-state traffic shape.
+
+Live retuning swaps the whole scheme atomically under the model lock
+(:func:`repro.core.engine.swap_scheme`): requests already holding the
+lock finish under the scheme they started with; every response reports
+the ``scheme_version`` it was served under so clients can attribute
+predictions to thresholds.
+
+Streaming sessions give one caller a *private* memoized view of the
+recurrent stack: fresh wrappers over the same weights, with predictor
+and memo state that persists across chunk requests instead of resetting
+per request — the session-scoped warm memo of the paper's deployment
+story.  A chunked transcription is bitwise identical to the one-shot
+forward of the concatenated frames, because chunking only splits the
+timestep loop around preserved state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import (
+    MemoizationScheme,
+    _iter_recurrent_children,
+    apply_memoization,
+    swap_scheme,
+)
+from repro.core.layers import wrap_layer
+from repro.core.stats import ThreadSafeReuseStats
+from repro.datasets.speech import collapse
+from repro.models.benchmark import Benchmark
+from repro.nn.rnn import Bidirectional
+
+Array = np.ndarray
+
+#: Upper bound on rows per ``/infer`` request: enough for any sane
+#: client batch, small enough that one request cannot monopolise the
+#: model lock for an unbounded stretch.
+MAX_INFER_ROWS = 256
+
+#: Latency bucket upper bounds in milliseconds: log-spaced from 0.25 ms
+#: to ~2 minutes, covering sub-millisecond tiny-model hits through
+#: lock-queued bench-scale batches.  The histogram is fixed-size, so
+#: metrics memory is bounded for the life of the server.
+LATENCY_BOUNDS_MS = tuple(0.25 * 2**i for i in range(19))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram, safe for concurrent observers."""
+
+    def __init__(self, bounds_ms: Sequence[float] = LATENCY_BOUNDS_MS):
+        self.bounds_ms = tuple(bounds_ms)
+        self._counts = [0] * (len(self.bounds_ms) + 1)  # +1: overflow
+        self._count = 0
+        self._sum_ms = 0.0
+        self._max_ms = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, latency_ms: float) -> None:
+        index = int(np.searchsorted(self.bounds_ms, latency_ms, side="left"))
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum_ms += latency_ms
+            self._max_ms = max(self._max_ms, latency_ms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: cumulative bucket counts plus summary stats."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            total = self._sum_ms
+            peak = self._max_ms
+        cumulative = 0
+        buckets = []
+        for bound, bucket in zip(self.bounds_ms, counts):
+            cumulative += bucket
+            buckets.append({"le_ms": bound, "count": cumulative})
+        return {
+            "count": count,
+            "sum_ms": total,
+            "mean_ms": (total / count) if count else 0.0,
+            "max_ms": peak,
+            "overflow": counts[-1],
+            "buckets": buckets,
+        }
+
+
+# -- task adapters -----------------------------------------------------------
+
+
+class TaskAdapter:
+    """Validates request rows and runs them through the benchmark model.
+
+    One adapter per application domain; ``validate_row`` raises
+    :class:`ValueError` with a client-worthy message (the HTTP layer maps
+    it to a 400), ``infer`` turns validated rows into JSON-serializable
+    outputs.  Rows of equal shape are stacked into one forward (bitwise
+    identical to per-row evaluation, by the row-independence invariant);
+    ragged batches fall back to row-at-a-time.
+    """
+
+    kind = "generic"
+    streamable = False
+
+    def __init__(self, benchmark: Benchmark):
+        self.benchmark = benchmark
+        self.model = benchmark.model
+
+    def validate_row(self, row: object) -> Array:
+        raise NotImplementedError
+
+    def infer(self, rows: List[Array]) -> List[object]:
+        if all(row.shape == rows[0].shape for row in rows):
+            return self._infer_batch(np.stack(rows))
+        outputs: List[object] = []
+        for row in rows:
+            outputs.extend(self._infer_batch(row[None]))
+        return outputs
+
+    def _infer_batch(self, batch: Array) -> List[object]:
+        raise NotImplementedError
+
+
+def _validate_token_row(row: object, vocab: int, what: str) -> Array:
+    if not isinstance(row, list) or not row:
+        raise ValueError(f"each {what} row must be a non-empty list of ints")
+    if not all(isinstance(token, int) and not isinstance(token, bool)
+               for token in row):
+        raise ValueError(f"{what} tokens must be integers")
+    if not all(0 <= token < vocab for token in row):
+        raise ValueError(f"{what} tokens must be in [0, {vocab})")
+    return np.asarray(row, dtype=np.int64)
+
+
+class SentimentAdapter(TaskAdapter):
+    """IMDB-style: token rows in, one class label per row out."""
+
+    kind = "sentiment"
+
+    def validate_row(self, row: object) -> Array:
+        return _validate_token_row(row, self.benchmark.dataset.vocab_size,
+                                   "token")
+
+    def _infer_batch(self, batch: Array) -> List[object]:
+        return [int(label) for label in self.model.predict(batch)]
+
+
+class SpeechAdapter(TaskAdapter):
+    """Speech: (T, F) feature-frame rows in, collapse-decoded
+    transcripts out.  Streamable when the stack is unidirectional."""
+
+    kind = "speech"
+
+    def __init__(self, benchmark: Benchmark):
+        super().__init__(benchmark)
+        self.feature_dim = benchmark.dataset.feature_dim
+        self.streamable = not any(
+            isinstance(layer, Bidirectional) for layer in self.model.stack.layers
+        )
+
+    def validate_row(self, row: object) -> Array:
+        try:
+            frames = np.asarray(row, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ValueError("each speech row must be a (frames x features) "
+                             "array of numbers")
+        if frames.ndim != 2 or frames.shape[0] < 1:
+            raise ValueError("each speech row must be a non-empty "
+                             "(frames x features) array")
+        if frames.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"speech rows must have {self.feature_dim} features per "
+                f"frame, got {frames.shape[1]}"
+            )
+        if not np.isfinite(frames).all():
+            raise ValueError("speech rows must be finite numbers")
+        return frames
+
+    def _infer_batch(self, batch: Array) -> List[object]:
+        return [list(transcript) for transcript in self.model.transcribe(batch)]
+
+
+class TranslationAdapter(TaskAdapter):
+    """MNMT-style: source-token rows in, decoded target rows out.
+
+    Decoding always runs ``early_stop=False`` with the evaluation path's
+    step budget, so a served row sees exactly the decoder-step count it
+    would inside any offline batch — the precondition for bitwise
+    equality with ``evaluate_memoized``.
+    """
+
+    kind = "translation"
+
+    def __init__(self, benchmark: Benchmark):
+        super().__init__(benchmark)
+        self.max_len = benchmark.dataset.length + 2
+
+    def validate_row(self, row: object) -> Array:
+        return _validate_token_row(row, self.benchmark.dataset.vocab_size,
+                                   "source")
+
+    def _infer_batch(self, batch: Array) -> List[object]:
+        hypotheses = self.model.translate(
+            batch, max_len=self.max_len, early_stop=False
+        )
+        return [list(hypothesis) for hypothesis in hypotheses]
+
+
+_ADAPTERS = {
+    "imdb": SentimentAdapter,
+    "deepspeech2": SpeechAdapter,
+    "eesen": SpeechAdapter,
+    "mnmt": TranslationAdapter,
+}
+
+
+def make_adapter(benchmark: Benchmark) -> TaskAdapter:
+    try:
+        adapter = _ADAPTERS[benchmark.name]
+    except KeyError:
+        raise ValueError(
+            f"no serving adapter for benchmark {benchmark.name!r}; "
+            f"known: {sorted(_ADAPTERS)}"
+        ) from None
+    return adapter(benchmark)
+
+
+# -- streaming sessions ------------------------------------------------------
+
+
+class StreamSession:
+    """One caller's private memoized view of the recurrent stack.
+
+    Wrappers are built over the *original* layers (same weights as the
+    server's shared wrappers) but with their own predictors and memo
+    tables, started once at open: chunk requests thread the recurrent
+    state through, so the memo stays warm across requests instead of
+    resetting — and the concatenation of all chunks is bitwise identical
+    to a one-shot forward of the full utterance.
+    """
+
+    def __init__(self, session_id: str, wrappers: List[object],
+                 scheme_version: int, theta: float):
+        self.session_id = session_id
+        self.wrappers = wrappers
+        self.states = [wrapper.start_state(1) for wrapper in wrappers]
+        self.scheme_version = scheme_version
+        self.theta = theta
+        self.decoded: List[int] = []
+        self.frames_fed = 0
+
+
+class SessionError(KeyError):
+    """Unknown or already-closed session id (HTTP 404)."""
+
+
+# -- the state object --------------------------------------------------------
+
+
+class ServeState:
+    """Everything one ``repro serve`` process owns.
+
+    Args:
+        benchmark: a zoo benchmark; trained on construction if needed
+            (the one expensive startup step — requests only run forwards).
+        scheme: the initial memoization scheme.
+        max_sessions: open streaming sessions allowed at once (keeps an
+            abandoning client from accumulating per-session state).
+    """
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        scheme: MemoizationScheme,
+        max_sessions: int = 64,
+    ):
+        benchmark.ensure_trained()
+        self.benchmark = benchmark
+        self.adapter = make_adapter(benchmark)
+        self.stats = ThreadSafeReuseStats()
+        self.lock = threading.RLock()
+        self.scheme = scheme
+        self.scheme_version = 1
+        # Layer names in walk order, captured before wrapping (the walk
+        # only sees unwrapped layers); zip-aligned with `replacements`
+        # after apply_memoization, and stable across scheme swaps.
+        self.layer_names = [
+            dotted for _, _, _, dotted in _iter_recurrent_children(benchmark.model)
+        ]
+        self.replacements = apply_memoization(
+            benchmark.model, scheme, self.stats
+        )
+        self.latency = LatencyHistogram()
+        self.started_at = time.time()
+        self.infer_requests = 0
+        self.rows_served = 0
+        self.max_sessions = max_sessions
+        self.sessions: Dict[str, StreamSession] = {}
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, raw_rows: Sequence[object]) -> Dict[str, object]:
+        """Validate and evaluate a batch of rows under the live scheme."""
+        if not isinstance(raw_rows, list) or not raw_rows:
+            raise ValueError("inputs must be a non-empty list of rows")
+        if len(raw_rows) > MAX_INFER_ROWS:
+            raise ValueError(
+                f"at most {MAX_INFER_ROWS} rows per request, "
+                f"got {len(raw_rows)}"
+            )
+        rows = [self.adapter.validate_row(row) for row in raw_rows]
+        start = time.perf_counter()
+        with self.lock:
+            version = self.scheme_version
+            theta = self.scheme.theta
+            outputs = self.adapter.infer(rows)
+            self.infer_requests += 1
+            self.rows_served += len(rows)
+        self.latency.observe(1000.0 * (time.perf_counter() - start))
+        return {
+            "outputs": outputs,
+            "scheme_version": version,
+            "theta": theta,
+            "model": self.benchmark.name,
+        }
+
+    # -- live retuning ------------------------------------------------------
+
+    def scheme_info(self) -> Dict[str, object]:
+        with self.lock:
+            scheme = self.scheme
+            return {
+                "theta": scheme.theta,
+                "predictor": scheme.predictor,
+                "throttle": scheme.throttle,
+                "vectorized": scheme.vectorized,
+                "layer_thetas": (
+                    dict(scheme.layer_thetas) if scheme.layer_thetas else None
+                ),
+                "layers": list(self.layer_names),
+                "scheme_version": self.scheme_version,
+            }
+
+    def retune(self, updates: Mapping[str, object]) -> Dict[str, object]:
+        """Atomically re-wrap the model under an updated scheme.
+
+        ``updates`` may set ``theta``, ``layer_thetas`` (a mapping, or
+        ``None`` to clear the overrides), ``predictor`` and ``throttle``.
+        Validation is :class:`MemoizationScheme`'s own (a bad update
+        raises :class:`ValueError` before the model is touched, and a
+        failed swap rolls back to the old scheme).  In-flight requests
+        hold the model lock, so they finish under the scheme they
+        started with; the bumped ``scheme_version`` marks the boundary.
+        """
+        allowed = {"theta", "layer_thetas", "predictor", "throttle"}
+        unknown = set(updates) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown scheme field(s) {sorted(unknown)}; "
+                f"retunable: {sorted(allowed)}"
+            )
+        if not updates:
+            raise ValueError(f"nothing to retune; retunable: {sorted(allowed)}")
+        changes = dict(updates)
+        if "theta" in changes and not isinstance(
+            changes["theta"], (int, float)
+        ):
+            raise ValueError("theta must be a number")
+        if "layer_thetas" in changes and changes["layer_thetas"] is not None:
+            overrides = changes["layer_thetas"]
+            if not isinstance(overrides, dict) or not all(
+                isinstance(name, str) and isinstance(value, (int, float))
+                for name, value in overrides.items()
+            ):
+                raise ValueError(
+                    "layer_thetas must map layer names to numbers, or null"
+                )
+            unknown_layers = set(overrides) - set(self.layer_names)
+            if unknown_layers:
+                raise ValueError(
+                    f"unknown layer(s) {sorted(unknown_layers)}; "
+                    f"this model has {self.layer_names}"
+                )
+        if "predictor" in changes and not isinstance(changes["predictor"], str):
+            raise ValueError("predictor must be a string")
+        if "throttle" in changes and not isinstance(changes["throttle"], bool):
+            raise ValueError("throttle must be a boolean")
+        with self.lock:
+            new_scheme = replace(self.scheme, **changes)  # may raise ValueError
+            swap_scheme(
+                self.benchmark.model,
+                self.replacements,
+                self.scheme,
+                new_scheme,
+                self.stats,
+            )
+            self.scheme = new_scheme
+            self.scheme_version += 1
+            return self.scheme_info()
+
+    # -- streaming sessions -------------------------------------------------
+
+    def open_session(self) -> Dict[str, object]:
+        if not self.adapter.streamable:
+            raise ValueError(
+                f"model {self.benchmark.name!r} does not support streaming "
+                "sessions (only unidirectional speech stacks do)"
+            )
+        with self.lock:
+            if len(self.sessions) >= self.max_sessions:
+                raise ValueError(
+                    f"too many open sessions (limit {self.max_sessions}); "
+                    "close one first"
+                )
+            session_id = os.urandom(8).hex()
+            scheme = self.scheme
+            wrappers = [
+                wrap_layer(
+                    record.original,
+                    scheme.with_theta(scheme.theta_for(dotted)).make_predictor,
+                    self.stats,
+                    name=dotted,
+                    vectorized=scheme.vectorized,
+                )
+                for record, dotted in zip(self.replacements, self.layer_names)
+            ]
+            session = StreamSession(
+                session_id, wrappers, self.scheme_version, scheme.theta
+            )
+            self.sessions[session_id] = session
+            self.sessions_opened += 1
+        return {
+            "session": session_id,
+            "scheme_version": session.scheme_version,
+            "theta": session.theta,
+            "model": self.benchmark.name,
+        }
+
+    def _session(self, session_id: object) -> StreamSession:
+        if not isinstance(session_id, str):
+            raise ValueError("session must be a string id")
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def session_feed(self, session_id: object, chunk: object) -> Dict[str, object]:
+        """Run one chunk of frames through a session's warm stack."""
+        frames = self.adapter.validate_row(chunk)
+        start = time.perf_counter()
+        with self.lock:
+            session = self._session(session_id)
+            hidden = frames[None]  # (1, T, F)
+            steps = hidden.shape[1]
+            for index, wrapper in enumerate(session.wrappers):
+                out = np.empty((1, steps, wrapper.hidden_size))
+                state = session.states[index]
+                for t in range(steps):
+                    out[:, t, :], state = wrapper.step(hidden[:, t, :], state)
+                session.states[index] = state
+                hidden = out
+            logits = self.benchmark.model.classifier(hidden)
+            predictions = [int(p) for p in logits.argmax(axis=-1)[0]]
+            session.decoded.extend(predictions)
+            session.frames_fed += steps
+            self.infer_requests += 1
+            self.rows_served += 1
+        self.latency.observe(1000.0 * (time.perf_counter() - start))
+        return {
+            "outputs": [predictions],
+            "session": session.session_id,
+            "frames": session.frames_fed,
+            "scheme_version": session.scheme_version,
+            "theta": session.theta,
+            "model": self.benchmark.name,
+        }
+
+    def close_session(self, session_id: object) -> Dict[str, object]:
+        """Close a session; returns the collapse-decoded transcript."""
+        with self.lock:
+            session = self._session(session_id)
+            del self.sessions[session_id]
+            self.sessions_closed += 1
+        return {
+            "session": session.session_id,
+            "transcript": list(collapse(session.decoded)),
+            "frames": session.frames_fed,
+            "scheme_version": session.scheme_version,
+        }
+
+    # -- metrics ------------------------------------------------------------
+
+    def metrics(
+        self, request_counts: Optional[Mapping[str, int]] = None
+    ) -> Dict[str, object]:
+        stats = self.stats.snapshot()
+        with self.lock:
+            scheme_info = {
+                "theta": self.scheme.theta,
+                "predictor": self.scheme.predictor,
+                "throttle": self.scheme.throttle,
+                "scheme_version": self.scheme_version,
+            }
+            inference = {
+                "requests": self.infer_requests,
+                "rows": self.rows_served,
+            }
+            sessions = {
+                "open": len(self.sessions),
+                "opened": self.sessions_opened,
+                "closed": self.sessions_closed,
+            }
+        return {
+            "model": {
+                "name": self.benchmark.name,
+                "scale": self.benchmark.scale,
+                "seed": self.benchmark.seed,
+                "base_quality": self.benchmark.base_quality,
+                "quality_metric": self.benchmark.spec.quality_metric,
+            },
+            "scheme": scheme_info,
+            "uptime_s": time.time() - self.started_at,
+            "requests": dict(request_counts or {}),
+            "inference": {**inference, "latency_ms": self.latency.snapshot()},
+            "reuse": {
+                "overall_fraction": stats.reuse_fraction(),
+                "by_layer": stats.by_layer(),
+                "total_evaluations": stats.total_evaluations,
+                "total_reused": stats.total_reused,
+            },
+            "sessions": sessions,
+        }
+
+    # -- shutdown helper ----------------------------------------------------
+
+    def unwrap(self) -> None:
+        """Restore the original model layers (tests re-use the model)."""
+        from repro.core.engine import restore
+
+        with self.lock:
+            restore(self.replacements)
+            self.replacements = []
+
+
+def parse_layer_thetas(pairs: Sequence[str]) -> Dict[str, float]:
+    """Parse CLI ``LAYER=THETA`` override pairs."""
+    overrides: Dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"expected LAYER=THETA, got {pair!r}")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise ValueError(f"bad threshold in {pair!r}") from None
+    return overrides

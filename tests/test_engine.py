@@ -8,6 +8,7 @@ from repro.core.engine import (
     apply_memoization,
     memoized,
     restore,
+    swap_scheme,
 )
 from repro.core.layers import MemoizedGRULayer, MemoizedLSTMLayer
 from repro.core.stats import ReuseStats
@@ -16,6 +17,12 @@ from repro.nn.linear import Linear
 from repro.nn.lstm import LSTMLayer
 from repro.nn.module import Module
 from repro.nn.rnn import Bidirectional, RNNStack
+
+# The scalar engine path intentionally calls the deprecated
+# GatePredictor.step; its DeprecationWarning is expected here.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:GatePredictor.step is deprecated:DeprecationWarning"
+)
 
 
 @pytest.fixture
@@ -240,3 +247,122 @@ class TestZooEquivalence:
         assert vectorized.reuse_fraction == scalar.reuse_fraction
         assert vectorized.stats.reused == scalar.stats.reused
         assert vectorized.stats.total == scalar.stats.total
+
+
+class _SecondLayerNegative(dict):
+    """A mapping that smuggles a negative per-layer theta past scheme
+    construction: ``values()`` shows nothing invalid, but ``get`` hands
+    the walk a negative threshold for one specific layer — so the
+    failure only surfaces mid-walk, after earlier layers are wrapped."""
+
+    def __init__(self, bad_layer):
+        super().__init__()
+        self.bad_layer = bad_layer
+
+    def get(self, key, default=None):
+        return -1.0 if key == self.bad_layer else default
+
+
+class TestAtomicApply:
+    """A failed apply_memoization must leave the model untouched."""
+
+    def make_stack(self, rng):
+        return RNNStack([LSTMLayer(5, 6, rng=rng), GRULayer(6, 4, rng=rng)])
+
+    def test_mid_walk_failure_restores_swapped_layers(self, rng):
+        stack = self.make_stack(rng)
+        x = smooth_inputs(rng)
+        reference = stack(x)
+        original_layers = dict(stack._children)
+        scheme = MemoizationScheme(
+            layer_thetas=_SecondLayerNegative("layer1")
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            apply_memoization(stack, scheme, ReuseStats())
+        # Byte-for-byte intact: same child registry, same layer objects,
+        # same outputs.
+        assert dict(stack._children) == original_layers
+        assert stack.layer0 is original_layers["layer0"]
+        assert stack.layer1 is original_layers["layer1"]
+        np.testing.assert_array_equal(stack(x), reference)
+
+    def test_mid_walk_failure_in_nested_model(self, rng):
+        stack = RNNStack(
+            [LSTMLayer(5, 6, rng=rng), Bidirectional.lstm(6, 3, rng=rng)]
+        )
+        x = smooth_inputs(rng)
+        reference = stack(x)
+        scheme = MemoizationScheme(
+            layer_thetas=_SecondLayerNegative("layer1.bwd")
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            apply_memoization(stack, scheme, ReuseStats())
+        assert isinstance(stack.layer0, LSTMLayer)
+        assert isinstance(stack.layer1.fwd, LSTMLayer)
+        assert isinstance(stack.layer1.bwd, LSTMLayer)
+        np.testing.assert_array_equal(stack(x), reference)
+
+    def test_successful_apply_still_works(self, rng):
+        stack = self.make_stack(rng)
+        replacements = apply_memoization(
+            stack, MemoizationScheme(), ReuseStats()
+        )
+        try:
+            assert isinstance(stack.layer0, MemoizedLSTMLayer)
+            assert isinstance(stack.layer1, MemoizedGRULayer)
+        finally:
+            restore(replacements)
+
+
+class TestSwapScheme:
+    """swap_scheme: the live-retuning primitive behind `repro serve`."""
+
+    def test_swap_rewraps_under_new_scheme(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
+        x = smooth_inputs(rng)
+        stats = ReuseStats()
+        old = MemoizationScheme(theta=0.05)
+        new = MemoizationScheme(theta=0.5)
+        replacements = apply_memoization(stack, old, stats)
+        try:
+            swap_scheme(stack, replacements, old, new, stats)
+            assert isinstance(stack.layer0, MemoizedLSTMLayer)
+            # The wrapper now carries the new threshold.
+            assert stack.layer0._phase_predictors[0].theta == 0.5
+            stack(x)  # still serves
+        finally:
+            restore(replacements)
+        assert isinstance(stack.layer0, LSTMLayer)
+
+    def test_failed_swap_rolls_back_to_old_scheme(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng), GRULayer(6, 4, rng=rng)])
+        x = smooth_inputs(rng)
+        stats = ReuseStats()
+        old = MemoizationScheme(theta=0.05)
+        bad = MemoizationScheme(
+            layer_thetas=_SecondLayerNegative("layer1")
+        )
+        replacements = apply_memoization(stack, old, stats)
+        try:
+            with pytest.raises(ValueError, match="non-negative"):
+                swap_scheme(stack, replacements, old, bad, stats)
+            # Still wrapped, still under the old threshold, still serving.
+            assert isinstance(stack.layer0, MemoizedLSTMLayer)
+            assert isinstance(stack.layer1, MemoizedGRULayer)
+            assert stack.layer0._phase_predictors[0].theta == 0.05
+            stack(x)
+        finally:
+            restore(replacements)
+        assert isinstance(stack.layer0, LSTMLayer)
+        assert isinstance(stack.layer1, GRULayer)
+
+    def test_swap_updates_caller_list_in_place(self, rng):
+        stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
+        stats = ReuseStats()
+        old = MemoizationScheme(theta=0.05)
+        replacements = apply_memoization(stack, old, stats)
+        handle = replacements
+        swap_scheme(stack, replacements, old, old.with_theta(0.2), stats)
+        assert handle is replacements
+        restore(handle)
+        assert isinstance(stack.layer0, LSTMLayer)

@@ -15,6 +15,12 @@ from repro.nn.gru import GRULayer
 from repro.nn.lstm import LSTMLayer
 from repro.nn.rnn import RNNLayer
 
+# The scalar wrapper path (vectorized=False) routes through the
+# deprecated GatePredictor.step by design; ignore its warning here.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:GatePredictor.step is deprecated:DeprecationWarning"
+)
+
 
 @pytest.fixture
 def rng():
@@ -254,3 +260,36 @@ class TestWrapLayer:
         layer = LSTMLayer(4, 4, rng=rng)
         wrapped = wrap_layer(layer, make_scheme().make_predictor, ReuseStats(), "a")
         assert wrapped.cell is layer.cell
+
+
+class TestMemoTable:
+    def test_substitute_before_begin_sequence_raises(self):
+        from repro.core.memo import MemoTable
+
+        table = MemoTable(neurons=4)
+        with pytest.raises(RuntimeError, match="begin_sequence was not called"):
+            table.substitute(
+                np.zeros((1, 4), dtype=bool), np.zeros((1, 4))
+            )
+
+    def test_substitute_after_begin_sequence_works(self):
+        from repro.core.memo import MemoTable
+
+        table = MemoTable(neurons=3)
+        table.begin_sequence(batch=2)
+        fresh = np.arange(6, dtype=np.float64).reshape(2, 3)
+        out = table.substitute(np.zeros((2, 3), dtype=bool), fresh)
+        np.testing.assert_array_equal(out, fresh)
+
+    def test_begin_sequence_recovers_from_misuse(self):
+        """After the loud failure, a proper begin_sequence still works."""
+        from repro.core.memo import MemoTable
+
+        table = MemoTable(neurons=2)
+        with pytest.raises(RuntimeError):
+            table.substitute(np.zeros((1, 2), dtype=bool), np.zeros((1, 2)))
+        table.begin_sequence(batch=1)
+        out = table.substitute(
+            np.zeros((1, 2), dtype=bool), np.ones((1, 2))
+        )
+        np.testing.assert_array_equal(out, np.ones((1, 2)))

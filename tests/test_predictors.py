@@ -11,6 +11,12 @@ from repro.core.predictors import (
     OracleGatePredictor,
 )
 
+# These suites exercise the deprecated scalar interfaces (.step /
+# .predict) on purpose — they pin the legacy reference semantics.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:GatePredictor.(step|predict) is deprecated:DeprecationWarning"
+)
+
 
 def make_gate(rng, neurons=6, e=4, r=5):
     return BinaryGate(
@@ -316,3 +322,49 @@ class TestPredictMany:
         pred.begin_sequence(1)
         assert not pred.predict_many(operand=base).any()  # state was cleared
         assert pred.predict_many(operand=base).all()
+
+
+class TestDeprecationWarnings:
+    """The documented deprecations must actually warn (they were silent
+    until PR 7), so downstream callers migrating to predict_many get the
+    signal the docstrings promise."""
+
+    def test_step_warns(self, rng):
+        pred = OracleGatePredictor(theta=1.0)
+        pred.begin_sequence(1)
+        with pytest.warns(DeprecationWarning, match="step is deprecated"):
+            pred.step(None, None, lambda: rng.standard_normal((1, 6)))
+
+    def test_predict_warns(self, rng):
+        pred = OracleGatePredictor(theta=1.0)
+        pred.begin_sequence(1)
+        with pytest.warns(DeprecationWarning, match="predict is deprecated"):
+            pred.predict(preacts=rng.standard_normal(6))
+
+    def test_warning_points_at_the_caller(self, rng):
+        """stacklevel=2: the warning is attributed to this file, not to
+        predictors.py — otherwise every caller sees a useless location."""
+        import warnings
+
+        pred = OracleGatePredictor(theta=1.0)
+        pred.begin_sequence(1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pred.step(None, None, lambda: rng.standard_normal((1, 6)))
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+
+    def test_predict_many_does_not_warn(self, rng):
+        import warnings
+
+        pred = OracleGatePredictor(theta=1.0)
+        pred.begin_sequence(1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pred.predict_many(preacts=rng.standard_normal((1, 6)))
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )

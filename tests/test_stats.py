@@ -227,3 +227,58 @@ class TestProfileSummary:
         assert summary["mean_percent"] == pytest.approx(16.25)
         assert summary["fraction_below_10pct"] == pytest.approx(0.75)
         assert summary["median_percent"] == pytest.approx(7.0)
+
+
+class TestThreadSafeReuseStats:
+    def test_concurrent_records_lose_nothing(self):
+        import threading
+
+        from repro.core.stats import ThreadSafeReuseStats
+
+        stats = ThreadSafeReuseStats()
+        mask = np.ones((2, 8), dtype=bool)
+        per_thread = 200
+
+        def pound():
+            for _ in range(per_thread):
+                stats.record("layer", "gate", mask)
+
+        threads = [threading.Thread(target=pound) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.total_evaluations == 8 * per_thread * mask.size
+        assert stats.total_reused == 8 * per_thread * mask.size
+
+    def test_snapshot_is_detached(self):
+        from repro.core.stats import ThreadSafeReuseStats
+
+        stats = ThreadSafeReuseStats()
+        stats.record("layer", "i", np.array([[True, False]]))
+        snap = stats.snapshot()
+        assert type(snap) is ReuseStats
+        stats.record("layer", "i", np.array([[True, True]]))
+        assert snap.total_evaluations == 2
+        assert stats.total_evaluations == 4
+        snap.record("other", "o", np.array([[False]]))
+        assert ("other", "o") not in stats.total
+
+    def test_plain_snapshot_matches_base(self):
+        stats = ReuseStats()
+        stats.record("a", "g", np.array([[True, False, False]]))
+        snap = stats.snapshot()
+        assert snap.reused == stats.reused
+        assert snap.total == stats.total
+        assert snap.reused is not stats.reused
+
+    def test_merge_and_reset_locked_variants(self):
+        from repro.core.stats import ThreadSafeReuseStats
+
+        stats = ThreadSafeReuseStats()
+        other = ReuseStats()
+        other.record("a", "g", np.array([[True]]))
+        stats.merge(other)
+        assert stats.total_evaluations == 1
+        stats.reset()
+        assert stats.total_evaluations == 0
