@@ -10,12 +10,16 @@ fails on any mismatch or transport error.
 Results are written to ``BENCH_serve.json`` at the repo root so the
 serving trajectory is pinned in-tree: per threshold, the client-side
 exact latency percentiles (p50/p95/p99), request and row throughput,
-and the server's reuse fraction.  CI re-runs this bench in the
-``smoke-serve`` job and uploads the file as an artifact.
+and the server's reuse fraction.  A second sweep holds theta fixed and
+varies the replica-pool size: the single-replica, coalescing-off
+configuration is the PR 7 baseline, and the multi-replica points run
+with the coalescing batcher on — the scaling test asserts the pooled
+configurations beat the baseline's throughput.  CI re-runs this bench
+in the ``smoke-serve`` job and uploads the file as an artifact.
 
 The latency numbers are client-observed over loopback HTTP with
-``CONCURRENCY`` threads sharing one model lock, so they include queueing
-— the quantity a deployment would see, not bare model-forward time.
+``CONCURRENCY`` threads of clients, so they include queueing — the
+quantity a deployment would see, not bare model-forward time.
 """
 
 from __future__ import annotations
@@ -42,11 +46,23 @@ REQUESTS = 24
 CONCURRENCY = 4
 BATCH = 4
 
+#: Replica sweep: (replicas, coalesce_ms) points at a fixed threshold.
+#: (1, 0.0) is the PR 7 baseline — one compute copy, no coalescing;
+#: the pooled points run the coalescing batcher with a short window.
+REPLICA_POINTS = ((1, 0.0), (2, 2.0), (4, 2.0))
+REPLICA_THETA = 0.2
+REPLICA_REQUESTS = 48
+REPLICA_CONCURRENCY = 8
+REPLICA_BATCH = 2
+
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 #: theta -> summary point, filled by the parametrised bench and written
 #: to BENCH_serve.json at module teardown.
 _points: Dict[float, Dict[str, object]] = {}
+
+#: replicas -> summary point for the replica sweep.
+_replica_points: Dict[int, Dict[str, object]] = {}
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +88,16 @@ def serve_report():
         "concurrency": CONCURRENCY,
         "batch": BATCH,
         "points": {str(theta): _points[theta] for theta in sorted(_points)},
+        "replica_sweep": {
+            "theta": REPLICA_THETA,
+            "requests": REPLICA_REQUESTS,
+            "concurrency": REPLICA_CONCURRENCY,
+            "batch": REPLICA_BATCH,
+            "points": {
+                str(replicas): _replica_points[replicas]
+                for replicas in sorted(_replica_points)
+            },
+        },
     }
     RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -119,6 +145,89 @@ def test_serve_point(benchmark, serve_report, trained_benchmark, theta):
     benchmark.extra_info["p50_ms"] = latency["p50"]
     benchmark.extra_info["req_per_s"] = summary["req_per_s"]
     benchmark.extra_info["reuse_fraction"] = summary["reuse"]["overall_fraction"]
+
+
+@pytest.mark.parametrize("replicas,coalesce_ms", REPLICA_POINTS)
+def test_replica_point(
+    benchmark, serve_report, trained_benchmark, replicas, coalesce_ms
+):
+    """One pool size at fixed theta: serve, load, verify, record."""
+    del serve_report  # ordering only: report writes after all points run
+    state = ServeState(
+        trained_benchmark,
+        MemoizationScheme(theta=REPLICA_THETA),
+        replicas=replicas,
+        coalesce_ms=coalesce_ms,
+    )
+    server = InferenceServer(state, quiet=True)
+    server.serve_in_thread()
+    summaries = []
+    try:
+
+        def run():
+            summaries.append(
+                run_loadgen(
+                    server.url,
+                    NETWORK,
+                    scale=SCALE,
+                    seed=SEED,
+                    requests=REPLICA_REQUESTS,
+                    concurrency=REPLICA_CONCURRENCY,
+                    batch=REPLICA_BATCH,
+                    verify=True,
+                )
+            )
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        server.stop()
+        state.unwrap()
+    summary = summaries[-1]
+    assert summary["errors"] == [], summary["errors"]
+    assert summary["completed"] == REPLICA_REQUESTS
+    assert summary["verify"]["mismatches"] == 0, summary["verify"]["examples"]
+    latency = summary["latency_ms"]
+    _replica_points[replicas] = {
+        "replicas": replicas,
+        "coalesce_ms": coalesce_ms,
+        "latency_ms": latency,
+        "req_per_s": summary["req_per_s"],
+        "rows_per_s": summary["rows_per_s"],
+        "reuse_fraction": summary["reuse"]["overall_fraction"],
+        "coalesced_batches": summary["coalesce"]["coalesced_batches"],
+        "batches": summary["coalesce"]["batches"],
+        "verified_rows": summary["verify"]["checked"],
+    }
+    benchmark.extra_info["p95_ms"] = latency["p95"]
+    benchmark.extra_info["req_per_s"] = summary["req_per_s"]
+
+
+def test_replica_scaling(benchmark, serve_report):
+    """A pooled, coalescing server must out-serve the one-model baseline."""
+    del serve_report
+    if len(_replica_points) < 2 or 1 not in _replica_points:
+        pytest.skip("replica sweep points did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    baseline = _replica_points[1]["req_per_s"]
+    pooled = {
+        replicas: point["req_per_s"]
+        for replicas, point in _replica_points.items()
+        if replicas > 1
+    }
+    lines = [
+        f"replicas {replicas}: p50 "
+        f"{point['latency_ms']['p50']:7.2f} ms  p95 "
+        f"{point['latency_ms']['p95']:7.2f} ms  "
+        f"{point['req_per_s']:6.1f} req/s  "
+        f"({point['coalesced_batches']}/{point['batches']} batches coalesced)"
+        for replicas, point in sorted(_replica_points.items())
+    ]
+    print("\n=== serving throughput vs replica count ===\n" + "\n".join(lines))
+    best = max(pooled.values())
+    assert best > baseline, (
+        f"pooled serving ({pooled} req/s) did not beat the "
+        f"single-replica baseline ({baseline:.1f} req/s)"
+    )
 
 
 def test_reuse_trajectory(benchmark, serve_report):

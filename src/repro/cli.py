@@ -59,7 +59,9 @@ from repro.runner import (
     read_token_file,
 )
 from repro.serve import (
+    DEFAULT_COALESCE_MS,
     DEFAULT_SERVE_PORT,
+    DEFAULT_SESSION_TTL,
     InferenceServer,
     ServeError,
     ServeState,
@@ -396,6 +398,38 @@ def build_parser() -> argparse.ArgumentParser:
             "--layer-theta stack.layer0=0.1"
         ),
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "independently-wrapped compute copies of the model in the "
+            "pool; K concurrent requests run up to N forwards in "
+            "parallel (default: 1)"
+        ),
+    )
+    serve.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=DEFAULT_COALESCE_MS,
+        metavar="MS",
+        help=(
+            "gather window for coalescing equal-shape rows from waiting "
+            "requests into one forward while all replicas are busy; 0 "
+            f"disables coalescing (default: {DEFAULT_COALESCE_MS})"
+        ),
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=DEFAULT_SESSION_TTL,
+        metavar="SECONDS",
+        help=(
+            "evict streaming sessions idle this long; <= 0 disables "
+            f"eviction (default: {DEFAULT_SESSION_TTL:.0f})"
+        ),
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -440,6 +474,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="PUT this threshold to the server before the run",
+    )
+    loadgen.add_argument(
+        "--retune-theta",
+        type=float,
+        default=None,
+        metavar="THETA",
+        help=(
+            "fire a live PUT /theta to this threshold once about half "
+            "the requests have completed; --verify still checks every "
+            "row bitwise, per scheme version"
+        ),
     )
     loadgen.add_argument(
         "--token-file",
@@ -637,12 +682,22 @@ def _cmd_serve(args) -> str:
         flush=True,
     )
     bench = load_benchmark(args.network, scale=args.scale, seed=args.seed)
-    state = ServeState(bench, scheme)
+    try:
+        state = ServeState(
+            bench,
+            scheme,
+            replicas=args.replicas,
+            coalesce_ms=args.coalesce_ms,
+            session_ttl=args.session_ttl,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     server = InferenceServer(state, host=args.host, port=args.port, token=token)
     auth = "token auth" if token else "NO auth -- trusted networks only"
     print(
         f"serving {args.network} at {server.url} (theta={scheme.theta}, "
-        f"predictor={scheme.predictor}, {auth}); Ctrl-C to stop",
+        f"predictor={scheme.predictor}, {state.replica_count} replica(s), "
+        f"coalesce {state.coalesce_ms:g} ms, {auth}); Ctrl-C to stop",
         flush=True,
     )
     try:
@@ -654,7 +709,7 @@ def _cmd_serve(args) -> str:
     return (
         f"serve stopped; {state.infer_requests} inference request(s), "
         f"{state.rows_served} row(s), "
-        f"{100.0 * state.stats.reuse_fraction():.1f}% reuse"
+        f"{100.0 * state.aggregate_stats().reuse_fraction():.1f}% reuse"
     )
 
 
@@ -671,6 +726,7 @@ def _cmd_loadgen(args) -> Tuple[str, int]:
             token=_read_token(args),
             verify=args.verify,
             theta=args.theta,
+            retune_theta=args.retune_theta,
         )
     except (ServeError, ValueError) as exc:
         raise SystemExit(f"loadgen: {exc}")

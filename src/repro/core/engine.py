@@ -14,6 +14,7 @@ exit.  Model evaluation code does not change at all::
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator, List, Mapping, Optional, Tuple
@@ -69,16 +70,24 @@ class MemoizationScheme:
     layer_thetas: Optional[Mapping[str, float]] = None
 
     def __post_init__(self):
-        if self.theta < 0:
-            raise ValueError("theta must be non-negative")
+        # math.isfinite rejects NaN too, which `< 0` would wave through
+        # (every comparison against NaN is False) — a NaN threshold makes
+        # each reuse test silently false, a live-retune footgun.
+        if not math.isfinite(self.theta) or self.theta < 0:
+            raise ValueError("theta must be a finite non-negative number")
         if self.predictor not in PREDICTOR_KINDS:
             raise ValueError(
                 f"predictor must be one of {PREDICTOR_KINDS}, got "
                 f"{self.predictor!r}"
             )
         if self.layer_thetas is not None:
-            if any(value < 0 for value in self.layer_thetas.values()):
-                raise ValueError("layer thresholds must be non-negative")
+            if any(
+                not math.isfinite(value) or value < 0
+                for value in self.layer_thetas.values()
+            ):
+                raise ValueError(
+                    "layer thresholds must be finite non-negative numbers"
+                )
 
     def with_theta(self, theta: float) -> "MemoizationScheme":
         """Copy of the scheme at a different global threshold."""
@@ -139,6 +148,15 @@ def _iter_recurrent_children(
             yield from _iter_recurrent_children(child, prefix=f"{dotted}.")
 
 
+def iter_recurrent_layers(model: Module) -> Iterator[Tuple[object, str]]:
+    """Yield ``(layer, dotted_name)`` for every wrappable layer in walk
+    order — the public face of the engine's wrapping walk, for callers
+    (like the serving tier) that build their own wrappers over a model's
+    recurrent layers without swapping them in place."""
+    for _, _, layer, dotted in _iter_recurrent_children(model):
+        yield layer, dotted
+
+
 def apply_memoization(
     model: Module, scheme: MemoizationScheme, stats: ReuseStats
 ) -> List[_Replacement]:
@@ -180,9 +198,26 @@ def apply_memoization(
 
 
 def restore(replacements: List[_Replacement]) -> None:
-    """Undo :func:`apply_memoization`."""
+    """Undo :func:`apply_memoization`.
+
+    Re-registering a layer appends it to the parent's child registry, so
+    a naive undo would leave ``_children`` (and with it walk order,
+    ``named_parameters`` order, and any wrapper built from a later walk)
+    permanently reordered after a wrap/restore round trip.  The
+    attribute ``__dict__`` keeps its insertion order through the swap —
+    wrapping overwrites keys in place — so it is the authority we rebuild
+    each touched registry against.
+    """
     for record in reversed(replacements):
         setattr(record.parent, record.attr, record.original)
+    for parent in {id(r.parent): r.parent for r in replacements}.values():
+        ordered = {
+            name: parent._children[name]
+            for name in vars(parent)
+            if name in parent._children
+        }
+        parent._children.clear()
+        parent._children.update(ordered)
 
 
 def swap_scheme(

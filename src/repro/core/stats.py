@@ -112,6 +112,21 @@ class ReuseStats:
         copy.total = dict(self.total)
         return copy
 
+    @classmethod
+    def merged(cls, parts: Iterable["ReuseStats"]) -> "ReuseStats":
+        """One :class:`ReuseStats` folding every instance in ``parts``.
+
+        The aggregation primitive behind multi-replica serving metrics:
+        each replica records into its own stats (no cross-replica lock
+        contention on the inference hot path) and readers merge detached
+        snapshots into a single fleet-wide view.  Exact integer sums, so
+        any partition of the traffic merges to the same counts.
+        """
+        merged = cls()
+        for part in parts:
+            merged.merge(part)
+        return merged
+
 
 class ThreadSafeReuseStats(ReuseStats):
     """A :class:`ReuseStats` safe to record into from many threads.

@@ -9,7 +9,7 @@ pair and accumulates into ``Parameter.grad``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -109,3 +109,42 @@ class Module:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(params={self.num_parameters()})"
+
+
+def clone_with_shared_parameters(
+    module: Module, _memo: Optional[Dict[int, Module]] = None
+) -> Module:
+    """Structural copy of a module tree that *shares* every Parameter.
+
+    The clone is a new object graph — fresh instances for ``module`` and
+    each descendant module, with their own attribute dicts and registry
+    order — but every :class:`Parameter` is the *same object* as in the
+    source, so the clone computes with (and trains into) the original
+    weights.  Non-module attributes (sizes, activation objects, cached
+    activations) are shared by reference; code that reassigns them, like
+    the layers' backward caches, writes only to its own instance.
+
+    This is the replica primitive behind concurrent serving: N clones of
+    one trained model can each carry private mutable evaluation state
+    (memo wrappers, predictor sequences) while all answering from one
+    set of weights — a forward through a clone is bitwise identical to a
+    forward through the source.
+
+    Aliased submodules (one instance reachable through two attributes)
+    stay aliased in the clone.
+    """
+    memo = _memo if _memo is not None else {}
+    existing = memo.get(id(module))
+    if existing is not None:
+        return existing
+    clone = object.__new__(type(module))
+    object.__setattr__(clone, "_parameters", {})
+    object.__setattr__(clone, "_children", {})
+    memo[id(module)] = clone
+    for name, value in vars(module).items():
+        if name in ("_parameters", "_children"):
+            continue
+        if isinstance(value, Module):
+            value = clone_with_shared_parameters(value, memo)
+        setattr(clone, name, value)
+    return clone

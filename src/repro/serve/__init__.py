@@ -9,10 +9,18 @@ HTTP surface and :mod:`repro.serve.state` for the serving semantics.
 
 from repro.serve.loadgen import ServeClient, ServeError, run_loadgen
 from repro.serve.server import DEFAULT_SERVE_PORT, InferenceServer
-from repro.serve.state import MAX_INFER_ROWS, ServeState, parse_layer_thetas
+from repro.serve.state import (
+    DEFAULT_COALESCE_MS,
+    DEFAULT_SESSION_TTL,
+    MAX_INFER_ROWS,
+    ServeState,
+    parse_layer_thetas,
+)
 
 __all__ = [
+    "DEFAULT_COALESCE_MS",
     "DEFAULT_SERVE_PORT",
+    "DEFAULT_SESSION_TTL",
     "MAX_INFER_ROWS",
     "InferenceServer",
     "ServeClient",

@@ -12,6 +12,10 @@ bitwise the server's weights), evaluates every row it sent through the
 offline batch path under the server's live scheme, and diffs the served
 predictions bitwise — the end-to-end proof that serving one row at a
 time through a warm shared model equals the paper's batch evaluation.
+Every response is attributed to the ``scheme_version`` it was served
+under and verified against that version's scheme, so verification holds
+even across a live retune — including the one ``--retune-theta`` lets
+the loadgen itself fire halfway through the run.
 """
 
 from __future__ import annotations
@@ -176,6 +180,7 @@ def run_loadgen(
     token: Optional[str] = None,
     verify: bool = False,
     theta: Optional[float] = None,
+    retune_theta: Optional[float] = None,
     timeout: float = 60.0,
 ) -> Dict[str, object]:
     """Drive a running server; return the traffic + latency summary.
@@ -187,9 +192,15 @@ def run_loadgen(
 
     Args:
         theta: if given, ``PUT /theta`` this global threshold first.
+        retune_theta: if given, fire ``PUT /theta`` to this threshold
+            from inside the run once about half the requests have
+            completed — the live-retune stressor.  The loadgen records
+            the scheme each version was served under, so ``verify``
+            still checks every row bitwise.
         verify: train the benchmark locally (deterministic, bitwise the
             server's weights) and diff every served prediction against
-            the offline batch path under the server's scheme.
+            the offline batch path under the scheme version that served
+            it.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
@@ -208,6 +219,11 @@ def run_loadgen(
     if theta is not None:
         client.put("/api/v1/theta", {"theta": theta})
     scheme_info = client.get("/api/v1/theta")
+    #: scheme_version -> the GET/PUT /theta reply that version came from;
+    #: verification rebuilds each version's scheme from here.
+    scheme_infos: Dict[int, Dict[str, object]] = {
+        int(scheme_info["scheme_version"]): scheme_info
+    }
 
     # A fresh (never cached) instance: --verify wraps its model, which
     # must not collide with a same-process server holding the cached one.
@@ -227,6 +243,17 @@ def run_loadgen(
     latencies_ms: List[float] = [0.0] * requests
     responses: List[Optional[Dict[str, object]]] = [None] * requests
     errors: List[str] = []
+    # The mid-run retune fires right before request `retune_at` is sent.
+    # A worker pulls a new index only after finishing its previous one,
+    # so when index retune_at is drawn at least `retune_at - concurrency
+    # + 1` requests have already completed under the old scheme — and
+    # the PUT returns (pool fully swapped) before request retune_at goes
+    # out, so both scheme versions deterministically see traffic.
+    retune_at = (
+        min(requests - 1, max(concurrency, requests // 2))
+        if retune_theta is not None
+        else None
+    )
 
     def worker() -> None:
         thread_client = ServeClient(url, token=token, timeout=timeout)
@@ -235,6 +262,17 @@ def run_loadgen(
                 i = next(next_request, None)
             if i is None:
                 return
+            if i == retune_at:
+                try:
+                    info = thread_client.put(
+                        "/api/v1/theta", {"theta": retune_theta}
+                    )
+                except ServeError as exc:
+                    with counter_lock:
+                        errors.append(f"mid-run retune: {exc}")
+                else:
+                    with counter_lock:
+                        scheme_infos[int(info["scheme_version"])] = info
             body = {"inputs": [payloads[index] for index in plan[i]]}
             start = time.perf_counter()
             try:
@@ -260,6 +298,9 @@ def run_loadgen(
     wall_s = time.perf_counter() - started
 
     completed = [i for i in range(requests) if responses[i] is not None]
+    served_versions = sorted(
+        {int(responses[i]["scheme_version"]) for i in completed}
+    )
     summary: Dict[str, object] = {
         "url": url,
         "network": network,
@@ -273,42 +314,58 @@ def run_loadgen(
         "req_per_s": len(completed) / wall_s if wall_s > 0 else 0.0,
         "rows_per_s": len(completed) * batch / wall_s if wall_s > 0 else 0.0,
         "scheme": scheme_info,
+        "scheme_versions": served_versions,
         "errors": errors,
     }
+    if retune_theta is not None:
+        summary["retune_theta"] = retune_theta
     if completed:
         summary["latency_ms"] = _percentiles(
             [latencies_ms[i] for i in completed]
         )
     metrics = client.get("/api/v1/metrics")
     summary["reuse"] = metrics["reuse"]
+    summary["pool"] = metrics.get("pool")
+    summary["coalesce"] = metrics.get("coalesce")
 
     if verify:
-        scheme = scheme_from_info(scheme_info)
-        versions = {responses[i]["scheme_version"] for i in completed}
-        if len(versions) > 1 or (
-            completed
-            and versions != {scheme_info["scheme_version"]}
-        ):
+        # Group served rows by the scheme version that answered them and
+        # verify each group against the offline batch path under *that*
+        # version's scheme — bitwise equivalence must hold on both sides
+        # of any live retune.
+        unknown = [v for v in served_versions if v not in scheme_infos]
+        if unknown:
             raise ServeError(
                 0,
-                "scheme changed mid-run (versions "
-                f"{sorted(versions)}); cannot attribute predictions "
-                "to a single threshold for verification",
+                f"responses carry scheme version(s) {unknown} this "
+                "loadgen never observed via /theta (an external retune "
+                "raced the run); cannot attribute them to a threshold "
+                "for verification",
             )
-        unique = sorted(payloads)
-        expected = dict(zip(unique, expected_outputs(benchmark, scheme, unique)))
         checked = 0
         mismatches = []
-        for i in completed:
-            for index, output in zip(plan[i], responses[i]["outputs"]):
-                checked += 1
-                if output != expected[index]:
-                    mismatches.append(
-                        {"request": i, "row": index,
-                         "served": output, "expected": expected[index]}
-                    )
+        for version in served_versions:
+            in_version = [
+                i for i in completed
+                if int(responses[i]["scheme_version"]) == version
+            ]
+            unique = sorted({idx for i in in_version for idx in plan[i]})
+            scheme = scheme_from_info(scheme_infos[version])
+            expected = dict(
+                zip(unique, expected_outputs(benchmark, scheme, unique))
+            )
+            for i in in_version:
+                for index, output in zip(plan[i], responses[i]["outputs"]):
+                    checked += 1
+                    if output != expected[index]:
+                        mismatches.append(
+                            {"request": i, "row": index,
+                             "scheme_version": version,
+                             "served": output, "expected": expected[index]}
+                        )
         summary["verify"] = {
             "checked": checked,
+            "versions": served_versions,
             "mismatches": len(mismatches),
             "examples": mismatches[:5],
         }

@@ -63,6 +63,8 @@ class InferenceHandler(JsonApiHandler):
             "task": state.adapter.kind,
             "streamable": state.adapter.streamable,
             "scheme_version": state.scheme_version,
+            "replicas": state.replica_count,
+            "coalesce_ms": state.coalesce_ms,
         }
 
     def _ep_infer(self, body: Dict[str, object]) -> Dict[str, object]:

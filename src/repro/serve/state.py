@@ -1,41 +1,56 @@
-"""Serving state: one warm memoized model answering many requests.
+"""Serving state: a pool of warm memoized replicas answering many requests.
 
 :class:`ServeState` is everything behind the HTTP surface of ``repro
-serve``: the trained benchmark model wrapped with fuzzy memoization
-exactly once at startup, a lock that serializes model access (numpy
-inference releases the GIL mid-GEMM, and the memoized wrappers carry
-per-sequence decision state, so concurrent forwards through one model
-would corrupt each other), cumulative thread-safe reuse statistics, a
-bounded latency histogram, and the streaming sessions.
+serve``.  Since PR 8 the compute side is a **replica pool**: N
+structural clones of the trained model (same weight arrays, private
+:class:`~repro.core.layers.MemoizedRecurrentLayer` wrappers and memo
+state per clone — see
+:func:`repro.nn.module.clone_with_shared_parameters`) sit in a
+:class:`queue.Queue`; a request checks a replica out, runs its forward,
+and puts it back, so K concurrent ``/infer`` requests run up to N
+forwards genuinely in parallel.  The repo's row-independence invariant —
+per-row model computation is bitwise independent of which other rows
+share a batch, and of which wrapper instance computes it — makes every
+replica's answer bitwise identical to the single-model path of PR 7 and
+to the offline batch evaluation
+(:meth:`repro.models.benchmark.Benchmark.evaluate_memoized`).
 
-Request rows are evaluated exactly like the batch evaluation path
-(:meth:`repro.models.benchmark.Benchmark.evaluate_memoized`): every
-forward starts a fresh sequence, and the repo's row-independence
-invariant — per-row model computation is bitwise independent of which
-other rows share a batch — makes a served row identical to the same row
-inside any offline batch at the same scheme.  The memo *buffers* stay
-allocated between requests (``begin_sequence`` reallocates only on a
-batch-shape change), so a warm server does no per-request allocation for
-its steady-state traffic shape.
+On top of the pool sits a **coalescing batcher**.  Requests do not go
+straight to a replica: each validated request becomes a job on a shared
+pending queue, and whichever request thread checks out a replica first
+acts as the *leader* — it drains every waiting equal-shape job (bounded
+by :data:`MAX_INFER_ROWS`), stacks their rows into one forward, and
+unstacks the outputs per job.  While all other replicas are busy and
+requests are visibly coalescing, the leader holds a short gather window
+(``coalesce_ms``) for stragglers; a lone request never waits.  This is
+the few-builders/many-front-ends topology of the DAQ event-builder
+papers: many cheap HTTP acceptor threads feeding a small set of compute
+replicas.  Coalescing is latency policy only — by row independence the
+stacked forward is bitwise the per-request forwards.
 
-Live retuning swaps the whole scheme atomically under the model lock
-(:func:`repro.core.engine.swap_scheme`): requests already holding the
-lock finish under the scheme they started with; every response reports
-the ``scheme_version`` it was served under so clients can attribute
-predictions to thresholds.
+Live retuning swaps the scheme across the *whole pool* atomically: the
+retune checks out every replica (waiting for in-flight forwards, which
+therefore finish under the scheme of the replica they checked out),
+re-wraps each under the new scheme via
+:func:`repro.core.engine.swap_scheme`, bumps ``scheme_version`` once,
+and returns the pool.  Every response reports the ``scheme_version`` it
+was served under so clients can attribute predictions to thresholds.
 
 Streaming sessions give one caller a *private* memoized view of the
 recurrent stack: fresh wrappers over the same weights, with predictor
 and memo state that persists across chunk requests instead of resetting
-per request — the session-scoped warm memo of the paper's deployment
-story.  A chunked transcription is bitwise identical to the one-shot
-forward of the concatenated frames, because chunking only splits the
-timestep loop around preserved state.
+per request.  Sessions carry a ``last_used`` stamp and are evicted after
+``session_ttl`` seconds idle, so abandoned clients cannot permanently
+exhaust ``max_sessions``.  A chunked transcription is bitwise identical
+to the one-shot forward of the concatenated frames, because chunking
+only splits the timestep loop around preserved state.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import queue
 import threading
 import time
 from dataclasses import replace
@@ -45,27 +60,45 @@ import numpy as np
 
 from repro.core.engine import (
     MemoizationScheme,
-    _iter_recurrent_children,
     apply_memoization,
+    iter_recurrent_layers,
+    restore,
     swap_scheme,
 )
 from repro.core.layers import wrap_layer
-from repro.core.stats import ThreadSafeReuseStats
+from repro.core.stats import ReuseStats, ThreadSafeReuseStats
 from repro.datasets.speech import collapse
 from repro.models.benchmark import Benchmark
+from repro.nn.module import clone_with_shared_parameters
 from repro.nn.rnn import Bidirectional
 
 Array = np.ndarray
 
-#: Upper bound on rows per ``/infer`` request: enough for any sane
-#: client batch, small enough that one request cannot monopolise the
-#: model lock for an unbounded stretch.
+#: Upper bound on rows per ``/infer`` request *and* per coalesced
+#: forward: enough for any sane client batch, small enough that one
+#: forward cannot monopolise a replica for an unbounded stretch.
 MAX_INFER_ROWS = 256
+
+#: Default gather window for the coalescing batcher, in milliseconds.
+#: Only consulted when every other replica is busy and at least two
+#: jobs already coalesced — a lone request is never delayed by it.
+#: Zero disables coalescing entirely (one request per forward).
+DEFAULT_COALESCE_MS = 2.0
+
+#: Default idle TTL for streaming sessions, in seconds (~10 min).  A
+#: non-positive TTL disables eviction.
+DEFAULT_SESSION_TTL = 600.0
+
+#: Safety-net sleep for a request thread waiting on a replica.  The real
+#: wake path is the pending condition — leaders notify it whenever they
+#: return a replica or finish jobs — so this bound is only reached if a
+#: wakeup is lost.
+_POOL_WAIT_S = 0.05
 
 #: Latency bucket upper bounds in milliseconds: log-spaced from 0.25 ms
 #: to ~2 minutes, covering sub-millisecond tiny-model hits through
-#: lock-queued bench-scale batches.  The histogram is fixed-size, so
-#: metrics memory is bounded for the life of the server.
+#: queued bench-scale batches.  The histogram is fixed-size, so metrics
+#: memory is bounded for the life of the server.
 LATENCY_BOUNDS_MS = tuple(0.25 * 2**i for i in range(19))
 
 
@@ -114,7 +147,7 @@ class LatencyHistogram:
 
 
 class TaskAdapter:
-    """Validates request rows and runs them through the benchmark model.
+    """Validates request rows and runs them through a benchmark model.
 
     One adapter per application domain; ``validate_row`` raises
     :class:`ValueError` with a client-worthy message (the HTTP layer maps
@@ -122,6 +155,10 @@ class TaskAdapter:
     outputs.  Rows of equal shape are stacked into one forward (bitwise
     identical to per-row evaluation, by the row-independence invariant);
     ragged batches fall back to row-at-a-time.
+
+    ``infer`` takes the model to run explicitly so one adapter serves
+    every replica in the pool; without one it falls back to the
+    benchmark's own (unwrapped — no memoization) model.
     """
 
     kind = "generic"
@@ -134,15 +171,16 @@ class TaskAdapter:
     def validate_row(self, row: object) -> Array:
         raise NotImplementedError
 
-    def infer(self, rows: List[Array]) -> List[object]:
+    def infer(self, rows: List[Array], model=None) -> List[object]:
+        model = self.model if model is None else model
         if all(row.shape == rows[0].shape for row in rows):
-            return self._infer_batch(np.stack(rows))
+            return self._infer_batch(np.stack(rows), model)
         outputs: List[object] = []
         for row in rows:
-            outputs.extend(self._infer_batch(row[None]))
+            outputs.extend(self._infer_batch(row[None], model))
         return outputs
 
-    def _infer_batch(self, batch: Array) -> List[object]:
+    def _infer_batch(self, batch: Array, model) -> List[object]:
         raise NotImplementedError
 
 
@@ -166,8 +204,8 @@ class SentimentAdapter(TaskAdapter):
         return _validate_token_row(row, self.benchmark.dataset.vocab_size,
                                    "token")
 
-    def _infer_batch(self, batch: Array) -> List[object]:
-        return [int(label) for label in self.model.predict(batch)]
+    def _infer_batch(self, batch: Array, model) -> List[object]:
+        return [int(label) for label in model.predict(batch)]
 
 
 class SpeechAdapter(TaskAdapter):
@@ -201,8 +239,8 @@ class SpeechAdapter(TaskAdapter):
             raise ValueError("speech rows must be finite numbers")
         return frames
 
-    def _infer_batch(self, batch: Array) -> List[object]:
-        return [list(transcript) for transcript in self.model.transcribe(batch)]
+    def _infer_batch(self, batch: Array, model) -> List[object]:
+        return [list(transcript) for transcript in model.transcribe(batch)]
 
 
 class TranslationAdapter(TaskAdapter):
@@ -224,8 +262,8 @@ class TranslationAdapter(TaskAdapter):
         return _validate_token_row(row, self.benchmark.dataset.vocab_size,
                                    "source")
 
-    def _infer_batch(self, batch: Array) -> List[object]:
-        hypotheses = self.model.translate(
+    def _infer_batch(self, batch: Array, model) -> List[object]:
+        hypotheses = model.translate(
             batch, max_len=self.max_len, early_stop=False
         )
         return [list(hypothesis) for hypothesis in hypotheses]
@@ -250,6 +288,63 @@ def make_adapter(benchmark: Benchmark) -> TaskAdapter:
     return adapter(benchmark)
 
 
+# -- the replica pool --------------------------------------------------------
+
+
+class Replica:
+    """One independently-wrapped compute copy of the served model.
+
+    The model is a structural clone sharing every weight array with the
+    benchmark's trained model; memoization wrappers, predictors and memo
+    tables are private, as is the :class:`ThreadSafeReuseStats` the
+    wrappers record into — so replicas never contend on a stats lock in
+    the inference hot path.  Exclusive use is guaranteed by pool
+    checkout, and ``scheme``/``scheme_version`` are only rewritten by a
+    retune that holds the checkout.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        model,
+        scheme: MemoizationScheme,
+        scheme_version: int,
+    ):
+        self.index = index
+        self.model = clone_with_shared_parameters(model)
+        self.stats = ThreadSafeReuseStats()
+        self.replacements = apply_memoization(self.model, scheme, self.stats)
+        self.scheme = scheme
+        self.scheme_version = scheme_version
+        self.requests_served = 0
+        self.rows_served = 0
+        self.batches_served = 0
+
+
+class _InferJob:
+    """One ``/infer`` request waiting for (or holding) its outputs."""
+
+    __slots__ = (
+        "rows", "shape_key", "done", "outputs", "error",
+        "scheme_version", "theta", "started",
+    )
+
+    def __init__(self, rows: List[Array]):
+        self.rows = rows
+        first = rows[0].shape
+        # Equal-shape rows stack with other jobs; ragged jobs ride alone
+        # (the adapter already falls back to row-at-a-time for them).
+        self.shape_key: Optional[Tuple[int, ...]] = (
+            first if all(row.shape == first for row in rows) else None
+        )
+        self.done = threading.Event()
+        self.outputs: Optional[List[object]] = None
+        self.error: Optional[BaseException] = None
+        self.scheme_version = 0
+        self.theta = 0.0
+        self.started = time.perf_counter()
+
+
 # -- streaming sessions ------------------------------------------------------
 
 
@@ -257,11 +352,14 @@ class StreamSession:
     """One caller's private memoized view of the recurrent stack.
 
     Wrappers are built over the *original* layers (same weights as the
-    server's shared wrappers) but with their own predictors and memo
-    tables, started once at open: chunk requests thread the recurrent
-    state through, so the memo stays warm across requests instead of
-    resetting — and the concatenation of all chunks is bitwise identical
-    to a one-shot forward of the full utterance.
+    pool's replicas) but with their own predictors and memo tables,
+    started once at open: chunk requests thread the recurrent state
+    through, so the memo stays warm across requests instead of resetting
+    — and the concatenation of all chunks is bitwise identical to a
+    one-shot forward of the full utterance.
+
+    ``last_used`` drives idle eviction; ``lock`` serializes feeds into
+    this session (feeds into *different* sessions run concurrently).
     """
 
     def __init__(self, session_id: str, wrappers: List[object],
@@ -273,10 +371,20 @@ class StreamSession:
         self.theta = theta
         self.decoded: List[int] = []
         self.frames_fed = 0
+        self.last_used = time.time()
+        self.lock = threading.Lock()
 
 
 class SessionError(KeyError):
     """Unknown or already-closed session id (HTTP 404)."""
+
+
+def _require_finite_number(value: object, what: str) -> None:
+    """Reject bools (an ``int`` subclass!) and non-finite floats."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{what} must be a number")
+    if not math.isfinite(value):
+        raise ValueError(f"{what} must be finite")
 
 
 # -- the state object --------------------------------------------------------
@@ -288,9 +396,17 @@ class ServeState:
     Args:
         benchmark: a zoo benchmark; trained on construction if needed
             (the one expensive startup step — requests only run forwards).
+            The benchmark's own model is never wrapped: replicas are
+            weight-sharing clones, so offline evaluation of the same
+            benchmark can proceed concurrently with serving.
         scheme: the initial memoization scheme.
-        max_sessions: open streaming sessions allowed at once (keeps an
-            abandoning client from accumulating per-session state).
+        max_sessions: open streaming sessions allowed at once.
+        replicas: compute copies in the pool (>= 1).
+        coalesce_ms: gather window of the coalescing batcher; ``0``
+            disables coalescing entirely (one request per forward — the
+            single-model baseline behaviour).
+        session_ttl: seconds a streaming session may sit idle before it
+            is evicted; non-positive disables eviction.
     """
 
     def __init__(
@@ -298,36 +414,74 @@ class ServeState:
         benchmark: Benchmark,
         scheme: MemoizationScheme,
         max_sessions: int = 64,
+        replicas: int = 1,
+        coalesce_ms: float = DEFAULT_COALESCE_MS,
+        session_ttl: float = DEFAULT_SESSION_TTL,
     ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if coalesce_ms < 0:
+            raise ValueError("coalesce_ms must be non-negative")
         benchmark.ensure_trained()
         self.benchmark = benchmark
         self.adapter = make_adapter(benchmark)
+        #: Streaming-session wrappers record here; replica stats live on
+        #: the replicas and are merged in at read time.
         self.stats = ThreadSafeReuseStats()
         self.lock = threading.RLock()
         self.scheme = scheme
         self.scheme_version = 1
-        # Layer names in walk order, captured before wrapping (the walk
-        # only sees unwrapped layers); zip-aligned with `replacements`
-        # after apply_memoization, and stable across scheme swaps.
-        self.layer_names = [
-            dotted for _, _, _, dotted in _iter_recurrent_children(benchmark.model)
+        #: (layer, dotted_name) in walk order over the *unwrapped* model
+        #: — the template sessions and clones are wrapped from.
+        self._recurrent_layers = list(iter_recurrent_layers(benchmark.model))
+        self.layer_names = [dotted for _, dotted in self._recurrent_layers]
+        self._replicas = [
+            Replica(index, benchmark.model, scheme, self.scheme_version)
+            for index in range(replicas)
         ]
-        self.replacements = apply_memoization(
-            benchmark.model, scheme, self.stats
-        )
+        self._pool: "queue.Queue[Replica]" = queue.Queue()
+        for replica in self._replicas:
+            self._pool.put(replica)
+        self.coalesce_ms = float(coalesce_ms)
+        self._coalesce_s = self.coalesce_ms / 1000.0
+        self._pending: List[_InferJob] = []
+        self._pending_cond = threading.Condition()
+        #: Guards the plain counters below.  Leaders take only this lock
+        #: while holding a replica — never ``self.lock``, which a retune
+        #: holds while draining the pool (lock-order discipline that
+        #: keeps retune/serve deadlock-free).
+        self._counters_lock = threading.Lock()
         self.latency = LatencyHistogram()
         self.started_at = time.time()
         self.infer_requests = 0
         self.rows_served = 0
+        self.batches = 0
+        self.coalesced_batches = 0
+        self.max_batch_jobs = 0
+        self.max_batch_rows = 0
+        self.batch_jobs_hist: Dict[int, int] = {}
         self.max_sessions = max_sessions
+        self.session_ttl = float(session_ttl)
         self.sessions: Dict[str, StreamSession] = {}
         self.sessions_opened = 0
         self.sessions_closed = 0
+        self.sessions_evicted = 0
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
 
     # -- inference ----------------------------------------------------------
 
     def infer(self, raw_rows: Sequence[object]) -> Dict[str, object]:
-        """Validate and evaluate a batch of rows under the live scheme."""
+        """Validate and evaluate a batch of rows under the live scheme.
+
+        The request becomes a job on the pending queue; this thread then
+        competes for a replica and, when it gets one, serves *whatever
+        is pending* (possibly several coalesced requests, possibly not
+        its own — another leader may already have taken it).  Either
+        way it returns once its own job is done.
+        """
         if not isinstance(raw_rows, list) or not raw_rows:
             raise ValueError("inputs must be a non-empty list of rows")
         if len(raw_rows) > MAX_INFER_ROWS:
@@ -336,20 +490,130 @@ class ServeState:
                 f"got {len(raw_rows)}"
             )
         rows = [self.adapter.validate_row(row) for row in raw_rows]
-        start = time.perf_counter()
-        with self.lock:
-            version = self.scheme_version
-            theta = self.scheme.theta
-            outputs = self.adapter.infer(rows)
-            self.infer_requests += 1
-            self.rows_served += len(rows)
-        self.latency.observe(1000.0 * (time.perf_counter() - start))
+        job = _InferJob(rows)
+        with self._pending_cond:
+            self._pending.append(job)
+            self._pending_cond.notify_all()  # wake gather-window leaders
+        while not job.done.is_set():
+            replica = None
+            with self._pending_cond:
+                if job.done.is_set():
+                    break
+                try:
+                    replica = self._pool.get_nowait()
+                except queue.Empty:
+                    # No free replica: sleep until a leader returns one
+                    # (it notifies this condition) or finishes our job.
+                    # The timeout is a safety net, not the wake path.
+                    self._pending_cond.wait(_POOL_WAIT_S)
+            if replica is None:
+                continue
+            try:
+                self._run_one_batch(replica)
+            finally:
+                with self._pending_cond:
+                    self._pool.put(replica)
+                    self._pending_cond.notify_all()
+        if job.error is not None:
+            raise job.error
+        self.latency.observe(1000.0 * (time.perf_counter() - job.started))
         return {
-            "outputs": outputs,
-            "scheme_version": version,
-            "theta": theta,
+            "outputs": job.outputs,
+            "scheme_version": job.scheme_version,
+            "theta": job.theta,
             "model": self.benchmark.name,
         }
+
+    def _gather_batch(self) -> List[_InferJob]:
+        """Claim a coalesced batch of pending jobs for one forward.
+
+        The head of the pending queue defines the batch: every waiting
+        job with the same row shape joins it (FIFO, skipping
+        incompatible shapes) until :data:`MAX_INFER_ROWS`.  A ragged job
+        rides alone.  The gather window is only held when this is the
+        last free replica *and* at least two jobs already coalesced —
+        evidence of real concurrency; a lone request is never delayed.
+        """
+        batch: List[_InferJob] = []
+        total_rows = 0
+        deadline = None
+        with self._pending_cond:
+            if self._coalesce_s <= 0:
+                # Coalescing off: one job per forward — the PR 7-style
+                # baseline the replica-sweep bench compares against.
+                return [self._pending.pop(0)] if self._pending else []
+            while True:
+                index = 0
+                while index < len(self._pending) and total_rows < MAX_INFER_ROWS:
+                    job = self._pending[index]
+                    if not batch:
+                        del self._pending[index]
+                        batch.append(job)
+                        total_rows += len(job.rows)
+                        if job.shape_key is None:
+                            return batch
+                        continue
+                    if (
+                        job.shape_key == batch[0].shape_key
+                        and total_rows + len(job.rows) <= MAX_INFER_ROWS
+                    ):
+                        del self._pending[index]
+                        batch.append(job)
+                        total_rows += len(job.rows)
+                        continue
+                    index += 1
+                if not batch:
+                    return []
+                if (
+                    len(batch) < 2
+                    or total_rows >= MAX_INFER_ROWS
+                    or self._pool.qsize() > 0
+                ):
+                    return batch
+                if deadline is None:
+                    deadline = time.monotonic() + self._coalesce_s
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return batch
+                self._pending_cond.wait(remaining)
+
+    def _run_one_batch(self, replica: Replica) -> None:
+        """Serve one coalesced batch (possibly empty) on ``replica``."""
+        batch = self._gather_batch()
+        if not batch:
+            return
+        all_rows = [row for job in batch for row in job.rows]
+        try:
+            outputs = self.adapter.infer(all_rows, model=replica.model)
+        except BaseException as exc:
+            for job in batch:
+                job.error = exc
+                job.done.set()
+            raise
+        version = replica.scheme_version
+        theta = replica.scheme.theta
+        total_rows = len(all_rows)
+        with self._counters_lock:
+            self.infer_requests += len(batch)
+            self.rows_served += total_rows
+            self.batches += 1
+            if len(batch) > 1:
+                self.coalesced_batches += 1
+            self.max_batch_jobs = max(self.max_batch_jobs, len(batch))
+            self.max_batch_rows = max(self.max_batch_rows, total_rows)
+            self.batch_jobs_hist[len(batch)] = (
+                self.batch_jobs_hist.get(len(batch), 0) + 1
+            )
+            replica.requests_served += len(batch)
+            replica.rows_served += total_rows
+            replica.batches_served += 1
+        cursor = 0
+        for job in batch:
+            job.outputs = outputs[cursor:cursor + len(job.rows)]
+            cursor += len(job.rows)
+            job.scheme_version = version
+            job.theta = theta
+            job.done.set()
 
     # -- live retuning ------------------------------------------------------
 
@@ -369,15 +633,16 @@ class ServeState:
             }
 
     def retune(self, updates: Mapping[str, object]) -> Dict[str, object]:
-        """Atomically re-wrap the model under an updated scheme.
+        """Atomically re-wrap every replica under an updated scheme.
 
         ``updates`` may set ``theta``, ``layer_thetas`` (a mapping, or
         ``None`` to clear the overrides), ``predictor`` and ``throttle``.
-        Validation is :class:`MemoizationScheme`'s own (a bad update
-        raises :class:`ValueError` before the model is touched, and a
-        failed swap rolls back to the old scheme).  In-flight requests
-        hold the model lock, so they finish under the scheme they
-        started with; the bumped ``scheme_version`` marks the boundary.
+        The retune checks out the whole pool — in-flight requests finish
+        under their checkout's scheme first — swaps each replica via
+        :func:`swap_scheme`, bumps ``scheme_version`` exactly once, and
+        returns the replicas.  A failed swap restores every
+        already-swapped replica to the old scheme before the exception
+        propagates, so the pool is never mixed-scheme.
         """
         allowed = {"theta", "layer_thetas", "predictor", "throttle"}
         unknown = set(updates) - allowed
@@ -389,19 +654,20 @@ class ServeState:
         if not updates:
             raise ValueError(f"nothing to retune; retunable: {sorted(allowed)}")
         changes = dict(updates)
-        if "theta" in changes and not isinstance(
-            changes["theta"], (int, float)
-        ):
-            raise ValueError("theta must be a number")
+        if "theta" in changes:
+            _require_finite_number(changes["theta"], "theta")
         if "layer_thetas" in changes and changes["layer_thetas"] is not None:
             overrides = changes["layer_thetas"]
-            if not isinstance(overrides, dict) or not all(
-                isinstance(name, str) and isinstance(value, (int, float))
-                for name, value in overrides.items()
-            ):
+            if not isinstance(overrides, dict):
                 raise ValueError(
                     "layer_thetas must map layer names to numbers, or null"
                 )
+            for name, value in overrides.items():
+                if not isinstance(name, str):
+                    raise ValueError(
+                        "layer_thetas must map layer names to numbers, or null"
+                    )
+                _require_finite_number(value, f"layer_thetas[{name!r}]")
             unknown_layers = set(overrides) - set(self.layer_names)
             if unknown_layers:
                 raise ValueError(
@@ -414,18 +680,60 @@ class ServeState:
             raise ValueError("throttle must be a boolean")
         with self.lock:
             new_scheme = replace(self.scheme, **changes)  # may raise ValueError
-            swap_scheme(
-                self.benchmark.model,
-                self.replacements,
-                self.scheme,
-                new_scheme,
-                self.stats,
-            )
+            checked_out = [self._pool.get() for _ in self._replicas]
+            try:
+                swapped: List[Replica] = []
+                try:
+                    for replica in checked_out:
+                        swap_scheme(
+                            replica.model,
+                            replica.replacements,
+                            replica.scheme,
+                            new_scheme,
+                            replica.stats,
+                        )
+                        swapped.append(replica)
+                except Exception:
+                    # Pool-wide atomicity: un-swap the ones that made it.
+                    for replica in swapped:
+                        swap_scheme(
+                            replica.model,
+                            replica.replacements,
+                            new_scheme,
+                            replica.scheme,
+                            replica.stats,
+                        )
+                    raise
+                version = self.scheme_version + 1
+                for replica in checked_out:
+                    replica.scheme = new_scheme
+                    replica.scheme_version = version
+            finally:
+                with self._pending_cond:
+                    for replica in checked_out:
+                        self._pool.put(replica)
+                    self._pending_cond.notify_all()
             self.scheme = new_scheme
-            self.scheme_version += 1
+            self.scheme_version = version
             return self.scheme_info()
 
     # -- streaming sessions -------------------------------------------------
+
+    def _evict_idle_sessions(self, now: float) -> None:
+        """Drop sessions idle past the TTL (caller holds ``self.lock``).
+
+        A session whose lock is held is mid-feed and therefore not idle,
+        whatever its stamp says — skip it; the feed refreshes the stamp.
+        """
+        if self.session_ttl <= 0:
+            return
+        for session_id, session in list(self.sessions.items()):
+            if (
+                now - session.last_used > self.session_ttl
+                and not session.lock.locked()
+            ):
+                del self.sessions[session_id]
+                self.sessions_evicted += 1
 
     def open_session(self) -> Dict[str, object]:
         if not self.adapter.streamable:
@@ -433,7 +741,9 @@ class ServeState:
                 f"model {self.benchmark.name!r} does not support streaming "
                 "sessions (only unidirectional speech stacks do)"
             )
+        now = time.time()
         with self.lock:
+            self._evict_idle_sessions(now)
             if len(self.sessions) >= self.max_sessions:
                 raise ValueError(
                     f"too many open sessions (limit {self.max_sessions}); "
@@ -443,13 +753,13 @@ class ServeState:
             scheme = self.scheme
             wrappers = [
                 wrap_layer(
-                    record.original,
+                    layer,
                     scheme.with_theta(scheme.theta_for(dotted)).make_predictor,
                     self.stats,
                     name=dotted,
                     vectorized=scheme.vectorized,
                 )
-                for record, dotted in zip(self.replacements, self.layer_names)
+                for layer, dotted in self._recurrent_layers
             ]
             session = StreamSession(
                 session_id, wrappers, self.scheme_version, scheme.theta
@@ -472,11 +782,21 @@ class ServeState:
             raise SessionError(f"unknown session {session_id!r}") from None
 
     def session_feed(self, session_id: object, chunk: object) -> Dict[str, object]:
-        """Run one chunk of frames through a session's warm stack."""
+        """Run one chunk of frames through a session's warm stack.
+
+        Feeds into different sessions run concurrently (each session's
+        wrappers are private); feeds into one session serialize on its
+        lock.  The classifier belongs to the shared unwrapped model and
+        is a pure function of its weights, so sharing it is race-free.
+        """
         frames = self.adapter.validate_row(chunk)
         start = time.perf_counter()
+        now = time.time()
         with self.lock:
+            self._evict_idle_sessions(now)
             session = self._session(session_id)
+            session.last_used = now
+        with session.lock:
             hidden = frames[None]  # (1, T, F)
             steps = hidden.shape[1]
             for index, wrapper in enumerate(session.wrappers):
@@ -490,6 +810,8 @@ class ServeState:
             predictions = [int(p) for p in logits.argmax(axis=-1)[0]]
             session.decoded.extend(predictions)
             session.frames_fed += steps
+            session.last_used = time.time()
+        with self._counters_lock:
             self.infer_requests += 1
             self.rows_served += 1
         self.latency.observe(1000.0 * (time.perf_counter() - start))
@@ -503,8 +825,14 @@ class ServeState:
         }
 
     def close_session(self, session_id: object) -> Dict[str, object]:
-        """Close a session; returns the collapse-decoded transcript."""
+        """Close a session; returns the collapse-decoded transcript.
+
+        A session evicted for idleness is gone from the table, so
+        closing it reports the same 404 :class:`SessionError` as any
+        unknown id.
+        """
         with self.lock:
+            self._evict_idle_sessions(time.time())
             session = self._session(session_id)
             del self.sessions[session_id]
             self.sessions_closed += 1
@@ -517,26 +845,75 @@ class ServeState:
 
     # -- metrics ------------------------------------------------------------
 
+    def aggregate_stats(self) -> ReuseStats:
+        """Fleet-wide reuse counters: every replica plus the sessions."""
+        return ReuseStats.merged(
+            [replica.stats.snapshot() for replica in self._replicas]
+            + [self.stats.snapshot()]
+        )
+
     def metrics(
         self, request_counts: Optional[Mapping[str, int]] = None
     ) -> Dict[str, object]:
-        stats = self.stats.snapshot()
+        """One consistent view of counters, reuse, pool and sessions.
+
+        Everything is read under ``self.lock``: a retune also holds that
+        lock for its whole pool swap, so the reuse counters, the scheme
+        and the ``scheme_version`` reported here always belong together.
+        """
         with self.lock:
+            replica_snapshots = [
+                replica.stats.snapshot() for replica in self._replicas
+            ]
+            session_snapshot = self.stats.snapshot()
+            stats = ReuseStats.merged(replica_snapshots + [session_snapshot])
             scheme_info = {
                 "theta": self.scheme.theta,
                 "predictor": self.scheme.predictor,
                 "throttle": self.scheme.throttle,
                 "scheme_version": self.scheme_version,
             }
-            inference = {
-                "requests": self.infer_requests,
-                "rows": self.rows_served,
-            }
             sessions = {
                 "open": len(self.sessions),
                 "opened": self.sessions_opened,
                 "closed": self.sessions_closed,
+                "evicted": self.sessions_evicted,
+                "ttl_s": self.session_ttl,
             }
+            available = self._pool.qsize()
+            with self._counters_lock:
+                inference = {
+                    "requests": self.infer_requests,
+                    "rows": self.rows_served,
+                }
+                pool = {
+                    "replicas": len(self._replicas),
+                    "available": available,
+                    "busy": len(self._replicas) - available,
+                    "per_replica": [
+                        {
+                            "replica": replica.index,
+                            "requests": replica.requests_served,
+                            "rows": replica.rows_served,
+                            "batches": replica.batches_served,
+                            "reuse_fraction": snapshot.reuse_fraction(),
+                        }
+                        for replica, snapshot in zip(
+                            self._replicas, replica_snapshots
+                        )
+                    ],
+                }
+                coalesce = {
+                    "window_ms": self.coalesce_ms,
+                    "batches": self.batches,
+                    "coalesced_batches": self.coalesced_batches,
+                    "max_batch_jobs": self.max_batch_jobs,
+                    "max_batch_rows": self.max_batch_rows,
+                    "batch_jobs_hist": {
+                        str(jobs): count
+                        for jobs, count in sorted(self.batch_jobs_hist.items())
+                    },
+                }
         return {
             "model": {
                 "name": self.benchmark.name,
@@ -549,6 +926,8 @@ class ServeState:
             "uptime_s": time.time() - self.started_at,
             "requests": dict(request_counts or {}),
             "inference": {**inference, "latency_ms": self.latency.snapshot()},
+            "pool": pool,
+            "coalesce": coalesce,
             "reuse": {
                 "overall_fraction": stats.reuse_fraction(),
                 "by_layer": stats.by_layer(),
@@ -561,23 +940,40 @@ class ServeState:
     # -- shutdown helper ----------------------------------------------------
 
     def unwrap(self) -> None:
-        """Restore the original model layers (tests re-use the model)."""
-        from repro.core.engine import restore
+        """Dispose the replica pool (waits for in-flight forwards).
 
+        The shared benchmark model is never wrapped, so there is nothing
+        to restore on it — each checked-back-in clone is unwrapped and
+        the pool refilled so a late caller cannot block forever.
+        """
         with self.lock:
-            restore(self.replacements)
-            self.replacements = []
+            drained = [self._pool.get() for _ in self._replicas]
+            for replica in drained:
+                restore(replica.replacements)
+                replica.replacements = []
+            with self._pending_cond:
+                for replica in drained:
+                    self._pool.put(replica)
+                self._pending_cond.notify_all()
 
 
 def parse_layer_thetas(pairs: Sequence[str]) -> Dict[str, float]:
-    """Parse CLI ``LAYER=THETA`` override pairs."""
+    """Parse CLI ``LAYER=THETA`` override pairs.
+
+    Thresholds must parse as *finite* floats: ``nan``/``inf`` are real
+    ``float()`` values that every downstream comparison silently
+    mishandles, so they are rejected here at the door.
+    """
     overrides: Dict[str, float] = {}
     for pair in pairs:
         name, sep, value = pair.partition("=")
         if not sep or not name:
             raise ValueError(f"expected LAYER=THETA, got {pair!r}")
         try:
-            overrides[name] = float(value)
+            threshold = float(value)
         except ValueError:
             raise ValueError(f"bad threshold in {pair!r}") from None
+        if not math.isfinite(threshold):
+            raise ValueError(f"threshold must be finite in {pair!r}")
+        overrides[name] = threshold
     return overrides
