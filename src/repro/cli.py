@@ -15,6 +15,9 @@ Commands mirror the library's main entry points:
 - ``loadgen``   — drive a running ``serve`` endpoint with deterministic
   traffic; report latency percentiles and optionally verify served
   predictions bitwise against the offline batch path.
+- ``top``       — live text dashboard for a ``serve`` endpoint or a
+  ``coordinator`` (request rates, latency percentiles, reuse, queue
+  depths, per-owner throughput); ``--watch`` refreshes in place.
 
 ``sweep``/``e2e``/``report`` take ``--backend
 {serial,process,queue,http}``: ``serial`` evaluates in-process,
@@ -500,6 +503,45 @@ def build_parser() -> argparse.ArgumentParser:
             "batch path (trains the benchmark locally first)"
         ),
     )
+    loadgen.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON summary report to this file",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live text dashboard for a serve endpoint or coordinator",
+        description=(
+            "Scrape a running `repro serve` (/api/v1/metrics) or "
+            "`repro coordinator` (/api/v1/stats) and render a compact "
+            "text dashboard: request rates, latency percentiles, pool "
+            "occupancy and reuse for the serving tier; queue depths and "
+            "per-owner throughput for the coordinator.  With --watch, "
+            "refresh in place until interrupted."
+        ),
+    )
+    top.add_argument(
+        "--url", required=True, help="server base URL (http://HOST:PORT)"
+    )
+    top.add_argument(
+        "--token-file",
+        default=None,
+        metavar="FILE",
+        help="file holding the server's shared auth token",
+    )
+    top.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh the dashboard in place until Ctrl-C",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes (default: 2)",
+    )
     return parser
 
 
@@ -727,6 +769,7 @@ def _cmd_loadgen(args) -> Tuple[str, int]:
             verify=args.verify,
             theta=args.theta,
             retune_theta=args.retune_theta,
+            out=args.out,
         )
     except (ServeError, ValueError) as exc:
         raise SystemExit(f"loadgen: {exc}")
@@ -734,6 +777,34 @@ def _cmd_loadgen(args) -> Tuple[str, int]:
         args.verify and summary["verify"]["mismatches"] > 0
     )
     return json.dumps(summary, indent=2), 1 if failed else 0
+
+
+def _cmd_top(args) -> Union[str, Tuple[str, int]]:
+    # Lazy import: the dashboard renderer is the one obs module the
+    # library tiers never load.
+    from repro.obs.top import TopError, run_top
+
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive")
+    token = _read_token(args)
+    if not args.watch:
+        try:
+            return run_top(args.url, token=token)
+        except TopError as exc:
+            raise SystemExit(f"top: {exc}")
+    import time as _time
+
+    try:
+        while True:
+            try:
+                dashboard = run_top(args.url, token=token)
+            except TopError as exc:
+                dashboard = f"top: {exc}"
+            # Clear screen + home, like watch(1).
+            print("\x1b[2J\x1b[H" + dashboard, flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return ""
 
 
 def _cmd_area(args) -> str:
@@ -756,6 +827,7 @@ _COMMANDS = {
     "coordinator": _cmd_coordinator,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
 }
 
 

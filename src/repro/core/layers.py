@@ -28,11 +28,13 @@ candidate gate's reset-gated operand.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List
 
 import numpy as np
 
 from repro.core.binarization import pack_signs
+from repro.obs import profiler as _profiler
 from repro.core.memo import MemoTable
 from repro.core.predictors import GatePredictor
 from repro.core.stats import ReuseStats
@@ -79,7 +81,9 @@ class MemoizedRecurrentLayer:
             for phase in self.cell.PHASES:
                 w_x, w_h = self.cell.stacked_gate_weights(phase.gates)
                 self._phase_predictors.append(predictor_factory(w_x, w_h))
-                self._tables.append(MemoTable(w_x.shape[0]))
+                self._tables.append(
+                    MemoTable(w_x.shape[0], profile_key=(name, phase.index))
+                )
         else:
             self._predictors: Dict[str, GatePredictor] = {}
             for gate in self.cell.gate_names:
@@ -101,7 +105,13 @@ class MemoizedRecurrentLayer:
 
     def step(self, x_t: Array, state):
         """One memoized timestep; returns ``(h_t, new_state)``."""
-        return self.layer.step(x_t, state, hook=self)
+        profiler = _profiler.ACTIVE
+        if profiler is None:
+            return self.layer.step(x_t, state, hook=self)
+        start = perf_counter()
+        result = self.layer.step(x_t, state, hook=self)
+        profiler.record_step(self.name, perf_counter() - start)
+        return result
 
     # -- MemoHook ------------------------------------------------------------
 
@@ -114,7 +124,10 @@ class MemoizedRecurrentLayer:
         preacts: Array,
     ) -> Array:
         if self.vectorized:
-            return self._on_gates_vectorized(phase, x, h, preacts)
+            profiler = _profiler.ACTIVE
+            if profiler is None:
+                return self._on_gates_vectorized(phase, x, h, preacts)
+            return self._on_gates_profiled(profiler, phase, x, h, preacts)
         return self._on_gates_scalar(phase, x, h, preacts)
 
     def _on_gates_vectorized(
@@ -136,6 +149,51 @@ class MemoizedRecurrentLayer:
         hidden = self.hidden_size
         for i, gate in enumerate(phase.gates):
             self.stats.record(self.name, gate, mask[:, i * hidden : (i + 1) * hidden])
+        return outputs
+
+    def _on_gates_profiled(
+        self,
+        profiler: "_profiler.Profiler",
+        phase: GatePhase,
+        x: Array,
+        h: Array,
+        preacts: Array,
+    ) -> Array:
+        """:meth:`_on_gates_vectorized` with per-phase timing fences.
+
+        Mirrors the fast path call-for-call (same operations, same
+        order, same arrays) so outputs stay bitwise identical; the only
+        additions are ``perf_counter`` fences around the predictor and
+        the memo substitution, recorded into ``profiler``.
+        """
+        predictor = self._phase_predictors[phase.index]
+        table = self._tables[phase.index]
+        packed = operand = None
+        if predictor.REQUIRES:
+            operand = np.concatenate([x, h], axis=-1)
+            if "packed" in predictor.REQUIRES:
+                packed = pack_signs(operand)
+                if "operand" not in predictor.REQUIRES:
+                    operand = None
+        t0 = perf_counter()
+        mask = predictor.predict_many(
+            packed, preacts=preacts, operand=operand, memo=table.memo
+        )
+        t1 = perf_counter()
+        outputs = table.substitute(mask, preacts)
+        t2 = perf_counter()
+        hidden = self.hidden_size
+        for i, gate in enumerate(phase.gates):
+            self.stats.record(self.name, gate, mask[:, i * hidden : (i + 1) * hidden])
+        profiler.record_phase(
+            self.name,
+            phase.index,
+            phase.gates,
+            predict_s=t1 - t0,
+            substitute_s=t2 - t1,
+            reused=int(mask.sum()),
+            total=mask.size,
+        )
         return outputs
 
     def _on_gates_scalar(

@@ -15,9 +15,11 @@ as both and the per-timestep work is a single masked in-place copy.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.obs import profiler as _profiler
 
 Array = np.ndarray
 
@@ -30,19 +32,28 @@ class MemoTable:
         values: the ``(B, neurons)`` buffer, or ``None`` before the first
             :meth:`begin_sequence`.  After the first :meth:`substitute`
             of a sequence it always holds the memoized pre-activations.
+        profile_key: optional ``(layer, phase_index)`` identity reported
+            to an installed :class:`~repro.obs.profiler.Profiler` when
+            the buffer is (re)allocated.
     """
 
-    def __init__(self, neurons: int):
+    def __init__(self, neurons: int, profile_key: Optional[Tuple[str, int]] = None):
         if neurons <= 0:
             raise ValueError("neurons must be positive")
         self.neurons = neurons
         self.values: Optional[Array] = None
         self._fresh = True
+        self.profile_key = profile_key
 
     def begin_sequence(self, batch: int) -> None:
         """Mark the memo empty; reallocate only if the batch shape changed."""
         if self.values is None or self.values.shape[0] != batch:
             self.values = np.empty((batch, self.neurons))
+            # Allocation is the cold path (once per batch shape), so the
+            # profiler check costs nothing on the per-timestep path.
+            if self.profile_key is not None and _profiler.ACTIVE is not None:
+                layer, phase_index = self.profile_key
+                _profiler.ACTIVE.record_table(layer, phase_index, batch, self.neurons)
         self._fresh = True
 
     @property

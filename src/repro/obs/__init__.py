@@ -1,0 +1,42 @@
+"""Unified telemetry: metrics registry, request tracing, event log, profiler.
+
+``repro.obs`` is a *leaf* package — it imports nothing from the rest of
+``repro`` (only the stdlib), so every tier (core engine, serving tier,
+coordinator, transport client, CLI) can depend on it without cycles.
+``repro.obs.top`` (the dashboard CLI) is intentionally not imported
+here: it is pulled in lazily by the ``repro top`` subcommand.
+"""
+
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, EventLog
+from repro.obs.profiler import Profiler, install, profiled, uninstall
+from repro.obs.registry import (
+    DEFAULT_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    REQUEST_ID_HEADER,
+    ensure_request_id,
+    new_request_id,
+    valid_request_id,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS_MS",
+    "DEFAULT_EVENT_CAPACITY",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "REQUEST_ID_HEADER",
+    "ensure_request_id",
+    "install",
+    "new_request_id",
+    "profiled",
+    "uninstall",
+    "valid_request_id",
+]

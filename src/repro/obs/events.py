@@ -1,0 +1,75 @@
+"""Bounded structured event log: a ring buffer of JSON events.
+
+Every notable state transition a server goes through — retunes, session
+evictions, lease expiries, quarantines, worker joins — lands here as a
+small JSON object, and ``/api/v1/events`` serves the buffer's current
+contents.  The ring is fixed-capacity (``deque(maxlen=...)``), so the
+event log is bounded for the life of the process no matter the traffic:
+old events fall off the front and are *counted* (``dropped``) rather
+than silently vanishing, and every event carries a monotonically
+increasing ``seq`` so a poller can detect the gap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Default ring capacity.  Big enough to hold the interesting recent
+#: history of a busy server, small enough that an events dump is one
+#: modest JSON reply.
+DEFAULT_EVENT_CAPACITY = 512
+
+
+class EventLog:
+    """Thread-safe fixed-capacity ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Append one event; returns the stored record."""
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, object] = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": str(kind),
+            }
+            event.update(fields)
+            self._ring.append(event)
+            return event
+
+    @property
+    def total(self) -> int:
+        """Events emitted over the process lifetime (not just retained)."""
+        with self._lock:
+            return self._seq
+
+    def snapshot(
+        self, limit: Optional[int] = None, kind: Optional[str] = None
+    ) -> Dict[str, object]:
+        """JSON-ready view: retained events (oldest first) plus accounting."""
+        with self._lock:
+            events: List[Dict[str, object]] = [
+                dict(event) for event in self._ring
+            ]
+            total = self._seq
+        retained = len(events)
+        if kind is not None:
+            events = [event for event in events if event["kind"] == kind]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return {
+            "events": events,
+            "capacity": self.capacity,
+            "total": total,
+            "dropped": total - retained,
+        }

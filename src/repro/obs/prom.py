@@ -1,0 +1,215 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+:func:`render` turns a registry into the plain-text exposition format
+(version 0.0.4) Prometheus scrapes: ``# HELP`` / ``# TYPE`` comments
+followed by one sample line per labeled series, histograms expanded
+into cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+Both servers mount it at ``/metrics.prom``.
+
+:func:`validate_exposition` is the matching lint: CI scrapes each
+server's ``/metrics.prom`` and runs ``python -m repro.obs.prom FILE``
+over the dump, which checks every line's shape, rejects duplicate
+series, and demands the mandatory ``+Inf`` bucket on histograms —
+the format contract, enforced without a prometheus dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Labels,
+    MetricsRegistry,
+)
+
+#: Content type of the exposition, sent by the ``/metrics.prom`` routes.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(names: Tuple[str, ...], values: Labels) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _render_metric(metric) -> Iterable[str]:
+    if metric.help:
+        yield f"# HELP {metric.name} {_escape(metric.help)}"
+    yield f"# TYPE {metric.name} {metric.kind}"
+    if isinstance(metric, Histogram):
+        for labels in sorted(metric.series_labels()):
+            snap = metric.snapshot(labels)
+            names = metric.label_names
+            for bucket in snap["buckets"]:
+                series = _label_str(
+                    names + ("le",), labels + (str(bucket["le_ms"]),)
+                )
+                yield f"{metric.name}_bucket{series} {bucket['count']}"
+            inf = _label_str(names + ("le",), labels + ("+Inf",))
+            yield f"{metric.name}_bucket{inf} {snap['count']}"
+            suffix = _label_str(names, labels)
+            yield f"{metric.name}_sum{suffix} {_format_value(float(snap['sum_ms']))}"
+            yield f"{metric.name}_count{suffix} {snap['count']}"
+    elif isinstance(metric, (Counter, Gauge)):
+        for labels, value in sorted(metric.series().items()):
+            series = _label_str(metric.label_names, labels)
+            yield f"{metric.name}{series} {_format_value(float(value))}"
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry's current state as Prometheus text exposition."""
+    lines = []
+    for metric in registry.collect():
+        lines.extend(_render_metric(metric))
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> int:
+    """Check ``text`` is well-formed exposition; returns the sample count.
+
+    Raises :class:`ValueError` naming the offending line on: malformed
+    sample lines, malformed label pairs, duplicate series (same name
+    and label set twice), samples for a name never declared by ``#
+    TYPE``, and histograms missing their ``+Inf`` bucket.
+    """
+    typed: Dict[str, str] = {}
+    seen: Set[str] = set()
+    histogram_inf: Dict[str, bool] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        if labels:
+            inner = labels[1:-1]
+            if inner:
+                for pair in _split_pairs(inner, lineno):
+                    if not _LABEL_PAIR_RE.match(pair):
+                        raise ValueError(
+                            f"line {lineno}: malformed label pair {pair!r}"
+                        )
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)]
+            if name.endswith(suffix) and typed.get(trimmed) == "histogram":
+                base = trimmed
+                break
+        if base not in typed:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no # TYPE declaration"
+            )
+        if typed[base] == "histogram" and name == base:
+            raise ValueError(
+                f"line {lineno}: histogram {base!r} exposes a bare sample"
+            )
+        series = f"{name}{labels}"
+        if series in seen:
+            raise ValueError(f"line {lineno}: duplicate series {series!r}")
+        seen.add(series)
+        if typed.get(base) == "histogram":
+            histogram_inf.setdefault(base, False)
+            if name == f"{base}_bucket" and 'le="+Inf"' in labels:
+                histogram_inf[base] = True
+        samples += 1
+    missing = [name for name, has_inf in histogram_inf.items() if not has_inf]
+    if missing:
+        raise ValueError(f"histogram(s) missing +Inf bucket: {missing}")
+    return samples
+
+
+def _split_pairs(inner: str, lineno: int):
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    pairs = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in inner:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.prom [FILE]``: validate an exposition dump."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) > 1:
+        print("usage: python -m repro.obs.prom [FILE]", file=sys.stderr)
+        return 2
+    if argv and argv[0] != "-":
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        samples = validate_exposition(text)
+    except ValueError as exc:
+        print(f"invalid exposition: {exc}", file=sys.stderr)
+        return 1
+    print(f"ok: {samples} sample(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

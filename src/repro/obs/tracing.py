@@ -1,0 +1,44 @@
+"""Request-id tracing: mint, validate, and carry one id across tiers.
+
+Every request through :class:`~repro.runner.transport.http_common
+.JsonApiHandler` gets an ``X-Repro-Request-Id``: minted server-side when
+the client sent none, adopted when the client sent a well-formed one.
+The id is echoed on every reply and threaded through the event log and
+``/infer`` response bodies, so one id follows a request across
+submit -> claim -> complete (the coordinator) and
+infer -> coalesce -> forward (the serving tier).
+
+Client-supplied ids are validated, never trusted: an id that is not a
+short path-and-log-safe token is *replaced* (the request still traces,
+under a server-minted id) rather than rejected — tracing must never be
+able to fail a request.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from typing import Optional
+
+#: The header carrying the id, both directions.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Accepted id shape: short, printable, safe to embed in log lines,
+#: JSON events and filenames without escaping.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char id (collision-safe at any realistic rate)."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_request_id(candidate: object) -> bool:
+    return isinstance(candidate, str) and bool(_REQUEST_ID_RE.match(candidate))
+
+
+def ensure_request_id(candidate: Optional[object]) -> str:
+    """``candidate`` if it is a well-formed id, else a fresh mint."""
+    if valid_request_id(candidate):
+        return candidate  # type: ignore[return-value]
+    return new_request_id()

@@ -289,6 +289,12 @@ class WorkQueue(TaskQueue):
         self.pending_dir = self.root / "pending"
         self.active_dir = self.root / "active"
         self.failed_dir = self.root / "failed"
+        #: Optional structured event sink (anything with an
+        #: ``emit(kind, **fields)`` — see :class:`repro.obs.EventLog`).
+        #: The coordinator attaches its log here so quarantines and
+        #: lease expiries land in ``/api/v1/events``; standalone queues
+        #: leave it ``None`` and pay nothing.
+        self.events = None
         #: Where workers drop finished results (keyed by task id).  Kept
         #: inside the queue root so sharing the queue directory is all
         #: the coordination submitters and workers ever need.
@@ -411,6 +417,13 @@ class WorkQueue(TaskQueue):
             )
         except FileNotFoundError:
             pass
+        if self.events is not None:
+            self.events.emit(
+                "task_quarantined",
+                task_id=task.task_id,
+                owner=lease_owner(task.lease),
+                error=error[:200],
+            )
 
     def is_failed(self, task_id: str) -> bool:
         """Whether ``task_id`` has been quarantined under ``failed/``."""
@@ -460,6 +473,14 @@ class WorkQueue(TaskQueue):
             except FileNotFoundError:
                 continue
             requeued += 1
+            if self.events is not None:
+                parts = lease.name.split(".")
+                owner = lease_owner(parts[1]) if len(parts) >= 3 else ""
+                self.events.emit(
+                    "lease_expired",
+                    task_id=task_id,
+                    owner=owner,
+                )
         return requeued
 
     # -- introspection ------------------------------------------------------

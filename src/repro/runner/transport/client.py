@@ -42,6 +42,7 @@ import urllib.request
 from http.client import HTTPException
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.obs import REQUEST_ID_HEADER, new_request_id
 from repro.runner.queue import Task, TaskQueue
 
 #: Attempts per request: 1 + DEFAULT_RETRIES.  With the default backoff
@@ -211,6 +212,14 @@ class RemoteWorkQueue(TaskQueue):
         self.round_trips = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: The id the coordinator echoed on the most recent reply —
+        #: what an operator quotes to find this client's requests in
+        #: the coordinator's ``/api/v1/events``.
+        self.last_request_id: Optional[str] = None
+        #: claim-minted request id per live task: ``extend`` /
+        #: ``complete`` / ``fail`` reuse the claim's id, so one id
+        #: follows a task across its whole lease on the coordinator.
+        self._task_request_ids: Dict[str, str] = {}
         self._wire_lock = threading.Lock()
         self._lease_ttl: Optional[float] = None
         self._lease_ttl_fetched = 0.0
@@ -338,25 +347,46 @@ class RemoteWorkQueue(TaskQueue):
         return snapshot
 
     def claim(self, worker: str = "") -> Optional[Task]:
-        reply = self._call("claim", {"worker": worker})
+        request_id = new_request_id()
+        reply = self._call("claim", {"worker": worker}, request_id=request_id)
         if reply.get("task", "present") is None:
             return None
+        task_id = str(reply["task_id"])
+        with self._wire_lock:
+            self._task_request_ids[task_id] = request_id
         return Task(
-            task_id=str(reply["task_id"]),
+            task_id=task_id,
             payload=dict(reply["payload"]),
             lease=str(reply["lease"]),
         )
 
+    def _task_request_id(self, task_id: str, pop: bool = False) -> Optional[str]:
+        """The claim's request id for ``task_id`` (popped when the task
+        leaves this worker's hands)."""
+        with self._wire_lock:
+            if pop:
+                return self._task_request_ids.pop(task_id, None)
+            return self._task_request_ids.get(task_id)
+
     def extend(self, task: Task) -> None:
-        self._call("extend", {"task_id": task.task_id, "lease": task.lease})
+        self._call(
+            "extend",
+            {"task_id": task.task_id, "lease": task.lease},
+            request_id=self._task_request_id(task.task_id),
+        )
 
     def complete(self, task: Task) -> None:
-        self._call("complete", {"task_id": task.task_id, "lease": task.lease})
+        self._call(
+            "complete",
+            {"task_id": task.task_id, "lease": task.lease},
+            request_id=self._task_request_id(task.task_id, pop=True),
+        )
 
     def fail(self, task: Task, error: str = "") -> None:
         self._call(
             "fail",
             {"task_id": task.task_id, "lease": task.lease, "error": error},
+            request_id=self._task_request_id(task.task_id, pop=True),
         )
 
     def is_failed(self, task_id: str) -> bool:
@@ -394,15 +424,23 @@ class RemoteWorkQueue(TaskQueue):
         endpoint: str,
         body: Optional[Dict[str, object]] = None,
         method: str = "POST",
+        request_id: Optional[str] = None,
     ) -> Dict[str, object]:
-        """One coordinator round-trip with bounded retry-with-backoff."""
+        """One coordinator round-trip with bounded retry-with-backoff.
+
+        Every attempt of one logical call carries the *same*
+        ``X-Repro-Request-Id`` (supplied, or minted here), so retries of
+        a lost reply are recognisably one request in the coordinator's
+        event log.
+        """
+        request_id = request_id or new_request_id()
         last_error: Optional[Exception] = None
         attempt = 0
         while attempt <= self.retries:
             if attempt:
                 time.sleep(self.backoff * 2 ** (attempt - 1))
             try:
-                return self._once(endpoint, body, method)
+                return self._once(endpoint, body, method, request_id)
             except urllib.error.HTTPError as exc:
                 detail = self._error_detail(exc)
                 if exc.code in (401, 403):
@@ -466,12 +504,14 @@ class RemoteWorkQueue(TaskQueue):
         endpoint: str,
         body: Optional[Dict[str, object]],
         method: str,
+        request_id: str,
     ) -> Dict[str, object]:
         data = None
         request_gzipped = False
         headers = {
             "Accept": "application/json",
             "Accept-Encoding": "gzip",
+            REQUEST_ID_HEADER: request_id,
         }
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
@@ -506,6 +546,9 @@ class RemoteWorkQueue(TaskQueue):
             raise
         with self._wire_lock:
             self.bytes_received += len(raw)
+            self.last_request_id = (
+                reply_headers.get(REQUEST_ID_HEADER) or request_id
+            )
         if reply_headers.get("X-Repro-Protocol"):
             self._peer_gzip = True
         if reply_headers.get("Content-Encoding", "").lower() == "gzip":

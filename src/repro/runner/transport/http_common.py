@@ -18,9 +18,22 @@ the wire hardening is written (and tested) once:
   a ``(method, handler)`` tuple accepted as single-method shorthand),
   request counting on known routes only, and error replies that close
   the connection so unread bodies cannot desync a keep-alive socket.
+- Request tracing: every request gets an ``X-Repro-Request-Id``
+  (adopted from the client when well-formed, minted otherwise) which is
+  echoed on every reply — success or error — so one id follows a
+  request across tiers and into the event log.
+- Per-server telemetry: a :class:`repro.obs.MetricsRegistry` backs the
+  request counter (``request_counts`` stays a ``collections.Counter``
+  view for existing callers) and a bounded
+  :class:`repro.obs.EventLog` collects structured state-transition
+  events for ``/api/v1/events``.
 
 Handlers raise :class:`RequestError` to turn any condition into a clean
 HTTP error; everything else becomes a 500 without killing the server.
+Handlers normally return a JSON-able dict; returning a
+:class:`RawReply` instead sends pre-rendered bytes under a custom
+content type (how ``/metrics.prom`` serves Prometheus text through the
+same auth/gzip path).
 """
 
 from __future__ import annotations
@@ -30,11 +43,19 @@ import hmac
 import json
 import sys
 import threading
+import time
 import zlib
-from collections import Counter
+from collections import Counter as PathCounts
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    REQUEST_ID_HEADER,
+    ensure_request_id,
+)
 
 #: Requests larger than this are rejected outright (a result payload
 #: for a bench-scale network is ~100 KB; 32 MB is absurd headroom).
@@ -51,8 +72,30 @@ PROTOCOL_VERSION = 2
 
 #: A single route: either ``{method: handler}`` or the single-method
 #: shorthand ``(method, handler)``.
-Handler = Callable[["JsonApiHandler", Dict[str, object]], Dict[str, object]]
+Handler = Callable[
+    ["JsonApiHandler", Dict[str, object]],
+    Union[Dict[str, object], "RawReply"],
+]
 Route = Union[Tuple[str, Handler], Mapping[str, Handler]]
+
+
+class RawReply:
+    """A non-JSON response body a handler may return instead of a dict.
+
+    Travels the same reply path as JSON (auth already passed, gzip
+    negotiation, request-id echo) but with the given content type —
+    Prometheus exposition is the one current user.
+    """
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(
+        self,
+        body: Union[str, bytes],
+        content_type: str = "text/plain; charset=utf-8",
+    ):
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+        self.content_type = content_type
 
 
 def read_token_file(path: Union[str, Path]) -> str:
@@ -114,6 +157,11 @@ class JsonApiHandler(BaseHTTPRequestHandler):
         return route
 
     def _dispatch(self, method: str) -> None:
+        # Trace id first: even a 401 echoes the id, so a client can
+        # correlate every reply — including failures — with its attempt.
+        self.request_id = ensure_request_id(
+            self.headers.get(REQUEST_ID_HEADER)
+        )
         if self.path in self.server.routes:
             # Known endpoints only: the counter is keyed by client-sent
             # paths, and counting arbitrary scanned URLs would grow it
@@ -190,8 +238,15 @@ class JsonApiHandler(BaseHTTPRequestHandler):
             return True
         return False
 
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
-        data = json.dumps(payload).encode("utf-8")
+    def _reply(
+        self, status: int, payload: Union[Dict[str, object], RawReply]
+    ) -> None:
+        if isinstance(payload, RawReply):
+            data = payload.body
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         content_encoding = None
         if (
             status < 400
@@ -207,9 +262,12 @@ class JsonApiHandler(BaseHTTPRequestHandler):
             # request line, desyncing the socket — close it instead.
             self.close_connection = True
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.send_header("X-Repro-Protocol", str(PROTOCOL_VERSION))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header(REQUEST_ID_HEADER, request_id)
         if content_encoding:
             self.send_header("Content-Encoding", content_encoding)
         if self.close_connection:
@@ -224,6 +282,10 @@ class JsonApiHandler(BaseHTTPRequestHandler):
 
     def _log_event(self, message: str) -> None:
         self.server.log(message)
+
+    def _event(self, kind: str, **fields: object) -> None:
+        """Record a structured event, stamped with this request's id."""
+        self.server.events.emit(kind, request_id=self.request_id, **fields)
 
 
 class JsonApiServer(ThreadingHTTPServer):
@@ -240,6 +302,12 @@ class JsonApiServer(ThreadingHTTPServer):
         quiet: suppress event log lines (tests).
         max_body_bytes: per-request body cap, applied to the
             decompressed size for gzip requests.
+        registry: the metrics registry to record into; a fresh one is
+            created when not supplied (the serving tier passes its
+            ``ServeState``'s registry so engine and HTTP metrics share
+            one exposition).
+        events: the structured event log backing ``/api/v1/events``;
+            fresh when not supplied, shareable for the same reason.
     """
 
     daemon_threads = True
@@ -257,22 +325,37 @@ class JsonApiServer(ThreadingHTTPServer):
         token: Optional[str] = None,
         quiet: bool = False,
         max_body_bytes: int = MAX_BODY_BYTES,
+        registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ):
         self.token = token
         self.quiet = quiet
         self.max_body_bytes = int(max_body_bytes)
         #: The live route table — an instance copy, free to edit.
         self.routes: Dict[str, Route] = dict(routes)
-        #: Requests served, by path — how the wire tests prove how many
-        #: round trips an operation costs.
-        self.request_counts: Counter = Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self._request_counter = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint path.",
+            label_names=("path",),
+        )
+        self.started_at = time.time()
         self._log_lock = threading.Lock()
-        self._count_lock = threading.Lock()
         super().__init__((host, port), handler)
 
     def count_request(self, path: str) -> None:
-        with self._count_lock:
-            self.request_counts[path] += 1
+        self._request_counter.inc(labels=(path,))
+
+    @property
+    def request_counts(self) -> PathCounts:
+        """Requests served, by path — how the wire tests prove how many
+        round trips an operation costs.  A snapshot view over the
+        registry counter; missing paths read as ``0``."""
+        return PathCounts(
+            {path: int(count) for (path,), count in
+             self._request_counter.series().items()}
+        )
 
     @property
     def url(self) -> str:

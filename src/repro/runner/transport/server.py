@@ -52,9 +52,14 @@ mount.
 from __future__ import annotations
 
 import json
+import os
+import threading
+import time
+from collections import deque
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Deque, Dict, Optional, Union
 
+from repro.obs.prom import PROM_CONTENT_TYPE, render
 from repro.runner.queue import WorkQueue, lease_owner
 from repro.runner.transport.http_common import (
     GZIP_MIN_BYTES,
@@ -62,6 +67,7 @@ from repro.runner.transport.http_common import (
     PROTOCOL_VERSION,
     JsonApiHandler,
     JsonApiServer,
+    RawReply,
     RequestError,
     gunzip_capped,
     read_token_file,
@@ -138,6 +144,56 @@ def _valid_worker(worker: object) -> str:
     return worker
 
 
+class _OwnerThroughput:
+    """Per-owner completion/failure accounting with a rolling rate.
+
+    ``record`` is called from handler threads on every ``/complete`` and
+    ``/fail``; ``snapshot`` feeds ``/api/v1/stats`` and ``repro top``.
+    The rate is completions over a sliding window (not since-start, so a
+    worker that died shows 0/s within a minute), tracked with one
+    bounded timestamp deque per owner.
+    """
+
+    WINDOW_S = 60.0
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._completed: Dict[str, int] = {}
+        self._failed: Dict[str, int] = {}
+        self._recent: Dict[str, Deque[float]] = {}
+
+    def record(self, owner: str, ok: bool) -> None:
+        owner = owner or "anonymous"
+        now = time.monotonic()
+        with self._lock:
+            if ok:
+                self._completed[owner] = self._completed.get(owner, 0) + 1
+            else:
+                self._failed[owner] = self._failed.get(owner, 0) + 1
+            recent = self._recent.setdefault(owner, deque())
+            recent.append(now)
+            cutoff = now - self.WINDOW_S
+            while recent and recent[0] < cutoff:
+                recent.popleft()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        now = time.monotonic()
+        cutoff = now - self.WINDOW_S
+        with self._lock:
+            owners = set(self._completed) | set(self._failed)
+            view: Dict[str, Dict[str, object]] = {}
+            for owner in sorted(owners):
+                recent = self._recent.get(owner, ())
+                in_window = sum(1 for stamp in recent if stamp >= cutoff)
+                view[owner] = {
+                    "completed": self._completed.get(owner, 0),
+                    "failed": self._failed.get(owner, 0),
+                    "rate_per_s": in_window / self.WINDOW_S,
+                    "window_s": self.WINDOW_S,
+                }
+            return view
+
+
 class CoordinatorHandler(JsonApiHandler):
     """Routes one request to the wrapped :class:`WorkQueue`."""
 
@@ -148,7 +204,40 @@ class CoordinatorHandler(JsonApiHandler):
 
     def _ep_stats(self, body: Dict[str, object]) -> Dict[str, object]:
         del body
-        return self.server.queue.stats()
+        stats = self.server.queue.stats()
+        stats["throughput"] = self.server.throughput.snapshot()
+        return stats
+
+    def _ep_health(self, body: Dict[str, object]) -> Dict[str, object]:
+        """Liveness + readiness: can this coordinator actually serve?
+
+        ``writable`` probes the queue root (or its nearest existing
+        parent, before first submit creates it) without mutating
+        anything — a read-only mount is the classic silent coordinator
+        failure, and a health check that only proves the process is up
+        would miss it.
+        """
+        del body
+        queue = self.server.queue
+        probe = queue.root
+        while not probe.is_dir() and probe.parent != probe:
+            probe = probe.parent
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "queue_dir": str(queue.root),
+            "writable": os.access(probe, os.W_OK),
+            "lease_ttl": queue.lease_ttl,
+        }
+
+    def _ep_events(self, body: Dict[str, object]) -> Dict[str, object]:
+        del body
+        return self.server.events.snapshot()
+
+    def _ep_metrics_prom(self, body: Dict[str, object]) -> RawReply:
+        del body
+        self.server.sync_registry()
+        return RawReply(render(self.server.registry), PROM_CONTENT_TYPE)
 
     def _ep_submit(self, body: Dict[str, object]) -> Dict[str, object]:
         payload = body.get("payload")
@@ -161,9 +250,10 @@ class CoordinatorHandler(JsonApiHandler):
         task = self.server.queue.claim(worker)
         if task is None:
             return {"task": None}
-        self._log_event(
-            f"claim {task.task_id[:12]} -> {lease_owner(task.lease)}"
-        )
+        owner = lease_owner(task.lease)
+        self._log_event(f"claim {task.task_id[:12]} -> {owner}")
+        if self.server.note_owner(owner):
+            self._event("worker_joined", owner=owner)
         return {
             "task_id": task.task_id,
             "payload": task.payload,
@@ -182,18 +272,19 @@ class CoordinatorHandler(JsonApiHandler):
                 raise RequestError(400, "result must be a JSON object")
             self.server.queue.results.put(task.task_id, result)
         self.server.queue.complete(task)
-        self._log_event(
-            f"complete {task.task_id[:12]} by {lease_owner(task.lease)}"
-        )
+        owner = lease_owner(task.lease)
+        self.server.record_outcome(owner, ok=True)
+        self._log_event(f"complete {task.task_id[:12]} by {owner}")
         return {"ok": True}
 
     def _ep_fail(self, body: Dict[str, object]) -> Dict[str, object]:
         task = self._task(body)
         error = str(body.get("error", ""))
         self.server.queue.fail(task, error=error)
+        owner = lease_owner(task.lease)
+        self.server.record_outcome(owner, ok=False)
         self._log_event(
-            f"FAIL {task.task_id[:12]} by {lease_owner(task.lease)}: "
-            f"quarantined under failed/"
+            f"FAIL {task.task_id[:12]} by {owner}: quarantined under failed/"
         )
         return {"ok": True}
 
@@ -318,6 +409,9 @@ class CoordinatorHandler(JsonApiHandler):
 #: path -> (method, handler).  One flat table: the whole wire protocol.
 _ROUTES = {
     "/api/v1/stats": ("GET", CoordinatorHandler._ep_stats),
+    "/api/v1/health": ("GET", CoordinatorHandler._ep_health),
+    "/api/v1/events": ("GET", CoordinatorHandler._ep_events),
+    "/metrics.prom": ("GET", CoordinatorHandler._ep_metrics_prom),
     "/api/v1/submit": ("POST", CoordinatorHandler._ep_submit),
     "/api/v1/claim": ("POST", CoordinatorHandler._ep_claim),
     "/api/v1/extend": ("POST", CoordinatorHandler._ep_extend),
@@ -369,6 +463,9 @@ class CoordinatorServer(JsonApiServer):
         if not isinstance(queue, WorkQueue):
             queue = WorkQueue(queue)
         self.queue = queue
+        self.throughput = _OwnerThroughput()
+        self._owners_seen: set = set()
+        self._owners_lock = threading.Lock()
         super().__init__(
             host,
             port,
@@ -378,3 +475,49 @@ class CoordinatorServer(JsonApiServer):
             quiet=quiet,
             max_body_bytes=max_body_bytes,
         )
+        # The queue emits quarantine/lease-expiry events into this
+        # server's ring so they surface on /api/v1/events.
+        self.queue.events = self.events
+        self._completed_counter = self.registry.counter(
+            "repro_tasks_completed_total",
+            "Tasks completed, by worker owner.",
+            label_names=("owner",),
+        )
+        self._failed_counter = self.registry.counter(
+            "repro_tasks_failed_total",
+            "Tasks quarantined, by worker owner.",
+            label_names=("owner",),
+        )
+
+    def note_owner(self, owner: str) -> bool:
+        """Record ``owner``; True the first time it is seen (a join)."""
+        with self._owners_lock:
+            if owner in self._owners_seen:
+                return False
+            self._owners_seen.add(owner)
+            return True
+
+    def record_outcome(self, owner: str, ok: bool) -> None:
+        """One task finished (or was quarantined) by ``owner``."""
+        self.throughput.record(owner, ok)
+        counter = self._completed_counter if ok else self._failed_counter
+        counter.inc(labels=(owner or "anonymous",))
+
+    def sync_registry(self) -> None:
+        """Set the queue-depth gauges from live queue state for a scrape."""
+        stats = self.queue.stats()
+        for name, help_text, value in (
+            ("repro_queue_pending", "Tasks waiting to be claimed.",
+             stats["pending"]),
+            ("repro_queue_active", "Tasks under a live or expired lease.",
+             stats["active"]),
+            ("repro_queue_failed", "Tasks quarantined under failed/.",
+             stats["failed"]),
+            ("repro_queue_lease_ttl_seconds", "Configured lease TTL.",
+             stats["lease_ttl"]),
+            ("repro_queue_owners", "Distinct owners holding live leases.",
+             len(stats["owners"])),
+            ("repro_uptime_seconds", "Seconds since the server came up.",
+             time.time() - self.started_at),
+        ):
+            self.registry.gauge(name, help_text).set(value)

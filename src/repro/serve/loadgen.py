@@ -34,6 +34,7 @@ from repro.core.engine import MemoizationScheme, memoized
 from repro.core.stats import ReuseStats
 from repro.models.benchmark import Benchmark
 from repro.models.zoo import build_benchmark
+from repro.obs import REQUEST_ID_HEADER, new_request_id
 
 Array = np.ndarray
 
@@ -55,6 +56,10 @@ class ServeClient:
         self.url = url.rstrip("/")
         self.token = token
         self.timeout = timeout
+        #: The id the server echoed on the most recent reply — the
+        #: handle for finding this client's requests in the server's
+        #: ``/api/v1/events``.
+        self.last_request_id: Optional[str] = None
 
     def request(
         self,
@@ -63,7 +68,8 @@ class ServeClient:
         payload: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         data = None
-        headers = {"Accept-Encoding": "gzip"}
+        request_id = new_request_id()
+        headers = {"Accept-Encoding": "gzip", REQUEST_ID_HEADER: request_id}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -75,6 +81,9 @@ class ServeClient:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
                 raw = reply.read()
+                self.last_request_id = (
+                    reply.headers.get(REQUEST_ID_HEADER) or request_id
+                )
                 if reply.headers.get("Content-Encoding", "") == "gzip":
                     raw = gzip.decompress(raw)
         except urllib.error.HTTPError as exc:
@@ -182,6 +191,7 @@ def run_loadgen(
     theta: Optional[float] = None,
     retune_theta: Optional[float] = None,
     timeout: float = 60.0,
+    out: Optional[str] = None,
 ) -> Dict[str, object]:
     """Drive a running server; return the traffic + latency summary.
 
@@ -201,6 +211,8 @@ def run_loadgen(
             server's weights) and diff every served prediction against
             the offline batch path under the scheme version that served
             it.
+        out: if given, also write the returned summary to this path as
+            JSON — the machine-readable loadgen report CI archives.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
@@ -301,6 +313,32 @@ def run_loadgen(
     served_versions = sorted(
         {int(responses[i]["scheme_version"]) for i in completed}
     )
+    by_scheme_version: Dict[str, int] = {}
+    for i in completed:
+        version = str(int(responses[i]["scheme_version"]))
+        by_scheme_version[version] = by_scheme_version.get(version, 0) + 1
+    # A handful of traced requests: the server-minted request id plus
+    # the server's own span breakdown, next to the client's measured
+    # latency — enough to find the same requests in /api/v1/events.
+    requests_sampled = [
+        {
+            "request": i,
+            "request_id": responses[i].get("request_id"),
+            "client_latency_ms": latencies_ms[i],
+            "timings_ms": responses[i].get("timings_ms"),
+        }
+        for i in completed[:5]
+    ]
+    stage_totals: Dict[str, float] = {}
+    stage_counts: Dict[str, int] = {}
+    for i in completed:
+        for stage, value in (responses[i].get("timings_ms") or {}).items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + float(value)
+            stage_counts[stage] = stage_counts.get(stage, 0) + 1
+    server_timings_ms = {
+        stage: stage_totals[stage] / stage_counts[stage]
+        for stage in sorted(stage_totals)
+    }
     summary: Dict[str, object] = {
         "url": url,
         "network": network,
@@ -315,6 +353,9 @@ def run_loadgen(
         "rows_per_s": len(completed) * batch / wall_s if wall_s > 0 else 0.0,
         "scheme": scheme_info,
         "scheme_versions": served_versions,
+        "by_scheme_version": by_scheme_version,
+        "requests_sampled": requests_sampled,
+        "server_timings_ms": server_timings_ms,
         "errors": errors,
     }
     if retune_theta is not None:
@@ -369,4 +410,8 @@ def run_loadgen(
             "mismatches": len(mismatches),
             "examples": mismatches[:5],
         }
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return summary

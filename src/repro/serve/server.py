@@ -16,9 +16,18 @@ Endpoints (all under ``/api/v1``):
 ``/theta``                  PUT      retune: ``{theta, layer_thetas,
                                      predictor, throttle}`` (any subset)
 ``/metrics``                GET      counters, latency histogram, reuse
+``/events``                 GET      bounded structured event ring
 ``/session/open``           POST     open a streaming session
 ``/session/close``          POST     ``{session}`` -> final transcript
 ==========================  =======  ====================================
+
+plus ``/metrics.prom`` (GET, *not* under ``/api/v1``): the same
+telemetry as Prometheus text exposition, through the same auth.
+
+Every reply echoes ``X-Repro-Request-Id`` and every ``/infer`` response
+body repeats it next to per-stage ``timings_ms``, so a client can line
+its own latency up against the server's span breakdown — and find the
+same id again in ``/api/v1/events``.
 
 Rows are JSON: token lists for sentiment/translation models, frame
 matrices (``T x F`` number lists) for speech.  Every inference response
@@ -30,10 +39,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs.prom import PROM_CONTENT_TYPE, render
 from repro.runner.transport.http_common import (
     MAX_BODY_BYTES,
     JsonApiHandler,
     JsonApiServer,
+    RawReply,
     RequestError,
 )
 from repro.serve.state import ServeState, SessionError
@@ -82,12 +93,17 @@ class InferenceHandler(JsonApiHandler):
                         "a session request feeds exactly one chunk "
                         "('input', or a one-row 'inputs')"
                     )
-                return self.state.session_feed(session_id, rows[0])
-            return self.state.infer(rows)
+                result = self.state.session_feed(
+                    session_id, rows[0], request_id=self.request_id
+                )
+            else:
+                result = self.state.infer(rows, request_id=self.request_id)
         except SessionError as exc:
             raise RequestError(404, str(exc.args[0]))
         except ValueError as exc:
             raise RequestError(400, str(exc))
+        result["request_id"] = self.request_id
+        return result
 
     def _ep_theta_get(self, body: Dict[str, object]) -> Dict[str, object]:
         del body
@@ -107,6 +123,15 @@ class InferenceHandler(JsonApiHandler):
     def _ep_metrics(self, body: Dict[str, object]) -> Dict[str, object]:
         del body
         return self.state.metrics(request_counts=self.server.request_counts)
+
+    def _ep_metrics_prom(self, body: Dict[str, object]) -> RawReply:
+        del body
+        self.state.sync_registry()
+        return RawReply(render(self.server.registry), PROM_CONTENT_TYPE)
+
+    def _ep_events(self, body: Dict[str, object]) -> Dict[str, object]:
+        del body
+        return self.server.events.snapshot()
 
     def _ep_session_open(self, body: Dict[str, object]) -> Dict[str, object]:
         del body
@@ -136,6 +161,8 @@ _ROUTES = {
         "PUT": InferenceHandler._ep_theta_put,
     },
     "/api/v1/metrics": ("GET", InferenceHandler._ep_metrics),
+    "/api/v1/events": ("GET", InferenceHandler._ep_events),
+    "/metrics.prom": ("GET", InferenceHandler._ep_metrics_prom),
     "/api/v1/session/open": ("POST", InferenceHandler._ep_session_open),
     "/api/v1/session/close": ("POST", InferenceHandler._ep_session_close),
 }
@@ -166,6 +193,8 @@ class InferenceServer(JsonApiServer):
         max_body_bytes: int = MAX_BODY_BYTES,
     ):
         self.state = state
+        # Share the state's registry and event log: HTTP request counts,
+        # engine counters and server events land in one exposition.
         super().__init__(
             host,
             port,
@@ -174,4 +203,6 @@ class InferenceServer(JsonApiServer):
             token=token,
             quiet=quiet,
             max_body_bytes=max_body_bytes,
+            registry=state.registry,
+            events=state.events,
         )

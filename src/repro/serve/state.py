@@ -71,6 +71,7 @@ from repro.datasets.speech import collapse
 from repro.models.benchmark import Benchmark
 from repro.nn.module import clone_with_shared_parameters
 from repro.nn.rnn import Bidirectional
+from repro.obs import EventLog, Histogram, MetricsRegistry
 
 Array = np.ndarray
 
@@ -102,45 +103,22 @@ _POOL_WAIT_S = 0.05
 LATENCY_BOUNDS_MS = tuple(0.25 * 2**i for i in range(19))
 
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram, safe for concurrent observers."""
+class LatencyHistogram(Histogram):
+    """Fixed-bucket latency histogram, safe for concurrent observers.
+
+    Since PR 9 this is the registry :class:`~repro.obs.Histogram` under
+    its original name and constructor: ``observe(ms)`` and
+    ``snapshot()`` keep their PR 7 signatures and the snapshot shape is
+    unchanged, but the same series now also renders into the Prometheus
+    exposition at ``/metrics.prom``.
+    """
 
     def __init__(self, bounds_ms: Sequence[float] = LATENCY_BOUNDS_MS):
-        self.bounds_ms = tuple(bounds_ms)
-        self._counts = [0] * (len(self.bounds_ms) + 1)  # +1: overflow
-        self._count = 0
-        self._sum_ms = 0.0
-        self._max_ms = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, latency_ms: float) -> None:
-        index = int(np.searchsorted(self.bounds_ms, latency_ms, side="left"))
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._sum_ms += latency_ms
-            self._max_ms = max(self._max_ms, latency_ms)
-
-    def snapshot(self) -> Dict[str, object]:
-        """JSON-ready view: cumulative bucket counts plus summary stats."""
-        with self._lock:
-            counts = list(self._counts)
-            count = self._count
-            total = self._sum_ms
-            peak = self._max_ms
-        cumulative = 0
-        buckets = []
-        for bound, bucket in zip(self.bounds_ms, counts):
-            cumulative += bucket
-            buckets.append({"le_ms": bound, "count": cumulative})
-        return {
-            "count": count,
-            "sum_ms": total,
-            "mean_ms": (total / count) if count else 0.0,
-            "max_ms": peak,
-            "overflow": counts[-1],
-            "buckets": buckets,
-        }
+        super().__init__(
+            "repro_request_latency_ms",
+            "End-to-end inference latency in milliseconds.",
+            bounds_ms=bounds_ms,
+        )
 
 
 # -- task adapters -----------------------------------------------------------
@@ -327,9 +305,10 @@ class _InferJob:
     __slots__ = (
         "rows", "shape_key", "done", "outputs", "error",
         "scheme_version", "theta", "started",
+        "request_id", "claimed", "forward_start", "forward_end", "finished",
     )
 
-    def __init__(self, rows: List[Array]):
+    def __init__(self, rows: List[Array], request_id: Optional[str] = None):
         self.rows = rows
         first = rows[0].shape
         # Equal-shape rows stack with other jobs; ragged jobs ride alone
@@ -342,7 +321,17 @@ class _InferJob:
         self.error: Optional[BaseException] = None
         self.scheme_version = 0
         self.theta = 0.0
+        self.request_id = request_id
+        # Span timestamps (perf_counter).  ``started`` stamps job
+        # creation; the leader stamps ``claimed`` (popped off pending),
+        # ``forward_start``/``forward_end`` (around the stacked forward)
+        # and ``finished`` (outputs sliced back); the request thread
+        # turns the contiguous segments into ``timings_ms``.
         self.started = time.perf_counter()
+        self.claimed = 0.0
+        self.forward_start = 0.0
+        self.forward_end = 0.0
+        self.finished = 0.0
 
 
 # -- streaming sessions ------------------------------------------------------
@@ -451,7 +440,18 @@ class ServeState:
         #: holds while draining the pool (lock-order discipline that
         #: keeps retune/serve deadlock-free).
         self._counters_lock = threading.Lock()
+        #: One registry + event log per served process.  The HTTP shell
+        #: is handed both, so engine metrics, request counters and
+        #: events share one ``/metrics.prom`` / ``/api/v1/events``.
+        self.registry = MetricsRegistry()
+        self.events = EventLog()
         self.latency = LatencyHistogram()
+        self.registry.register(self.latency)
+        self.stage_latency = self.registry.histogram(
+            "repro_infer_stage_ms",
+            "Per-request span timings by pipeline stage, in milliseconds.",
+            label_names=("stage",),
+        )
         self.started_at = time.time()
         self.infer_requests = 0
         self.rows_served = 0
@@ -473,7 +473,11 @@ class ServeState:
 
     # -- inference ----------------------------------------------------------
 
-    def infer(self, raw_rows: Sequence[object]) -> Dict[str, object]:
+    def infer(
+        self,
+        raw_rows: Sequence[object],
+        request_id: Optional[str] = None,
+    ) -> Dict[str, object]:
         """Validate and evaluate a batch of rows under the live scheme.
 
         The request becomes a job on the pending queue; this thread then
@@ -482,6 +486,7 @@ class ServeState:
         its own — another leader may already have taken it).  Either
         way it returns once its own job is done.
         """
+        accepted = time.perf_counter()
         if not isinstance(raw_rows, list) or not raw_rows:
             raise ValueError("inputs must be a non-empty list of rows")
         if len(raw_rows) > MAX_INFER_ROWS:
@@ -490,7 +495,7 @@ class ServeState:
                 f"got {len(raw_rows)}"
             )
         rows = [self.adapter.validate_row(row) for row in raw_rows]
-        job = _InferJob(rows)
+        job = _InferJob(rows, request_id=request_id)
         with self._pending_cond:
             self._pending.append(job)
             self._pending_cond.notify_all()  # wake gather-window leaders
@@ -516,13 +521,55 @@ class ServeState:
                     self._pending_cond.notify_all()
         if job.error is not None:
             raise job.error
-        self.latency.observe(1000.0 * (time.perf_counter() - job.started))
+        end = time.perf_counter()
+        self.latency.observe(1000.0 * (end - job.started))
+        timings_ms = self._finish_spans(job, accepted, end)
+        self.events.emit(
+            "infer",
+            request_id=request_id,
+            rows=len(rows),
+            scheme_version=job.scheme_version,
+            total_ms=timings_ms["total"],
+        )
         return {
             "outputs": job.outputs,
             "scheme_version": job.scheme_version,
             "theta": job.theta,
             "model": self.benchmark.name,
+            "timings_ms": timings_ms,
         }
+
+    def _finish_spans(
+        self, job: _InferJob, accepted: float, end: float
+    ) -> Dict[str, float]:
+        """Turn a finished job's timestamps into per-stage milliseconds.
+
+        The stages are *contiguous segments* of one wall-clock interval
+        — ``accepted`` through ``end`` — so their sum IS the measured
+        total, exactly, with nothing double-counted or unattributed.
+        Each stage also lands in the ``repro_infer_stage_ms`` histogram.
+        """
+        claimed = job.claimed or job.started
+        forward_start = job.forward_start or claimed
+        forward_end = job.forward_end or forward_start
+        finished = job.finished or forward_end
+        spans = (
+            ("validate", job.started - accepted),
+            ("queue_wait", claimed - job.started),
+            ("gather", forward_start - claimed),
+            ("forward", forward_end - forward_start),
+            ("finalize", finished - forward_end),
+            ("collect", end - finished),
+        )
+        timings_ms: Dict[str, float] = {}
+        total = 0.0
+        for stage, seconds in spans:
+            stage_ms = 1000.0 * max(0.0, seconds)
+            timings_ms[stage] = stage_ms
+            total += stage_ms
+            self.stage_latency.observe(stage_ms, labels=(stage,))
+        timings_ms["total"] = total
+        return timings_ms
 
     def _gather_batch(self) -> List[_InferJob]:
         """Claim a coalesced batch of pending jobs for one forward.
@@ -541,13 +588,18 @@ class ServeState:
             if self._coalesce_s <= 0:
                 # Coalescing off: one job per forward — the PR 7-style
                 # baseline the replica-sweep bench compares against.
-                return [self._pending.pop(0)] if self._pending else []
+                if not self._pending:
+                    return []
+                job = self._pending.pop(0)
+                job.claimed = time.perf_counter()
+                return [job]
             while True:
                 index = 0
                 while index < len(self._pending) and total_rows < MAX_INFER_ROWS:
                     job = self._pending[index]
                     if not batch:
                         del self._pending[index]
+                        job.claimed = time.perf_counter()
                         batch.append(job)
                         total_rows += len(job.rows)
                         if job.shape_key is None:
@@ -558,6 +610,7 @@ class ServeState:
                         and total_rows + len(job.rows) <= MAX_INFER_ROWS
                     ):
                         del self._pending[index]
+                        job.claimed = time.perf_counter()
                         batch.append(job)
                         total_rows += len(job.rows)
                         continue
@@ -583,6 +636,9 @@ class ServeState:
         if not batch:
             return
         all_rows = [row for job in batch for row in job.rows]
+        forward_start = time.perf_counter()
+        for job in batch:
+            job.forward_start = forward_start
         try:
             outputs = self.adapter.infer(all_rows, model=replica.model)
         except BaseException as exc:
@@ -590,6 +646,9 @@ class ServeState:
                 job.error = exc
                 job.done.set()
             raise
+        forward_end = time.perf_counter()
+        for job in batch:
+            job.forward_end = forward_end
         version = replica.scheme_version
         theta = replica.scheme.theta
         total_rows = len(all_rows)
@@ -613,6 +672,7 @@ class ServeState:
             cursor += len(job.rows)
             job.scheme_version = version
             job.theta = theta
+            job.finished = time.perf_counter()
             job.done.set()
 
     # -- live retuning ------------------------------------------------------
@@ -715,6 +775,13 @@ class ServeState:
                     self._pending_cond.notify_all()
             self.scheme = new_scheme
             self.scheme_version = version
+            self.events.emit(
+                "retune",
+                scheme_version=version,
+                theta=new_scheme.theta,
+                predictor=new_scheme.predictor,
+                changed=sorted(changes),
+            )
             return self.scheme_info()
 
     # -- streaming sessions -------------------------------------------------
@@ -734,6 +801,11 @@ class ServeState:
             ):
                 del self.sessions[session_id]
                 self.sessions_evicted += 1
+                self.events.emit(
+                    "session_evicted",
+                    session=session_id,
+                    idle_s=round(now - session.last_used, 3),
+                )
 
     def open_session(self) -> Dict[str, object]:
         if not self.adapter.streamable:
@@ -766,6 +838,11 @@ class ServeState:
             )
             self.sessions[session_id] = session
             self.sessions_opened += 1
+        self.events.emit(
+            "session_opened",
+            session=session_id,
+            scheme_version=session.scheme_version,
+        )
         return {
             "session": session_id,
             "scheme_version": session.scheme_version,
@@ -781,7 +858,12 @@ class ServeState:
         except KeyError:
             raise SessionError(f"unknown session {session_id!r}") from None
 
-    def session_feed(self, session_id: object, chunk: object) -> Dict[str, object]:
+    def session_feed(
+        self,
+        session_id: object,
+        chunk: object,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, object]:
         """Run one chunk of frames through a session's warm stack.
 
         Feeds into different sessions run concurrently (each session's
@@ -789,6 +871,7 @@ class ServeState:
         lock.  The classifier belongs to the shared unwrapped model and
         is a pure function of its weights, so sharing it is race-free.
         """
+        accepted = time.perf_counter()
         frames = self.adapter.validate_row(chunk)
         start = time.perf_counter()
         now = time.time()
@@ -797,6 +880,7 @@ class ServeState:
             session = self._session(session_id)
             session.last_used = now
         with session.lock:
+            forward_start = time.perf_counter()
             hidden = frames[None]  # (1, T, F)
             steps = hidden.shape[1]
             for index, wrapper in enumerate(session.wrappers):
@@ -811,10 +895,36 @@ class ServeState:
             session.decoded.extend(predictions)
             session.frames_fed += steps
             session.last_used = time.time()
+        forward_end = time.perf_counter()
         with self._counters_lock:
             self.infer_requests += 1
             self.rows_served += 1
-        self.latency.observe(1000.0 * (time.perf_counter() - start))
+        end = time.perf_counter()
+        self.latency.observe(1000.0 * (end - start))
+        # Same contiguous-segment discipline as the batched path, with
+        # session-shaped stages: the sum is exactly ``accepted -> end``.
+        spans = (
+            ("validate", start - accepted),
+            ("session_wait", forward_start - start),
+            ("forward", forward_end - forward_start),
+            ("finalize", end - forward_end),
+        )
+        timings_ms: Dict[str, float] = {}
+        total = 0.0
+        for stage, seconds in spans:
+            stage_ms = 1000.0 * max(0.0, seconds)
+            timings_ms[stage] = stage_ms
+            total += stage_ms
+            self.stage_latency.observe(stage_ms, labels=(stage,))
+        timings_ms["total"] = total
+        self.events.emit(
+            "infer",
+            request_id=request_id,
+            session=session.session_id,
+            rows=1,
+            scheme_version=session.scheme_version,
+            total_ms=timings_ms["total"],
+        )
         return {
             "outputs": [predictions],
             "session": session.session_id,
@@ -822,6 +932,7 @@ class ServeState:
             "scheme_version": session.scheme_version,
             "theta": session.theta,
             "model": self.benchmark.name,
+            "timings_ms": timings_ms,
         }
 
     def close_session(self, session_id: object) -> Dict[str, object]:
@@ -836,6 +947,11 @@ class ServeState:
             session = self._session(session_id)
             del self.sessions[session_id]
             self.sessions_closed += 1
+        self.events.emit(
+            "session_closed",
+            session=session.session_id,
+            frames=session.frames_fed,
+        )
         return {
             "session": session.session_id,
             "transcript": list(collapse(session.decoded)),
@@ -936,6 +1052,70 @@ class ServeState:
             },
             "sessions": sessions,
         }
+
+    def sync_registry(self) -> Dict[str, object]:
+        """Mirror the engine counters into the registry for a scrape.
+
+        The serving counters live under ``_counters_lock`` (the hot
+        path), not in the registry; a ``/metrics.prom`` scrape copies
+        one consistent :meth:`metrics` snapshot into registry counters
+        (``set_total`` — monotonic) and gauges.  Returns the snapshot so
+        a caller can render both views from the same numbers.
+        """
+        snapshot = self.metrics()
+        registry = self.registry
+        inference = snapshot["inference"]
+        pool = snapshot["pool"]
+        coalesce = snapshot["coalesce"]
+        reuse = snapshot["reuse"]
+        sessions = snapshot["sessions"]
+        scheme = snapshot["scheme"]
+        for name, help_text, value in (
+            ("repro_infer_requests_total",
+             "Inference requests served.", inference["requests"]),
+            ("repro_infer_rows_total",
+             "Inference rows served.", inference["rows"]),
+            ("repro_batches_total",
+             "Forwards run by the replica pool.", coalesce["batches"]),
+            ("repro_coalesced_batches_total",
+             "Forwards that coalesced 2+ requests.",
+             coalesce["coalesced_batches"]),
+            ("repro_sessions_opened_total",
+             "Streaming sessions opened.", sessions["opened"]),
+            ("repro_sessions_closed_total",
+             "Streaming sessions closed by the client.", sessions["closed"]),
+            ("repro_sessions_evicted_total",
+             "Streaming sessions evicted for idleness.", sessions["evicted"]),
+            ("repro_reuse_evaluations_total",
+             "Neuron evaluations considered for reuse.",
+             reuse["total_evaluations"]),
+            ("repro_reuse_reused_total",
+             "Neuron evaluations answered from the memo.",
+             reuse["total_reused"]),
+        ):
+            registry.counter(name, help_text).set_total(value)
+        for name, help_text, value in (
+            ("repro_pool_replicas",
+             "Compute replicas in the pool.", pool["replicas"]),
+            ("repro_pool_available",
+             "Replicas currently idle.", pool["available"]),
+            ("repro_pool_busy",
+             "Replicas currently serving a forward.", pool["busy"]),
+            ("repro_sessions_open",
+             "Streaming sessions currently open.", sessions["open"]),
+            ("repro_reuse_fraction",
+             "Fleet-wide fraction of evaluations reused.",
+             reuse["overall_fraction"]),
+            ("repro_scheme_version",
+             "Version of the live memoization scheme.",
+             scheme["scheme_version"]),
+            ("repro_scheme_theta",
+             "Global threshold of the live scheme.", scheme["theta"]),
+            ("repro_uptime_seconds",
+             "Seconds since the server came up.", snapshot["uptime_s"]),
+        ):
+            registry.gauge(name, help_text).set(value)
+        return snapshot
 
     # -- shutdown helper ----------------------------------------------------
 
