@@ -1,0 +1,21 @@
+"""Repo-root pytest conftest.
+
+Registers the repro checks pytest plugin (the ``--lock-sanitizer``
+flag) by importing its hook functions into this namespace.  The import
+is done directly — rather than via ``pytest_plugins`` — so it works
+regardless of when pytest applies the ``pythonpath`` ini setting.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.checks.pytest_plugin import (  # noqa: E402,F401
+    pytest_addoption,
+    pytest_configure,
+    pytest_sessionfinish,
+    pytest_unconfigure,
+)

@@ -1,0 +1,52 @@
+"""Project-invariant static analysis for the repro codebase.
+
+Run as ``python -m repro.checks src tests benchmarks``.  Exits non-zero
+when any finding is not covered by the baseline file.  Stdlib-only by
+design: importable (and runnable in CI) without numpy or any of repro's
+runtime dependencies.
+
+Check families (one module each):
+
+======  =======================  ==========================================
+ID      module                   invariant
+======  =======================  ==========================================
+GB01    ``guardedby``            ``# guarded-by:`` attrs accessed only
+                                 under their lock / ``holds-lock`` methods
+VT01    ``validation``           int gates must exclude bool
+VT02    ``validation``           wire floats need a finiteness check
+MT01    ``montime``              ``time.time()`` only for true timestamps
+EP01-3  ``endpoints``            routes ⇄ ``_ep_*`` handlers in bijection,
+                                 handlers return dict/RawReply
+BE01    ``broadexcept``          broad excepts re-raise, emit, or justify
+======  =======================  ==========================================
+
+:mod:`repro.checks.lockorder` is the sibling *runtime* sanitizer — a
+TSan-style lock-order cycle detector behind pytest's
+``--lock-sanitizer`` flag (see ``repro.checks.pytest_plugin``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from . import broadexcept, endpoints, guardedby, montime, validation
+from .base import Finding, SourceFile
+
+__all__ = ["ALL_CHECKS", "Finding", "SourceFile", "run_source"]
+
+ALL_CHECKS: Tuple[Callable[[SourceFile], List[Finding]], ...] = (
+    guardedby.check,
+    validation.check,
+    montime.check,
+    endpoints.check,
+    broadexcept.check,
+)
+
+
+def run_source(src: SourceFile) -> List[Finding]:
+    """All findings for one parsed file, sorted by line."""
+    findings: List[Finding] = []
+    for check in ALL_CHECKS:
+        findings.extend(check(src))
+    findings.sort(key=lambda f: (f.line, f.check, f.message))
+    return findings

@@ -1,0 +1,134 @@
+"""CLI driver: ``python -m repro.checks [paths...] [--baseline FILE]``.
+
+Walks every ``*.py`` under the given paths (files are accepted too),
+runs all check families, and prints findings as
+``path:line: ID message``.  Exit status: 0 when every finding is in the
+baseline (or there are none), 1 on new findings, 2 on usage errors.
+
+``--write-baseline FILE`` records the current findings' fingerprints
+(check + path + message, line numbers excluded so ordinary edits don't
+invalidate entries) to grandfather them; ``--baseline FILE`` reads the
+same file back.  Stale baseline entries — findings that no longer fire —
+are reported so the file shrinks over time instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterator, List
+
+from . import run_source
+from .base import Finding, SourceFile
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", ".venv"}
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def check_file(path: str) -> List[Finding]:
+    rel = os.path.relpath(path).replace(os.sep, "/")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        src = SourceFile(rel, text)
+    except SyntaxError as exc:
+        return [
+            Finding("PARSE", rel, exc.lineno or 1, f"file does not parse: {exc.msg}")
+        ]
+    return run_source(src)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="repro project-invariant static analysis",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/dirs to scan")
+    parser.add_argument(
+        "--baseline", metavar="FILE", help="JSON file of grandfathered findings"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or ["src"]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    findings: List[Finding] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        findings.extend(check_file(path))
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if args.write_baseline:
+        payload = {
+            "version": 1,
+            "findings": sorted({f.fingerprint() for f in findings}),
+        }
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"wrote {len(payload['findings'])} baseline entries to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    grandfathered: set = set()
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                data = json.load(handle)
+            grandfathered = set(data.get("findings", []))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    fresh = [f for f in findings if f.fingerprint() not in grandfathered]
+    matched = {f.fingerprint() for f in findings} & grandfathered
+    stale = grandfathered - matched
+
+    for finding in fresh:
+        print(finding.render())
+    if stale:
+        print(
+            f"note: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} no longer fire(s) — "
+            f"prune them:",
+            file=sys.stderr,
+        )
+        for entry in sorted(stale):
+            print(f"  {entry}", file=sys.stderr)
+    suppressed = len(findings) - len(fresh)
+    summary = f"checked {scanned} files: {len(fresh)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    print(summary, file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Shared infrastructure for repro's project-invariant static checks.
+
+Every check module exposes ``check(source: SourceFile) -> list[Finding]``
+and a short ``CHECK_IDS`` tuple.  :class:`SourceFile` parses one Python
+file, builds the AST with parent links, and extracts the two comment
+vocabularies the checks consume:
+
+``# guarded-by: <lockname>``
+    On an attribute assignment line: every later read/write of that
+    attribute must happen under ``with self.<lockname>:`` (see
+    :mod:`repro.checks.guardedby`).
+
+``# checks: <directive> <reason...>``
+    Suppression/contract annotations (``holds-lock``,
+    ``allow-broad-except``, ``allow-wall-clock``, ``allow-bool-int``,
+    ``allow-nonfinite``, ``allow-unrouted``).  A comment on its own line
+    attaches to the next code line; a trailing comment attaches to its
+    own line.
+
+Comments are discovered with :mod:`tokenize`, so annotation-shaped text
+inside string literals (e.g. the checker's own test fixtures) is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_DIRECTIVE_RE = re.compile(r"#\s*checks:\s*([a-z][a-z-]*)\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: a check id, a location, and a message."""
+
+    check: str
+    path: str
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line numbers drift)."""
+        return f"{self.check}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.check} {self.message}"
+
+
+class SourceFile:
+    """A parsed Python file plus its checks annotations.
+
+    Raises :class:`SyntaxError` (or :class:`tokenize.TokenError`) if the
+    file does not parse; callers turn that into a ``PARSE`` finding.
+    """
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        #: effective line -> lock name from ``# guarded-by:``
+        self.guards: Dict[int, str] = {}
+        #: effective line -> [(directive, args)] from ``# checks:``
+        self.directives: Dict[int, List[Tuple[str, str]]] = {}
+        self._scan_comments()
+
+    # -- comment scanning ---------------------------------------------------
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenError:  # ast.parse accepted it; be lenient
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            row, col = tok.start
+            effective = row if self._has_code_before(row, col) else self._next_code_line(row)
+            if effective is None:
+                continue
+            match = _GUARDED_BY_RE.search(tok.string)
+            if match:
+                self.guards[effective] = match.group(1)
+            match = _DIRECTIVE_RE.search(tok.string)
+            if match:
+                self.directives.setdefault(effective, []).append(
+                    (match.group(1), match.group(2))
+                )
+
+    def _has_code_before(self, row: int, col: int) -> bool:
+        prefix = self.lines[row - 1][:col]
+        return bool(prefix.strip())
+
+    def _next_code_line(self, row: int) -> Optional[int]:
+        for idx in range(row, len(self.lines)):
+            line = self.lines[idx].strip()
+            if line and not line.startswith("#"):
+                return idx + 1
+        return None
+
+    # -- annotation lookups -------------------------------------------------
+
+    def guard_at(self, line: int) -> Optional[str]:
+        return self.guards.get(line)
+
+    def directives_in(self, name: str, start: int, end: int) -> List[str]:
+        """Args of every ``name`` directive whose effective line is in range."""
+        found = []
+        for line in range(start, end + 1):
+            for directive, args in self.directives.get(line, ()):
+                if directive == name:
+                    found.append(args)
+        return found
+
+    def allowed(self, name: str, node: ast.AST) -> bool:
+        """True if a ``# checks: <name> ...`` annotation covers ``node``."""
+        end = getattr(node, "end_lineno", None) or node.lineno
+        return bool(self.directives_in(name, node.lineno, end))
+
+    # -- tree navigation ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def enclosing(self, node: ast.AST, kinds) -> Optional[ast.AST]:
+        cursor = self._parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, kinds):
+                return cursor
+            cursor = self._parents.get(cursor)
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+
+    def enclosing_statement(self, node: ast.AST) -> ast.AST:
+        cursor = node
+        while not isinstance(cursor, ast.stmt):
+            parent = self._parents.get(cursor)
+            if parent is None:
+                return cursor
+            cursor = parent
+        return cursor
+
+    @staticmethod
+    def header_range(func: ast.AST) -> Tuple[int, int]:
+        """Line span of a def's decorators + signature (for holds-lock)."""
+        start = func.lineno
+        for deco in getattr(func, "decorator_list", ()):
+            start = min(start, deco.lineno)
+        end = max(func.lineno, func.body[0].lineno - 1) if func.body else func.lineno
+        return start, end
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name if ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def walk_classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node

@@ -1,0 +1,75 @@
+"""BE01 — broad-except hygiene.
+
+A handler for ``except Exception`` (or bare ``except:`` /
+``BaseException``) is allowed to exist — servers and drain loops must
+survive poison inputs — but it must do one of three things:
+
+* re-raise (any ``raise`` in the handler body counts, including
+  wrapping the error in a domain exception),
+* record the swallowed error somewhere a human will find it — an
+  ``.emit(...)`` call (or a handler's ``._event(...)`` helper) routes
+  it to the obs event ring, or
+* carry ``# checks: allow-broad-except <reason>`` on the ``except``
+  line (or the line above), with a non-empty reason.
+
+Silent ``except Exception: pass`` is how bitwise bugs hide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .base import Finding, SourceFile
+
+CHECK_IDS = ("BE01",)
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    return any(
+        isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES for expr in exprs
+    )
+
+
+def check(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if not (isinstance(node, ast.ExceptHandler) and _is_broad(node)):
+            continue
+        body_ok = any(
+            isinstance(inner, ast.Raise)
+            or (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in ("emit", "_event")
+            )
+            for stmt in node.body
+            for inner in ast.walk(stmt)
+        )
+        if body_ok:
+            continue
+        # The annotation must sit on the `except` line itself (or a
+        # comment line directly above), not buried in the handler body.
+        reasons = src.directives_in("allow-broad-except", node.lineno, node.lineno)
+        if reasons:
+            if all(reason.strip() for reason in reasons):
+                continue
+            message = (
+                "`# checks: allow-broad-except` needs a reason "
+                "(why is swallowing every Exception safe here?)"
+            )
+        else:
+            message = (
+                "broad except swallows errors silently: re-raise, emit to "
+                "the obs event ring, or annotate "
+                "`# checks: allow-broad-except <reason>`"
+            )
+        findings.append(Finding("BE01", src.path, node.lineno, message))
+    return findings

@@ -1,0 +1,151 @@
+"""EP01/EP02/EP03 — HTTP endpoint contract.
+
+The two stdlib servers (``serve/server.py``, ``runner/transport/
+server.py``) declare their surface in a module-level ``*ROUTES`` dict
+mapping paths to ``Class._ep_*`` handler references, dispatched by the
+shared :class:`JsonApiHandler`.  This check keeps table and handlers in
+bijection and the handlers pure:
+
+* **EP01** — a routes entry references ``Cls._ep_x`` but ``Cls`` (or a
+  base defined in the same module) has no such method: a 404-at-runtime
+  typo caught at lint time.
+* **EP02** — a ``_ep_*`` method of a routed class appears in no routes
+  table: dead surface, or a forgotten route.  Suppress intentionally
+  unreachable handlers with ``# checks: allow-unrouted <reason>``.
+* **EP03** — a ``_ep_*`` handler must produce its reply by returning a
+  dict/``RawReply``: raw socket writes (``self.wfile``,
+  ``send_response`` …) bypass the auth/gzip/request-id plumbing in
+  ``http_common``, and a bare ``return`` yields a None reply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .base import Finding, SourceFile, walk_classes
+
+CHECK_IDS = ("EP01", "EP02", "EP03")
+
+_RAW_WRITE_ATTRS = frozenset(
+    {"wfile", "rfile", "send_response", "send_header", "end_headers", "send_error"}
+)
+
+
+def check(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    classes = {cls.name: cls for cls in walk_classes(src.tree)}
+    methods: Dict[str, Set[str]] = {}
+    for name, cls in classes.items():
+        own = {
+            node.name
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for base in cls.bases:  # one level of same-module inheritance
+            if isinstance(base, ast.Name) and base.id in classes:
+                own |= {
+                    node.name
+                    for node in classes[base.id].body
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+        methods[name] = own
+
+    routed: Set[Tuple[str, str]] = set()
+    routed_classes: Set[str] = set()
+    saw_table = False
+    for node in ast.walk(src.tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict)):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not any(name.endswith("ROUTES") or name == "routes" for name in names):
+            continue
+        saw_table = True
+        for ref in ast.walk(node.value):
+            if not (
+                isinstance(ref, ast.Attribute)
+                and ref.attr.startswith("_ep_")
+                and isinstance(ref.value, ast.Name)
+            ):
+                continue
+            cls_name = ref.value.id
+            routed.add((cls_name, ref.attr))
+            routed_classes.add(cls_name)
+            if cls_name in classes and ref.attr not in methods[cls_name]:
+                findings.append(
+                    Finding(
+                        "EP01",
+                        src.path,
+                        ref.lineno,
+                        f"routes entry references {cls_name}.{ref.attr} "
+                        f"but no such handler is defined",
+                    )
+                )
+    if not saw_table:
+        return findings
+
+    for cls_name in sorted(routed_classes):
+        cls = classes.get(cls_name)
+        if cls is None:
+            continue
+        for node in cls.body:
+            if not (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name.startswith("_ep_")
+            ):
+                continue
+            if (cls_name, node.name) not in routed:
+                start, end = src.header_range(node)
+                if not src.directives_in("allow-unrouted", start, end):
+                    findings.append(
+                        Finding(
+                            "EP02",
+                            src.path,
+                            node.lineno,
+                            f"handler {cls_name}.{node.name} appears in no "
+                            f"routes table (dead surface or missing route)",
+                        )
+                    )
+            _check_handler_body(src, cls_name, node, findings)
+    return findings
+
+
+def _check_handler_body(
+    src: SourceFile, cls_name: str, fn: ast.AST, out: List[Finding]
+) -> None:
+    returns_value = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr in _RAW_WRITE_ATTRS:
+            out.append(
+                Finding(
+                    "EP03",
+                    src.path,
+                    node.lineno,
+                    f"handler {cls_name}.{fn.name} touches `{node.attr}`: "
+                    f"reply by returning a dict/RawReply so auth/gzip/"
+                    f"request-id plumbing stays on the write path",
+                )
+            )
+        elif isinstance(node, ast.Return):
+            if node.value is None:
+                out.append(
+                    Finding(
+                        "EP03",
+                        src.path,
+                        node.lineno,
+                        f"handler {cls_name}.{fn.name} has a bare `return` "
+                        f"(reply would be None); return a dict/RawReply",
+                    )
+                )
+            else:
+                returns_value = True
+    if not returns_value:
+        out.append(
+            Finding(
+                "EP03",
+                src.path,
+                fn.lineno,
+                f"handler {cls_name}.{fn.name} never returns a value; "
+                f"every handler must return a dict/RawReply",
+            )
+        )

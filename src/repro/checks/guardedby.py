@@ -1,0 +1,121 @@
+"""GB01 — guarded-by lock discipline.
+
+An attribute assignment annotated ``# guarded-by: <lockname>`` declares
+that every subsequent read or write of ``self.<attr>`` anywhere in the
+class must happen inside a ``with self.<lockname>:`` block (including
+``with self.<cond>:`` for a Condition, which acquires its lock), or in a
+method whose header carries ``# checks: holds-lock <lockname>`` — the
+project's convention for helpers documented as "caller holds the lock".
+
+``__init__`` is exempt: construction precedes any sharing with other
+threads.  Accesses through receivers other than ``self`` (tests poking
+``state.sessions``) are out of scope — the discipline is intra-class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List
+
+from .base import Finding, SourceFile, self_attr, walk_classes
+
+CHECK_IDS = ("GB01",)
+
+_FUNCTION_KINDS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def check(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in walk_classes(src.tree):
+        methods = [node for node in cls.body if isinstance(node, _FUNCTION_KINDS)]
+        guarded = _collect_guarded(src, methods)
+        if not guarded:
+            continue
+        for fn in methods:
+            if fn.name == "__init__":
+                continue
+            start, end = src.header_range(fn)
+            held = frozenset(
+                args.split()[0]
+                for args in src.directives_in("holds-lock", start, end)
+                if args.split()
+            )
+            auditor = _Auditor(src, cls.name, guarded, findings)
+            for stmt in fn.body:
+                auditor.visit(stmt, held)
+    return findings
+
+
+def _collect_guarded(src: SourceFile, methods) -> Dict[str, str]:
+    """Map attr -> lock from ``# guarded-by`` annotations on assignments."""
+    guarded: Dict[str, str] = {}
+    for fn in methods:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            lock = None
+            for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+                lock = src.guard_at(line)
+                if lock:
+                    break
+            if not lock:
+                continue
+            for target in targets:
+                attr = self_attr(target)
+                if attr:
+                    guarded[attr] = lock
+    return guarded
+
+
+class _Auditor:
+    """Walks a method body tracking which ``self.<lock>`` locks are held."""
+
+    def __init__(self, src: SourceFile, cls_name: str, guarded: Dict[str, str], out):
+        self.src = src
+        self.cls_name = cls_name
+        self.guarded = guarded
+        self.out = out
+
+    def visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        attr = self_attr(node)
+        if attr is not None:
+            lock = self.guarded.get(attr)
+            if (
+                lock is not None
+                and lock not in held
+                and not self.src.allowed("allow-unguarded", node)
+            ):
+                self.out.append(
+                    Finding(
+                        "GB01",
+                        self.src.path,
+                        node.lineno,
+                        f"{self.cls_name}.{attr} is guarded-by {lock!r} "
+                        f"but accessed without holding it "
+                        f"(wrap in `with self.{lock}:` or annotate the "
+                        f"method `# checks: holds-lock {lock}`)",
+                    )
+                )
+            return  # value is just Name('self')
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            extended = set(held)
+            for item in node.items:
+                self.visit(item.context_expr, held)
+                name = self_attr(item.context_expr)
+                if name:
+                    extended.add(name)
+                if item.optional_vars is not None:
+                    self.visit(item.optional_vars, held)
+            new_held = frozenset(extended)
+            for stmt in node.body:
+                self.visit(stmt, new_held)
+            return
+        # Nested defs/lambdas inherit the held set: closures fired later
+        # may escape the lock, but flagging every helper closure defined
+        # under the lock would be all noise.
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, held)

@@ -1,0 +1,313 @@
+"""Runtime lock-order sanitizer (TSan-style deadlock detection).
+
+Deadlocks need two threads and unlucky timing to *manifest*, but the
+bug — two locks acquired in opposite orders somewhere in the program —
+is visible on any single-threaded run that exercises both paths.  This
+module records the global lock-acquisition graph: every time a thread
+acquires lock B while holding lock A, the edge A→B is added; a cycle in
+that graph is a potential deadlock, reported immediately with both
+acquisition sites.
+
+Usage (opt-in, never on by default)::
+
+    san = LockOrderSanitizer()
+    san.install()          # patch threading.Lock / threading.RLock
+    ...                    # run the workload
+    san.uninstall()
+    assert not san.violations
+
+or wrap individual locks without patching::
+
+    lock_a = san.wrap(threading.Lock(), label="pool")
+
+``install()`` swaps the ``threading.Lock``/``threading.RLock``
+factories for proxy-producing ones, so everything built on top —
+``threading.Condition`` (its default lock is ``threading.RLock()``
+resolved at call time), ``queue.Queue`` (``threading.Lock()`` +
+conditions over it) — is tracked automatically.  Locks created before
+``install()`` are invisible; the pytest plugin installs at configure
+time, before any repro module constructs state.
+
+Proxy subtleties worth knowing before editing:
+
+* The RLock proxy implements ``_release_save``/``_acquire_restore``/
+  ``_is_owned`` (``Condition.wait`` uses them to fully drop a recursive
+  lock) and keeps the per-thread recursion count consistent across the
+  wait.  The Lock proxy deliberately does *not* define
+  ``_release_save`` — ``Condition`` then falls back to plain
+  ``release()``/``acquire()``, which the proxy already tracks.
+* Reentrant re-acquisition adds no edges (the lock is already held by
+  this thread), it only bumps the per-thread count.
+* The sanitizer's own bookkeeping uses a raw ``_thread.allocate_lock``
+  so tracking never recurses into itself.
+"""
+
+from __future__ import annotations
+
+import _thread
+import itertools
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class LockOrderError(RuntimeError):
+    """Raised in strict mode when an acquisition closes a cycle."""
+
+
+class LockOrderSanitizer:
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        #: human-readable reports, one per distinct cycle
+        self.violations: List[str] = []
+        self._serials = itertools.count(1)
+        #: serial -> "label (created at file:line)"
+        self._sites: Dict[int, str] = {}
+        #: edge (a, b) -> acquisition site where b was taken holding a
+        self._edges: Dict[Tuple[int, int], str] = {}
+        #: adjacency view of _edges for cycle search
+        self._succ: Dict[int, Set[int]] = {}
+        self._seen_cycles: Set[frozenset] = set()
+        self._mutex = _thread.allocate_lock()
+        self._tls = threading.local()
+        self._installed = False
+        self._orig_lock = None
+        self._orig_rlock = None
+
+    # -- wrapping -----------------------------------------------------------
+
+    def wrap(self, raw, label: Optional[str] = None):
+        """Wrap one existing lock object in a tracking proxy."""
+        if hasattr(raw, "_is_owned"):
+            return _RLockProxy(self, raw, self._register(label))
+        return _LockProxy(self, raw, self._register(label))
+
+    def _register(self, label: Optional[str]) -> int:
+        serial = next(self._serials)
+        site = _creation_site()
+        self._sites[serial] = f"{label or 'lock'}#{serial} (created {site})"
+        return serial
+
+    # -- factory patching ---------------------------------------------------
+
+    def install(self) -> None:
+        """Patch threading.Lock/RLock to produce tracked proxies."""
+        if self._installed:
+            return
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+
+        def make_lock():
+            return _LockProxy(self, self._orig_lock(), self._register("Lock"))
+
+        def make_rlock():
+            return _RLockProxy(self, self._orig_rlock(), self._register("RLock"))
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = self._orig_lock
+        threading.RLock = self._orig_rlock
+        self._installed = False
+
+    def __enter__(self) -> "LockOrderSanitizer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- per-thread held stack ----------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- recording ----------------------------------------------------------
+
+    def note_acquired(self, serial: int) -> None:
+        stack = self._stack()
+        if serial in stack:  # reentrant RLock: no new ordering information
+            stack.append(serial)
+            return
+        site = _acquisition_site()
+        cycle_report = None
+        with self._mutex:
+            for prior in dict.fromkeys(stack):  # dedupe, preserve order
+                edge = (prior, serial)
+                if edge not in self._edges:
+                    self._edges[edge] = site
+                    self._succ.setdefault(prior, set()).add(serial)
+                    cycle = self._find_cycle(serial, prior)
+                    if cycle is not None:
+                        report = self._render_cycle(cycle)
+                        if report is not None:
+                            cycle_report = report
+        stack.append(serial)
+        if cycle_report is not None:
+            self.violations.append(cycle_report)
+            if self.strict:
+                raise LockOrderError(cycle_report)
+
+    def note_released(self, serial: int) -> None:
+        stack = self._stack()
+        # Locks may be released out of LIFO order (handoffs); drop the
+        # most recent occurrence.
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx] == serial:
+                del stack[idx]
+                return
+
+    def drop_all(self, serial: int) -> int:
+        """Remove every occurrence (Condition.wait on an RLock); returns count."""
+        stack = self._stack()
+        count = stack.count(serial)
+        if count:
+            self._tls.stack = [s for s in stack if s != serial]
+        return count
+
+    def reacquire(self, serial: int, count: int) -> None:
+        """Restore ``count`` recursion levels after a Condition.wait."""
+        if count <= 0:
+            return
+        self.note_acquired(serial)
+        self._stack().extend([serial] * (count - 1))
+
+    # -- cycle detection (caller holds self._mutex) -------------------------
+
+    def _find_cycle(self, start: int, target: int) -> Optional[List[int]]:
+        """DFS path start→…→target; with edge target→start that is a cycle."""
+        path = [start]
+        visited = {start}
+
+        def dfs(node: int) -> bool:
+            for nxt in sorted(self._succ.get(node, ())):
+                if nxt == target:
+                    path.append(nxt)
+                    return True
+                if nxt not in visited:
+                    visited.add(nxt)
+                    path.append(nxt)
+                    if dfs(nxt):
+                        return True
+                    path.pop()
+            return False
+
+        return path if dfs(start) else None
+
+    def _render_cycle(self, cycle: List[int]) -> Optional[str]:
+        key = frozenset(cycle)
+        if key in self._seen_cycles:
+            return None
+        self._seen_cycles.add(key)
+        lines = ["potential deadlock: lock-order cycle"]
+        hops = cycle + [cycle[0]]
+        for a, b in zip(hops, hops[1:]):
+            site = self._edges.get((a, b), "unknown site")
+            lines.append(
+                f"  {self._sites.get(a, a)} -> {self._sites.get(b, b)} "
+                f"[acquired at {site}]"
+            )
+        return "\n".join(lines)
+
+
+class _LockProxy:
+    """Tracking wrapper around a non-reentrant lock."""
+
+    def __init__(self, san: LockOrderSanitizer, raw, serial: int):
+        self._san = san
+        self._raw = raw
+        self._serial = serial
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        ok = self._raw.acquire(blocking, timeout)
+        if ok:
+            self._san.note_acquired(self._serial)
+        return ok
+
+    def release(self) -> None:
+        self._raw.release()
+        self._san.note_released(self._serial)
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<LockProxy {self._san._sites.get(self._serial, self._serial)}>"
+
+
+class _RLockProxy:
+    """Tracking wrapper around an RLock, Condition-compatible."""
+
+    def __init__(self, san: LockOrderSanitizer, raw, serial: int):
+        self._san = san
+        self._raw = raw
+        self._serial = serial
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        ok = self._raw.acquire(blocking, timeout)
+        if ok:
+            self._san.note_acquired(self._serial)
+        return ok
+
+    def release(self) -> None:
+        self._raw.release()
+        self._san.note_released(self._serial)
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # Condition.wait support: fully drop the lock, then restore the
+    # exact recursion depth afterwards.
+    def _release_save(self):
+        count = self._san.drop_all(self._serial)
+        return (self._raw._release_save(), count)
+
+    def _acquire_restore(self, saved) -> None:
+        state, count = saved
+        self._raw._acquire_restore(state)
+        self._san.reacquire(self._serial, count)
+
+    def _is_owned(self) -> bool:
+        return self._raw._is_owned()
+
+    def __repr__(self) -> str:
+        return f"<RLockProxy {self._san._sites.get(self._serial, self._serial)}>"
+
+
+_SELF_FILE = os.path.abspath(__file__)
+_THREADING_FILE = os.path.abspath(threading.__file__)
+
+
+def _creation_site() -> str:
+    return _first_foreign_frame()
+
+
+def _acquisition_site() -> str:
+    return _first_foreign_frame()
+
+
+def _first_foreign_frame() -> str:
+    """file:line of the innermost frame outside this module and threading."""
+    for frame in reversed(traceback.extract_stack()):
+        if os.path.abspath(frame.filename) in (_SELF_FILE, _THREADING_FILE):
+            continue
+        return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "unknown"

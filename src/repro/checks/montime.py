@@ -1,0 +1,58 @@
+"""MT01 — monotonic-time discipline.
+
+``time.time()`` is wall-clock: NTP steps it, VMs suspend it, and two
+hosts disagree about it.  Durations, deadlines and latency spans must
+use ``time.monotonic()`` / ``time.perf_counter()``.  The only legitimate
+wall-clock uses in this codebase are event-ring timestamps (humans
+correlate them with logs) and the file-mtime lease math in
+``runner/queue.py`` (mtimes are epoch seconds shared across hosts);
+those sites carry ``# checks: allow-wall-clock <reason>``.
+
+Both ``time.time()`` and a bare ``time()`` imported via
+``from time import time`` are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .base import Finding, SourceFile
+
+CHECK_IDS = ("MT01",)
+
+_MESSAGE = (
+    "time.time() is wall-clock; use time.monotonic()/perf_counter() for "
+    "durations and deadlines, or annotate "
+    "`# checks: allow-wall-clock <reason>` for true timestamps"
+)
+
+
+def check(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    bare_time_imported = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "time"
+        and any(alias.name == "time" for alias in node.names)
+        for node in ast.walk(src.tree)
+    )
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_wall_clock = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ) or (
+            bare_time_imported
+            and isinstance(func, ast.Name)
+            and func.id == "time"
+        )
+        if not is_wall_clock:
+            continue
+        if src.allowed("allow-wall-clock", node):
+            continue
+        findings.append(Finding("MT01", src.path, node.lineno, _MESSAGE))
+    return findings

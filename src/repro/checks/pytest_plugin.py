@@ -1,0 +1,58 @@
+"""pytest integration for the runtime lock-order sanitizer.
+
+Loaded by the repo-root ``conftest.py``; also usable standalone via
+``pytest -p repro.checks.pytest_plugin`` (the sanitizer self-test runs
+a seeded-deadlock file from a temp dir that way).
+
+``pytest --lock-sanitizer`` patches ``threading.Lock``/``RLock`` at
+configure time — before any repro module constructs its locks — and at
+session end reports every lock-order cycle observed, failing the run
+(exit status 1) if any fired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--lock-sanitizer",
+        action="store_true",
+        default=False,
+        help="track lock acquisition order and fail on potential-deadlock "
+        "cycles (repro.checks.lockorder)",
+    )
+
+
+def pytest_configure(config) -> None:
+    if not config.getoption("--lock-sanitizer"):
+        return
+    from repro.checks.lockorder import LockOrderSanitizer
+
+    sanitizer = LockOrderSanitizer(strict=False)
+    sanitizer.install()
+    config._repro_lock_sanitizer = sanitizer
+
+
+def pytest_unconfigure(config) -> None:
+    sanitizer = getattr(config, "_repro_lock_sanitizer", None)
+    if sanitizer is not None:
+        sanitizer.uninstall()
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus) -> None:
+    sanitizer = getattr(session.config, "_repro_lock_sanitizer", None)
+    if sanitizer is None or not sanitizer.violations:
+        return
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = ["", "lock-order sanitizer: potential deadlock(s) detected"]
+    lines.extend(sanitizer.violations)
+    text = "\n".join(lines)
+    if reporter is not None:
+        reporter.write_line(text, red=True)
+    else:  # pragma: no cover - terminalreporter always exists in practice
+        print(text)
+    session.exitstatus = 1

@@ -1,0 +1,132 @@
+"""VT01/VT02 — remotely-reachable validation traps (the PR 8 bug class).
+
+VT01: ``isinstance(x, int)`` (or ``(int, float)``) admits ``bool`` —
+``True``/``False`` are ints, so a boolean smuggled through JSON passes a
+numeric type gate.  The check is satisfied when the *same statement*
+also tests ``isinstance(x, bool)`` (the house pattern), or with
+``# checks: allow-bool-int <reason>``.
+
+VT02: ``float(payload["key"])`` / ``float(mapping.get(...))`` without a
+finiteness check in the same function — ``json.loads`` happily produces
+``NaN``/``Infinity``, and every comparison against NaN is False, so an
+unchecked threshold silently disables whatever it gates.  Satisfied when
+the enclosing function mentions ``isfinite``, or with
+``# checks: allow-nonfinite <reason>`` (used where validation is
+delegated to a constructor such as ``SweepJob.__post_init__``).
+
+VT02 applies to production code only: files named ``test_*``,
+``bench_*`` or ``conftest.py`` are skipped (tests assert on values they
+themselves produced; there is no untrusted wire there).
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from typing import List
+
+from .base import Finding, SourceFile
+
+CHECK_IDS = ("VT01", "VT02")
+
+
+def check(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    _check_bool_int(src, findings)
+    if not _is_test_file(src.path):
+        _check_nonfinite(src, findings)
+    return findings
+
+
+def _is_test_file(path: str) -> bool:
+    name = posixpath.basename(path.replace("\\", "/"))
+    return name.startswith(("test_", "bench_")) or name == "conftest.py"
+
+
+def _isinstance_classes(node: ast.Call) -> set:
+    names = set()
+    classinfo = node.args[1]
+    elems = classinfo.elts if isinstance(classinfo, ast.Tuple) else [classinfo]
+    for elem in elems:
+        if isinstance(elem, ast.Name):
+            names.add(elem.id)
+    return names
+
+
+def _check_bool_int(src: SourceFile, out: List[Finding]) -> None:
+    for node in ast.walk(src.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        names = _isinstance_classes(node)
+        if "int" not in names or "bool" in names:
+            continue
+        # The house pattern pairs the int gate with a bool exclusion in
+        # the same statement: `isinstance(x, (int, float)) and not
+        # isinstance(x, bool)` — look for it before flagging.
+        target = ast.dump(node.args[0])
+        stmt = src.enclosing_statement(node)
+        excluded = any(
+            isinstance(other, ast.Call)
+            and isinstance(other.func, ast.Name)
+            and other.func.id == "isinstance"
+            and len(other.args) == 2
+            and ast.dump(other.args[0]) == target
+            and "bool" in _isinstance_classes(other)
+            for other in ast.walk(stmt)
+        )
+        if excluded or src.allowed("allow-bool-int", node):
+            continue
+        out.append(
+            Finding(
+                "VT01",
+                src.path,
+                node.lineno,
+                "isinstance(..., int) admits bool (True/False are ints); "
+                "pair it with `not isinstance(..., bool)` in the same "
+                "statement or annotate `# checks: allow-bool-int <reason>`",
+            )
+        )
+
+
+def _check_nonfinite(src: SourceFile, out: List[Finding]) -> None:
+    for node in ast.walk(src.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            continue
+        arg = node.args[0]
+        plucked = isinstance(arg, ast.Subscript) or (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "get"
+        )
+        if not plucked:
+            continue
+        scope = src.enclosing_function(node) or src.tree
+        mentions_isfinite = any(
+            (isinstance(other, ast.Name) and other.id == "isfinite")
+            or (isinstance(other, ast.Attribute) and other.attr == "isfinite")
+            for other in ast.walk(scope)
+        )
+        if mentions_isfinite or src.allowed("allow-nonfinite", node):
+            continue
+        out.append(
+            Finding(
+                "VT02",
+                src.path,
+                node.lineno,
+                "float() of a mapping/wire value without a finiteness "
+                "check (json.loads accepts NaN/Infinity; NaN defeats "
+                "every threshold comparison) — call math.isfinite or "
+                "annotate `# checks: allow-nonfinite <reason>`",
+            )
+        )

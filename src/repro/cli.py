@@ -129,7 +129,7 @@ def _read_token(args) -> Optional[str]:
     try:
         return read_token_file(args.token_file)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"--token-file: {exc}")
+        raise SystemExit(f"--token-file: {exc}") from exc
 
 
 def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
@@ -717,7 +717,7 @@ def _cmd_serve(args) -> str:
             layer_thetas=parse_layer_thetas(args.layer_theta) or None,
         )
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     print(
         f"loading {args.network} ({args.scale}, seed {args.seed}); "
         "training if needed...",
@@ -733,7 +733,7 @@ def _cmd_serve(args) -> str:
             session_ttl=args.session_ttl,
         )
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     server = InferenceServer(state, host=args.host, port=args.port, token=token)
     auth = "token auth" if token else "NO auth -- trusted networks only"
     print(
@@ -772,7 +772,7 @@ def _cmd_loadgen(args) -> Tuple[str, int]:
             out=args.out,
         )
     except (ServeError, ValueError) as exc:
-        raise SystemExit(f"loadgen: {exc}")
+        raise SystemExit(f"loadgen: {exc}") from exc
     failed = bool(summary["errors"]) or (
         args.verify and summary["verify"]["mismatches"] > 0
     )
@@ -791,7 +791,7 @@ def _cmd_top(args) -> Union[str, Tuple[str, int]]:
         try:
             return run_top(args.url, token=token)
         except TopError as exc:
-            raise SystemExit(f"top: {exc}")
+            raise SystemExit(f"top: {exc}") from exc
     import time as _time
 
     try:

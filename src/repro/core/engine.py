@@ -80,14 +80,13 @@ class MemoizationScheme:
                 f"predictor must be one of {PREDICTOR_KINDS}, got "
                 f"{self.predictor!r}"
             )
-        if self.layer_thetas is not None:
-            if any(
-                not math.isfinite(value) or value < 0
-                for value in self.layer_thetas.values()
-            ):
-                raise ValueError(
-                    "layer thresholds must be finite non-negative numbers"
-                )
+        if self.layer_thetas is not None and any(
+            not math.isfinite(value) or value < 0
+            for value in self.layer_thetas.values()
+        ):
+            raise ValueError(
+                "layer thresholds must be finite non-negative numbers"
+            )
 
     def with_theta(self, theta: float) -> "MemoizationScheme":
         """Copy of the scheme at a different global threshold."""

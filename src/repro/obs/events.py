@@ -30,8 +30,8 @@ class EventLog:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._ring: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
-        self._seq = 0
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=self.capacity)  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def emit(self, kind: str, **fields: object) -> Dict[str, object]:
@@ -40,6 +40,7 @@ class EventLog:
             self._seq += 1
             event: Dict[str, object] = {
                 "seq": self._seq,
+                # checks: allow-wall-clock event timestamps correlate with external logs
                 "ts": time.time(),
                 "kind": str(kind),
             }

@@ -80,6 +80,7 @@ def _render_metric(metric) -> Iterable[str]:
             inf = _label_str(names + ("le",), labels + ("+Inf",))
             yield f"{metric.name}_bucket{inf} {snap['count']}"
             suffix = _label_str(names, labels)
+            # checks: allow-nonfinite our own snapshot; Prometheus text exposition permits NaN
             yield f"{metric.name}_sum{suffix} {_format_value(float(snap['sum_ms']))}"
             yield f"{metric.name}_count{suffix} {snap['count']}"
     elif isinstance(metric, (Counter, Gauge)):
@@ -198,7 +199,7 @@ def main(argv=None) -> int:
         print("usage: python -m repro.obs.prom [FILE]", file=sys.stderr)
         return 2
     if argv and argv[0] != "-":
-        with open(argv[0], "r", encoding="utf-8") as handle:
+        with open(argv[0], encoding="utf-8") as handle:
             text = handle.read()
     else:
         text = sys.stdin.read()

@@ -83,7 +83,7 @@ class Counter(Metric):
         self, name: str, help: str = "", label_names: Sequence[str] = ()
     ):
         super().__init__(name, help, label_names)
-        self._series: Dict[Labels, float] = {}
+        self._series: Dict[Labels, float] = {}  # guarded-by: _lock
 
     def inc(self, amount: float = 1, labels: Sequence[str] = ()) -> None:
         if amount < 0:
@@ -117,7 +117,7 @@ class Gauge(Metric):
         self, name: str, help: str = "", label_names: Sequence[str] = ()
     ):
         super().__init__(name, help, label_names)
-        self._series: Dict[Labels, float] = {}
+        self._series: Dict[Labels, float] = {}  # guarded-by: _lock
 
     def set(self, value: float, labels: Sequence[str] = ()) -> None:
         key = self._labels(labels)
@@ -174,7 +174,7 @@ class Histogram(Metric):
             raise ValueError("histogram needs at least one bucket bound")
         if list(self.bounds_ms) != sorted(self.bounds_ms):
             raise ValueError("histogram bounds must be ascending")
-        self._series: Dict[Labels, _HistogramSeries] = {}
+        self._series: Dict[Labels, _HistogramSeries] = {}  # guarded-by: _lock
 
     def _bucket_index(self, value: float) -> int:
         # Equivalent to searchsorted(side="left"): first bound >= value.
@@ -243,7 +243,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, Metric] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def register(self, metric: Metric) -> Metric:

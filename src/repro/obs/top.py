@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import math
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,6 +29,21 @@ DEFAULT_TIMEOUT = 10.0
 
 class TopError(RuntimeError):
     """The target server could not be scraped or was not recognised."""
+
+
+def _num(mapping, key: str, default: float = 0.0) -> float:
+    """A *finite* float plucked from a scraped payload.
+
+    ``json.loads`` accepts ``NaN``/``Infinity``, and a NaN from a
+    hostile or half-written reply would poison bar widths, sort orders
+    and rate math silently (every NaN comparison is False) — clamp
+    anything non-finite or non-numeric to ``default``.
+    """
+    try:
+        value = float(mapping.get(key, default))
+    except (TypeError, ValueError):
+        return default
+    return value if math.isfinite(value) else default
 
 
 def _fetch_json(
@@ -53,7 +69,7 @@ def _fetch_json(
         try:
             payload = json.loads(exc.read().decode("utf-8"))
             detail = f": {payload.get('error', '')}"
-        except Exception:
+        except Exception:  # checks: allow-broad-except best-effort parse of a failed reply's body
             pass
         raise TopError(f"HTTP {exc.code} from {url}{detail}") from exc
     except (urllib.error.URLError, OSError) as exc:
@@ -81,7 +97,7 @@ def percentile_from_buckets(
     previous_cumulative = 0
     for bucket in snapshot.get("buckets", ()):
         cumulative = int(bucket["count"])
-        bound = float(bucket["le_ms"])
+        bound = _num(bucket, "le_ms")
         if cumulative >= target:
             in_bucket = cumulative - previous_cumulative
             if in_bucket <= 0:
@@ -90,7 +106,7 @@ def percentile_from_buckets(
             return previous_bound + fraction * (bound - previous_bound)
         previous_bound = bound
         previous_cumulative = cumulative
-    return float(snapshot.get("max_ms", previous_bound))
+    return _num(snapshot, "max_ms", previous_bound)
 
 
 def _bar(fraction: float, width: int = 20) -> str:
@@ -120,12 +136,12 @@ def render_serve(metrics: Dict[str, object]) -> str:
     coalesce = metrics.get("coalesce", {})
     reuse = metrics.get("reuse", {})
     sessions = metrics.get("sessions", {})
-    uptime = float(metrics.get("uptime_s", 0.0))
+    uptime = _num(metrics, "uptime_s")
     requests = int(inference.get("requests", 0))
     rate = requests / uptime if uptime > 0 else 0.0
     replicas = int(pool.get("replicas", 0)) or 1
     busy = int(pool.get("busy", 0))
-    reuse_fraction = float(reuse.get("overall_fraction", 0.0))
+    reuse_fraction = _num(reuse, "overall_fraction")
     lines = [
         (
             f"serve  {model.get('name', '?')}/{model.get('scale', '?')}"
@@ -143,7 +159,7 @@ def render_serve(metrics: Dict[str, object]) -> str:
             f"p50 {percentile_from_buckets(latency, 0.50):.2f} ms"
             f"   p95 {percentile_from_buckets(latency, 0.95):.2f} ms"
             f"   p99 {percentile_from_buckets(latency, 0.99):.2f} ms"
-            f"   max {float(latency.get('max_ms', 0.0)):.2f} ms"
+            f"   max {_num(latency, 'max_ms'):.2f} ms"
         ),
         (
             f"pool      {_bar(busy / replicas)} {busy}/{replicas} busy"
@@ -165,7 +181,7 @@ def render_serve(metrics: Dict[str, object]) -> str:
     if per_replica:
         cells = "  ".join(
             f"r{entry.get('replica')}:{entry.get('requests', 0)}req"
-            f"/{100.0 * float(entry.get('reuse_fraction', 0.0)):.0f}%"
+            f"/{100.0 * _num(entry, 'reuse_fraction'):.0f}%"
             for entry in per_replica
         )
         lines.append(f"replicas  {cells}")
@@ -181,7 +197,7 @@ def render_coordinator(stats: Dict[str, object]) -> str:
             f"   active {int(stats.get('active', 0))}"
             f"   failed {int(stats.get('failed', 0))}"
             f"   results {int(stats.get('results', 0))}"
-            f"   lease_ttl {float(stats.get('lease_ttl', 0.0)):.0f}s"
+            f"   lease_ttl {_num(stats, 'lease_ttl'):.0f}s"
         ),
         f"workers      {len(owners)} active owner(s)",
     ]
@@ -193,7 +209,7 @@ def render_coordinator(stats: Dict[str, object]) -> str:
             lines.append(
                 f"{owner[:24]:<24} {int(entry.get('completed', 0)):>6}"
                 f" {int(entry.get('failed', 0)):>5}"
-                f" {float(entry.get('rate_per_s', 0.0)):>8.2f}"
+                f" {_num(entry, 'rate_per_s'):>8.2f}"
             )
     elif owners:
         lines.extend(f"  {owner}" for owner in owners)

@@ -208,7 +208,7 @@ class QueueBackend(ExecutionBackend):
         try:
             with self.queue.heartbeat(task):
                 output = evaluate_task(task.payload)
-        except Exception:
+        except Exception:  # checks: allow-broad-except poison task is quarantined via queue.fail
             self.queue.fail(task, error=traceback.format_exc())
             return True  # the quarantine itself is queue progress
         self.queue.results.put(task.task_id, output)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -87,15 +88,19 @@ class SweepJob:
         thetas = tuple(float(theta) for theta in self.thetas)
         if not thetas:
             raise ValueError("thetas must be non-empty")
-        if any(theta < 0 for theta in thetas):
-            raise ValueError("thresholds must be non-negative")
+        # math.isfinite rejects NaN too, which `< 0` would wave through
+        # (every comparison against NaN is False) — and these thetas
+        # arrive over the wire via job_from_payload, where json.loads
+        # happily produces NaN/Infinity.
+        if any(not math.isfinite(theta) or theta < 0 for theta in thetas):
+            raise ValueError("thresholds must be finite and non-negative")
         object.__setattr__(self, "thetas", thetas)
         if self.layer_thetas is not None:
             pairs = tuple(
                 sorted((str(name), float(theta)) for name, theta in self.layer_thetas)
             )
-            if any(theta < 0 for _, theta in pairs):
-                raise ValueError("layer thresholds must be non-negative")
+            if any(not math.isfinite(theta) or theta < 0 for _, theta in pairs):
+                raise ValueError("layer thresholds must be finite and non-negative")
             object.__setattr__(self, "layer_thetas", pairs)
 
     @classmethod
@@ -134,6 +139,7 @@ class SweepJob:
         layer_thetas = payload.get("layer_thetas")
         return cls(
             network=str(payload["network"]),
+            # checks: allow-nonfinite SweepJob.__post_init__ rejects non-finite thetas
             thetas=(float(payload["theta"]),),
             predictor=str(payload["predictor"]),
             scale=str(payload["scale"]),
@@ -369,6 +375,7 @@ def scheme_from_payload(payload: Mapping[str, object]) -> MemoizationScheme:
     """Rebuild the memoization scheme named by a point payload."""
     layer_thetas = payload.get("layer_thetas")
     return MemoizationScheme(
+        # checks: allow-nonfinite MemoizationScheme.__post_init__ rejects non-finite thetas
         theta=float(payload["theta"]),
         predictor=str(payload["predictor"]),
         throttle=bool(payload["throttle"]),
@@ -429,8 +436,11 @@ def result_from_payload(payload: Mapping[str, object]) -> MemoizedResult:
     metric_payload = payload.get("metric")
     base_quality = payload.get("base_quality")
     return MemoizedResult(
+        # checks: allow-nonfinite result metrics are round-tripped verbatim, not threshold inputs
         quality=float(payload["quality"]),
+        # checks: allow-nonfinite result metrics are round-tripped verbatim, not threshold inputs
         quality_loss=float(payload["quality_loss"]),
+        # checks: allow-nonfinite result metrics are round-tripped verbatim, not threshold inputs
         reuse_fraction=float(payload["reuse_fraction"]),
         stats=stats,
         metric=(

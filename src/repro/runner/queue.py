@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import abc
 import json
+import math
 import os
 import socket
 import threading
@@ -247,7 +248,7 @@ class TaskQueue(abc.ABC):
         def interval() -> float:
             try:
                 return self.lease_ttl / 4
-            except Exception:
+            except Exception:  # checks: allow-broad-except heartbeat falls back to the default cadence
                 # Remote queues fetch the TTL from the coordinator,
                 # which may be briefly unreachable; beat at the default
                 # cadence rather than not at all.
@@ -257,7 +258,7 @@ class TaskQueue(abc.ABC):
             while not stop.wait(interval()):
                 try:
                     self.extend(task)
-                except Exception:
+                except Exception:  # checks: allow-broad-except a failed beat must not kill the heartbeat
                     # A failed beat must never kill the heartbeat: the
                     # lease survives missed renewals for up to a full
                     # TTL, and the next beat may reach a restarted
@@ -282,8 +283,11 @@ class WorkQueue(TaskQueue):
         root: Union[str, Path] = DEFAULT_QUEUE_DIR,
         lease_ttl: float = DEFAULT_LEASE_TTL,
     ):
-        if lease_ttl <= 0:
-            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        # math.isfinite first: a NaN TTL passes `<= 0` (every NaN
+        # comparison is False) and then silently breaks all lease
+        # expiry math downstream.
+        if not math.isfinite(lease_ttl) or lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be finite and positive, got {lease_ttl}")
         self.root = Path(root)
         self.lease_ttl = float(lease_ttl)
         self.pending_dir = self.root / "pending"
@@ -440,6 +444,7 @@ class WorkQueue(TaskQueue):
     def has_live_lease(self, task_id: str) -> bool:
         """Whether some worker currently holds an unexpired lease on
         ``task_id`` — i.e. the task *appears* to be in good hands."""
+        # checks: allow-wall-clock lease expiry compares cross-host file mtimes (epoch seconds)
         now = time.time()
         for lease in self.active_dir.glob(f"{task_id}.*.json"):
             try:
@@ -455,6 +460,7 @@ class WorkQueue(TaskQueue):
         """Move every expired lease back to pending; returns how many."""
         if not self.active_dir.is_dir():
             return 0
+        # checks: allow-wall-clock lease expiry compares cross-host file mtimes (epoch seconds)
         now = time.time() if now is None else now
         requeued = 0
         for lease in sorted(self.active_dir.glob("*.json")):
@@ -556,7 +562,7 @@ def drain(
         try:
             with queue.heartbeat(task):
                 output = handler(task.payload)
-        except Exception:
+        except Exception:  # checks: allow-broad-except poison task is quarantined via queue.fail
             traceback.print_exc()
             queue.fail(task, error=traceback.format_exc())
             idle_start = time.monotonic()

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import math
 import threading
 import time
 import urllib.error
@@ -255,11 +256,11 @@ class RemoteWorkQueue(TaskQueue):
         """
         now = time.monotonic()
         if self._lease_ttl is None:
-            self._lease_ttl = float(self.stats()["lease_ttl"])
+            self._lease_ttl = self._fetch_lease_ttl()
             self._lease_ttl_fetched = now
         elif now - self._lease_ttl_fetched >= self.lease_ttl_max_age:
             try:
-                self._lease_ttl = float(self.stats()["lease_ttl"])
+                self._lease_ttl = self._fetch_lease_ttl()
                 self._lease_ttl_fetched = now
             except TransportError:
                 # Back-date the stamp so the next read past a short
@@ -268,6 +269,23 @@ class RemoteWorkQueue(TaskQueue):
                 retry = min(5.0, self.lease_ttl_max_age)
                 self._lease_ttl_fetched = now - self.lease_ttl_max_age + retry
         return self._lease_ttl
+
+    def _fetch_lease_ttl(self) -> float:
+        """The coordinator's ``lease_ttl``, validated finite and positive.
+
+        ``json.loads`` accepts ``NaN``/``Infinity``, and a NaN TTL makes
+        every heartbeat-interval comparison silently False — so a bad
+        value from the wire is a :class:`TransportError` (the refresh
+        path then keeps the previous TTL), never a cached poison value.
+        """
+        raw = self.stats()["lease_ttl"]
+        try:
+            ttl = float(raw)
+        except (TypeError, ValueError) as exc:
+            raise TransportError(f"coordinator sent non-numeric lease_ttl {raw!r}") from exc
+        if not math.isfinite(ttl) or ttl <= 0:
+            raise TransportError(f"coordinator sent invalid lease_ttl {raw!r}")
+        return ttl
 
     def submit(self, payload: Mapping[str, object]) -> str:
         reply = self._call("submit", {"payload": dict(payload)})
@@ -448,7 +466,7 @@ class RemoteWorkQueue(TaskQueue):
                         f"coordinator {self.url} rejected credentials "
                         f"({exc.code}): {detail}",
                         status=exc.code,
-                    )
+                    ) from exc
                 if (
                     exc.code in (400, 415)
                     and self.gzip_mode == "auto"
@@ -470,7 +488,7 @@ class RemoteWorkQueue(TaskQueue):
                         f"coordinator {self.url} rejected "
                         f"/{endpoint} ({exc.code}): {detail}",
                         status=exc.code,
-                    )
+                    ) from exc
                 last_error = exc  # 5xx / 408: the coordinator's problem
                 attempt += 1
             except (
@@ -557,7 +575,7 @@ class RemoteWorkQueue(TaskQueue):
             except (OSError, EOFError) as exc:
                 raise _CorruptReply(
                     f"undecodable gzip reply for /{endpoint}: {exc}"
-                )
+                ) from exc
         reply = json.loads(raw.decode("utf-8"))
         if not isinstance(reply, dict):
             raise TransportError(
@@ -572,5 +590,5 @@ class RemoteWorkQueue(TaskQueue):
         try:
             payload = json.loads(exc.read().decode("utf-8"))
             return str(payload.get("error", payload))
-        except Exception:
+        except Exception:  # checks: allow-broad-except best-effort parse of a failed reply's body
             return exc.reason if isinstance(exc.reason, str) else str(exc)

@@ -124,7 +124,7 @@ def gunzip_capped(raw: bytes, limit: int) -> bytes:
     try:
         body = decompressor.decompress(raw, limit + 1)
     except zlib.error as exc:
-        raise RequestError(400, f"request body is not valid gzip: {exc}")
+        raise RequestError(400, f"request body is not valid gzip: {exc}") from exc
     if len(body) > limit or decompressor.unconsumed_tail:
         raise RequestError(413, f"decompressed body exceeds {limit} bytes")
     if not decompressor.eof:
@@ -183,6 +183,13 @@ class JsonApiHandler(BaseHTTPRequestHandler):
         except RequestError as exc:
             self._reply(exc.status, {"error": str(exc)})
         except Exception as exc:  # never let a handler kill the server
+            # The swallowed traceback still surfaces: every 500 lands in
+            # the event ring with its request id, visible at /api/v1/events.
+            self._event(
+                "handler_error",
+                path=self.path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _authorized(self) -> bool:
@@ -202,7 +209,9 @@ class JsonApiHandler(BaseHTTPRequestHandler):
         try:
             length = int(header)
         except (TypeError, ValueError):
-            raise RequestError(400, f"invalid Content-Length {header!r}")
+            raise RequestError(
+                400, f"invalid Content-Length {header!r}"
+            ) from None
         if length < 0:
             # rfile.read(-1) would block reading until EOF — on a
             # keep-alive socket, forever.  Never trust the header.
@@ -218,7 +227,7 @@ class JsonApiHandler(BaseHTTPRequestHandler):
         try:
             body = json.loads(raw or b"{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise RequestError(400, f"request body is not JSON: {exc}")
+            raise RequestError(400, f"request body is not JSON: {exc}") from exc
         if not isinstance(body, dict):
             raise RequestError(400, "request body must be a JSON object")
         return body
@@ -340,7 +349,9 @@ class JsonApiServer(ThreadingHTTPServer):
             "HTTP requests served, by endpoint path.",
             label_names=("path",),
         )
-        self.started_at = time.time()
+        # Monotonic: feeds uptime spans, which must not jump when NTP
+        # steps the wall clock.
+        self.started_at = time.monotonic()
         self._log_lock = threading.Lock()
         super().__init__((host, port), handler)
 

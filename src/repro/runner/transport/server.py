@@ -158,9 +158,9 @@ class _OwnerThroughput:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._completed: Dict[str, int] = {}
-        self._failed: Dict[str, int] = {}
-        self._recent: Dict[str, Deque[float]] = {}
+        self._completed: Dict[str, int] = {}  # guarded-by: _lock
+        self._failed: Dict[str, int] = {}  # guarded-by: _lock
+        self._recent: Dict[str, Deque[float]] = {}  # guarded-by: _lock
 
     def record(self, owner: str, ok: bool) -> None:
         owner = owner or "anonymous"
@@ -464,7 +464,7 @@ class CoordinatorServer(JsonApiServer):
             queue = WorkQueue(queue)
         self.queue = queue
         self.throughput = _OwnerThroughput()
-        self._owners_seen: set = set()
+        self._owners_seen: set = set()  # guarded-by: _owners_lock
         self._owners_lock = threading.Lock()
         super().__init__(
             host,
@@ -518,6 +518,6 @@ class CoordinatorServer(JsonApiServer):
             ("repro_queue_owners", "Distinct owners holding live leases.",
              len(stats["owners"])),
             ("repro_uptime_seconds", "Seconds since the server came up.",
-             time.time() - self.started_at),
+             time.monotonic() - self.started_at),
         ):
             self.registry.gauge(name, help_text).set(value)

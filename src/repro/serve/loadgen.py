@@ -94,7 +94,7 @@ class ServeClient:
                 message = detail.decode("utf-8", "replace")
             raise ServeError(exc.code, message or exc.reason) from None
         except urllib.error.URLError as exc:
-            raise ServeError(0, f"cannot reach {self.url}: {exc.reason}")
+            raise ServeError(0, f"cannot reach {self.url}: {exc.reason}") from exc
         return json.loads(raw)
 
     def get(self, path: str) -> Dict[str, object]:
@@ -159,6 +159,7 @@ def expected_outputs(
 def scheme_from_info(info: Dict[str, object]) -> MemoizationScheme:
     """Rebuild a :class:`MemoizationScheme` from a ``GET /theta`` reply."""
     return MemoizationScheme(
+        # checks: allow-nonfinite MemoizationScheme.__post_init__ rejects non-finite thetas
         theta=float(info["theta"]),
         predictor=str(info["predictor"]),
         throttle=bool(info["throttle"]),

@@ -99,9 +99,9 @@ class InferenceHandler(JsonApiHandler):
             else:
                 result = self.state.infer(rows, request_id=self.request_id)
         except SessionError as exc:
-            raise RequestError(404, str(exc.args[0]))
+            raise RequestError(404, str(exc.args[0])) from exc
         except ValueError as exc:
-            raise RequestError(400, str(exc))
+            raise RequestError(400, str(exc)) from exc
         result["request_id"] = self.request_id
         return result
 
@@ -113,7 +113,7 @@ class InferenceHandler(JsonApiHandler):
         try:
             info = self.state.retune(body)
         except ValueError as exc:
-            raise RequestError(400, str(exc))
+            raise RequestError(400, str(exc)) from exc
         self._log_event(
             f"retuned to theta={info['theta']} "
             f"(scheme_version {info['scheme_version']})"
@@ -138,7 +138,7 @@ class InferenceHandler(JsonApiHandler):
         try:
             opened = self.state.open_session()
         except ValueError as exc:
-            raise RequestError(400, str(exc))
+            raise RequestError(400, str(exc)) from exc
         self._log_event(f"session {opened['session']} opened")
         return opened
 
@@ -146,9 +146,9 @@ class InferenceHandler(JsonApiHandler):
         try:
             closed = self.state.close_session(body.get("session"))
         except SessionError as exc:
-            raise RequestError(404, str(exc.args[0]))
+            raise RequestError(404, str(exc.args[0])) from exc
         except ValueError as exc:
-            raise RequestError(400, str(exc))
+            raise RequestError(400, str(exc)) from exc
         self._log_event(f"session {closed['session']} closed")
         return closed
 

@@ -204,7 +204,7 @@ class SpeechAdapter(TaskAdapter):
             frames = np.asarray(row, dtype=np.float64)
         except (TypeError, ValueError):
             raise ValueError("each speech row must be a (frames x features) "
-                             "array of numbers")
+                             "array of numbers") from None
         if frames.ndim != 2 or frames.shape[0] < 1:
             raise ValueError("each speech row must be a non-empty "
                              "(frames x features) array")
@@ -360,7 +360,9 @@ class StreamSession:
         self.theta = theta
         self.decoded: List[int] = []
         self.frames_fed = 0
-        self.last_used = time.time()
+        # Monotonic: last_used feeds idle-TTL spans, which must not
+        # jump when NTP steps the wall clock.
+        self.last_used = time.monotonic()
         self.lock = threading.Lock()
 
 
@@ -418,8 +420,8 @@ class ServeState:
         #: the replicas and are merged in at read time.
         self.stats = ThreadSafeReuseStats()
         self.lock = threading.RLock()
-        self.scheme = scheme
-        self.scheme_version = 1
+        self.scheme = scheme  # guarded-by: lock
+        self.scheme_version = 1  # guarded-by: lock
         #: (layer, dotted_name) in walk order over the *unwrapped* model
         #: — the template sessions and clones are wrapped from.
         self._recurrent_layers = list(iter_recurrent_layers(benchmark.model))
@@ -433,7 +435,7 @@ class ServeState:
             self._pool.put(replica)
         self.coalesce_ms = float(coalesce_ms)
         self._coalesce_s = self.coalesce_ms / 1000.0
-        self._pending: List[_InferJob] = []
+        self._pending: List[_InferJob] = []  # guarded-by: _pending_cond
         self._pending_cond = threading.Condition()
         #: Guards the plain counters below.  Leaders take only this lock
         #: while holding a replica — never ``self.lock``, which a retune
@@ -452,20 +454,20 @@ class ServeState:
             "Per-request span timings by pipeline stage, in milliseconds.",
             label_names=("stage",),
         )
-        self.started_at = time.time()
-        self.infer_requests = 0
-        self.rows_served = 0
-        self.batches = 0
-        self.coalesced_batches = 0
-        self.max_batch_jobs = 0
-        self.max_batch_rows = 0
-        self.batch_jobs_hist: Dict[int, int] = {}
+        self.started_at = time.monotonic()  # feeds uptime_s spans
+        self.infer_requests = 0  # guarded-by: _counters_lock
+        self.rows_served = 0  # guarded-by: _counters_lock
+        self.batches = 0  # guarded-by: _counters_lock
+        self.coalesced_batches = 0  # guarded-by: _counters_lock
+        self.max_batch_jobs = 0  # guarded-by: _counters_lock
+        self.max_batch_rows = 0  # guarded-by: _counters_lock
+        self.batch_jobs_hist: Dict[int, int] = {}  # guarded-by: _counters_lock
         self.max_sessions = max_sessions
         self.session_ttl = float(session_ttl)
-        self.sessions: Dict[str, StreamSession] = {}
-        self.sessions_opened = 0
-        self.sessions_closed = 0
-        self.sessions_evicted = 0
+        self.sessions: Dict[str, StreamSession] = {}  # guarded-by: lock
+        self.sessions_opened = 0  # guarded-by: lock
+        self.sessions_closed = 0  # guarded-by: lock
+        self.sessions_evicted = 0  # guarded-by: lock
 
     @property
     def replica_count(self) -> int:
@@ -786,6 +788,7 @@ class ServeState:
 
     # -- streaming sessions -------------------------------------------------
 
+    # checks: holds-lock lock
     def _evict_idle_sessions(self, now: float) -> None:
         """Drop sessions idle past the TTL (caller holds ``self.lock``).
 
@@ -813,7 +816,7 @@ class ServeState:
                 f"model {self.benchmark.name!r} does not support streaming "
                 "sessions (only unidirectional speech stacks do)"
             )
-        now = time.time()
+        now = time.monotonic()
         with self.lock:
             self._evict_idle_sessions(now)
             if len(self.sessions) >= self.max_sessions:
@@ -850,6 +853,7 @@ class ServeState:
             "model": self.benchmark.name,
         }
 
+    # checks: holds-lock lock
     def _session(self, session_id: object) -> StreamSession:
         if not isinstance(session_id, str):
             raise ValueError("session must be a string id")
@@ -874,7 +878,7 @@ class ServeState:
         accepted = time.perf_counter()
         frames = self.adapter.validate_row(chunk)
         start = time.perf_counter()
-        now = time.time()
+        now = time.monotonic()
         with self.lock:
             self._evict_idle_sessions(now)
             session = self._session(session_id)
@@ -894,7 +898,7 @@ class ServeState:
             predictions = [int(p) for p in logits.argmax(axis=-1)[0]]
             session.decoded.extend(predictions)
             session.frames_fed += steps
-            session.last_used = time.time()
+            session.last_used = time.monotonic()
         forward_end = time.perf_counter()
         with self._counters_lock:
             self.infer_requests += 1
@@ -943,7 +947,7 @@ class ServeState:
         unknown id.
         """
         with self.lock:
-            self._evict_idle_sessions(time.time())
+            self._evict_idle_sessions(time.monotonic())
             session = self._session(session_id)
             del self.sessions[session_id]
             self.sessions_closed += 1
@@ -1039,7 +1043,7 @@ class ServeState:
                 "quality_metric": self.benchmark.spec.quality_metric,
             },
             "scheme": scheme_info,
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self.started_at,
             "requests": dict(request_counts or {}),
             "inference": {**inference, "latency_ms": self.latency.snapshot()},
             "pool": pool,

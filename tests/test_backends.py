@@ -260,6 +260,7 @@ class TestHttpBackend:
             lease_file = server.queue.active_dir / (
                 f"{doomed.task_id}.{doomed.lease}.json"
             )
+            # checks: allow-wall-clock lease files expire by mtime, which is wall-clock epoch seconds
             past = time.time() - 10_000
             os.utime(lease_file, (past, past))
 

@@ -474,7 +474,7 @@ class TestGzip:
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 raise server_module._RequestError(
                     400, f"request body is not JSON: {exc}"
-                )
+                ) from exc
             return parsed
 
         client = RemoteWorkQueue(coordinator.url, retries=2, backoff=0.01)

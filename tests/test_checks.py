@@ -1,0 +1,404 @@
+"""The static-analysis suite checked against itself: fixture snippets
+per check family (positive and negative), the annotation vocabulary,
+and the CLI's baseline round trip.
+
+Fixtures are inline source strings — the comment scanner works on
+:mod:`tokenize` output, so annotation-shaped text inside *these* string
+literals is invisible when the checker runs over this very file.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks import run_source
+from repro.checks.base import SourceFile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def findings_for(code: str, path: str = "fixture.py"):
+    return run_source(SourceFile(path, textwrap.dedent(code)))
+
+
+def ids_for(code: str, path: str = "fixture.py"):
+    return [finding.check for finding in findings_for(code, path)]
+
+
+# -- GB01: guarded-by lock discipline ---------------------------------------
+
+
+GB_BASE = """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self.lock = threading.Lock()
+            self.jobs = []  # guarded-by: lock
+
+        {method}
+"""
+
+
+def test_gb01_unguarded_access_flagged():
+    code = GB_BASE.format(
+        method="def push(self, job):\n            self.jobs.append(job)"
+    )
+    assert ids_for(code) == ["GB01"]
+
+
+def test_gb01_with_block_passes():
+    code = GB_BASE.format(
+        method=(
+            "def push(self, job):\n"
+            "            with self.lock:\n"
+            "                self.jobs.append(job)"
+        )
+    )
+    assert ids_for(code) == []
+
+
+def test_gb01_holds_lock_annotation_passes():
+    code = GB_BASE.format(
+        method=(
+            "# checks: holds-lock lock\n"
+            "        def push_locked(self, job):\n"
+            "            self.jobs.append(job)"
+        )
+    )
+    assert ids_for(code) == []
+
+
+def test_gb01_wrong_lock_flagged():
+    code = """
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.other = threading.Lock()
+                self.jobs = []  # guarded-by: lock
+
+            def push(self, job):
+                with self.other:
+                    self.jobs.append(job)
+    """
+    assert ids_for(code) == ["GB01"]
+
+
+def test_gb01_init_exempt_and_condition_counts():
+    code = """
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self.pending = []  # guarded-by: cond
+                self.pending.append(0)  # construction precedes sharing
+
+            def push(self, job):
+                with self.cond:
+                    self.pending.append(job)
+                    self.cond.notify()
+    """
+    assert ids_for(code) == []
+
+
+def test_gb01_lock_released_after_with_block():
+    code = GB_BASE.format(
+        method=(
+            "def push(self, job):\n"
+            "            with self.lock:\n"
+            "                pass\n"
+            "            self.jobs.append(job)"
+        )
+    )
+    assert ids_for(code) == ["GB01"]
+
+
+# -- VT01/VT02: validation traps --------------------------------------------
+
+
+def test_vt01_bool_admitting_int_gate_flagged():
+    assert ids_for("def f(x):\n    return isinstance(x, (int, float))") == ["VT01"]
+
+
+def test_vt01_same_statement_bool_exclusion_passes():
+    code = """
+        def f(x):
+            return isinstance(x, (int, float)) and not isinstance(x, bool)
+    """
+    assert ids_for(code) == []
+
+
+def test_vt01_annotation_suppresses():
+    code = """
+        def f(x):
+            # checks: allow-bool-int bools are acceptable counts here
+            return isinstance(x, int)
+    """
+    assert ids_for(code) == []
+
+
+def test_vt02_wire_float_without_isfinite_flagged():
+    assert ids_for('def f(p):\n    return float(p["theta"])') == ["VT02"]
+    assert ids_for('def f(p):\n    return float(p.get("theta"))') == ["VT02"]
+
+
+def test_vt02_isfinite_in_scope_passes():
+    code = """
+        import math
+
+        def f(p):
+            theta = float(p["theta"])
+            if not math.isfinite(theta):
+                raise ValueError(theta)
+            return theta
+    """
+    assert ids_for(code) == []
+
+
+def test_vt02_plain_float_conversion_not_flagged():
+    assert ids_for("def f(x):\n    return float(x)") == []
+
+
+def test_vt02_skips_test_files():
+    code = 'def f(p):\n    return float(p["theta"])'
+    assert ids_for(code, path="tests/test_thing.py") == []
+    assert ids_for(code, path="benchmarks/bench_thing.py") == []
+
+
+# -- MT01: monotonic-time discipline ----------------------------------------
+
+
+def test_mt01_wall_clock_flagged_and_annotation():
+    assert ids_for("import time\n\nstart = time.time()") == ["MT01"]
+    assert (
+        ids_for(
+            "import time\n\n"
+            "# checks: allow-wall-clock event timestamp\n"
+            "ts = time.time()"
+        )
+        == []
+    )
+
+
+def test_mt01_bare_time_import_flagged_monotonic_not():
+    assert ids_for("from time import time\n\nstart = time()") == ["MT01"]
+    assert ids_for("import time\n\nstart = time.monotonic()") == []
+
+
+# -- EP01/EP02/EP03: endpoint contract --------------------------------------
+
+
+EP_OK = """
+    class Handler:
+        def _ep_health(self, body):
+            return {"ok": True}
+
+    _ROUTES = {"/health": ("GET", Handler._ep_health)}
+"""
+
+
+def test_endpoint_contract_clean_module_passes():
+    assert ids_for(EP_OK) == []
+
+
+def test_ep01_route_to_missing_handler():
+    code = """
+        class Handler:
+            pass
+
+        _ROUTES = {"/health": ("GET", Handler._ep_health)}
+    """
+    assert ids_for(code) == ["EP01"]
+
+
+def test_ep02_unrouted_handler_and_suppression():
+    code = """
+        class Handler:
+            def _ep_health(self, body):
+                return {"ok": True}
+
+            def _ep_orphan(self, body):
+                return {"ok": True}
+
+        _ROUTES = {"/health": ("GET", Handler._ep_health)}
+    """
+    assert ids_for(code) == ["EP02"]
+    fixed = code.replace(
+        "def _ep_orphan",
+        "# checks: allow-unrouted registered dynamically by tests\n"
+        "            def _ep_orphan",
+    )
+    assert ids_for(fixed) == []
+
+
+def test_ep03_raw_write_and_bare_return_flagged():
+    code = """
+        class Handler:
+            def _ep_bad(self, body):
+                self.send_response(200)
+                if body:
+                    return
+                return {"ok": True}
+
+        _ROUTES = {"/bad": ("GET", Handler._ep_bad)}
+    """
+    assert ids_for(code) == ["EP03", "EP03"]
+
+
+# -- BE01: broad-except hygiene ---------------------------------------------
+
+
+def test_be01_silent_broad_except_flagged():
+    code = """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+    """
+    assert ids_for(code) == ["BE01"]
+
+
+def test_be01_reraise_emit_and_annotation_pass():
+    reraise = """
+        def f():
+            try:
+                work()
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+    """
+    emit = """
+        def f(events):
+            try:
+                work()
+            except Exception as exc:
+                events.emit("error", error=str(exc))
+    """
+    tagged = """
+        def f():
+            try:
+                work()
+            except Exception:  # checks: allow-broad-except best-effort cleanup
+                pass
+    """
+    assert ids_for(reraise) == []
+    assert ids_for(emit) == []
+    assert ids_for(tagged) == []
+
+
+def test_be01_annotation_requires_reason():
+    code = """
+        def f():
+            try:
+                work()
+            except Exception:  # checks: allow-broad-except
+                pass
+    """
+    findings = findings_for(code)
+    assert [f.check for f in findings] == ["BE01"]
+    assert "reason" in findings[0].message
+
+
+def test_be01_narrow_except_not_flagged():
+    code = """
+        def f():
+            try:
+                work()
+            except ValueError:
+                pass
+    """
+    assert ids_for(code) == []
+
+
+# -- the CLI: exit codes and the baseline round trip ------------------------
+
+
+def run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.checks", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(
+        "import time\n\nstart = time.time()\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_cli_exits_nonzero_on_findings(dirty_tree):
+    proc = run_cli(["pkg"], cwd=dirty_tree)
+    assert proc.returncode == 1
+    assert "MT01" in proc.stdout
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("import time\n\nx = time.monotonic()\n")
+    proc = run_cli([str(tmp_path)], cwd=tmp_path)
+    assert proc.returncode == 0
+    assert proc.stdout == ""
+
+
+def test_cli_baseline_round_trip(dirty_tree):
+    write = run_cli(["pkg", "--write-baseline", "baseline.json"], cwd=dirty_tree)
+    assert write.returncode == 0
+    baseline = json.loads((dirty_tree / "baseline.json").read_text())
+    assert len(baseline["findings"]) == 1
+
+    rerun = run_cli(["pkg", "--baseline", "baseline.json"], cwd=dirty_tree)
+    assert rerun.returncode == 0, rerun.stdout
+    assert "1 baselined" in rerun.stderr
+
+    # A *new* finding still fails even with the old baseline in place.
+    (dirty_tree / "pkg" / "fresh.py").write_text(
+        'def f(p):\n    return float(p["x"])\n', encoding="utf-8"
+    )
+    dirty = run_cli(["pkg", "--baseline", "baseline.json"], cwd=dirty_tree)
+    assert dirty.returncode == 1
+    assert "VT02" in dirty.stdout
+    assert "MT01" not in dirty.stdout  # still grandfathered
+
+    # Fixing the baselined finding reports the entry as stale.
+    (dirty_tree / "pkg" / "mod.py").write_text(
+        "import time\n\nstart = time.monotonic()\n", encoding="utf-8"
+    )
+    (dirty_tree / "pkg" / "fresh.py").unlink()
+    stale = run_cli(["pkg", "--baseline", "baseline.json"], cwd=dirty_tree)
+    assert stale.returncode == 0
+    assert "stale baseline" in stale.stderr
+
+
+def test_cli_reports_syntax_errors(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    proc = run_cli([str(tmp_path)], cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "PARSE" in proc.stdout
+
+
+def test_cli_rejects_missing_path(tmp_path):
+    proc = run_cli(["no/such/dir"], cwd=tmp_path)
+    assert proc.returncode == 2
+
+
+def test_repo_is_clean():
+    """The acceptance gate: zero unsuppressed findings over the repo."""
+    proc = run_cli(["src", "tests", "benchmarks"], cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout

@@ -140,9 +140,10 @@ class TestContextManager:
 
     def test_restores_on_exception(self, rng):
         stack = RNNStack([LSTMLayer(5, 6, rng=rng)])
-        with pytest.raises(RuntimeError, match="boom"):
-            with memoized(stack, MemoizationScheme(), ReuseStats()):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError, match="boom"), memoized(
+            stack, MemoizationScheme(), ReuseStats()
+        ):
+            raise RuntimeError("boom")
         assert isinstance(stack.layer0, LSTMLayer)
 
     def test_stats_populated(self, rng):

@@ -1,0 +1,256 @@
+"""The runtime lock-order sanitizer, from unit level to a real
+``pytest --lock-sanitizer`` subprocess over a seeded ABBA deadlock.
+
+Raw locks are created with ``_thread.allocate_lock()`` and wrapped
+explicitly, so these tests stay correct even when the whole session
+itself runs under ``--lock-sanitizer`` (the explicit wrap uses a
+private sanitizer instance, invisible to any installed one).
+"""
+
+from __future__ import annotations
+
+import _thread
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.checks.lockorder import LockOrderError, LockOrderSanitizer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def raw_lock():
+    return _thread.allocate_lock()
+
+
+def test_abba_cycle_detected_single_threaded():
+    san = LockOrderSanitizer()
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    with a:
+        with b:
+            pass
+    assert not san.violations  # one order alone is fine
+    with b:
+        with a:
+            pass
+    assert len(san.violations) == 1
+    report = san.violations[0]
+    assert "potential deadlock" in report
+    assert "A#" in report and "B#" in report
+
+
+def test_consistent_order_never_fires():
+    san = LockOrderSanitizer()
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    for _ in range(10):
+        with a:
+            with b:
+                pass
+    assert san.violations == []
+
+
+def test_three_lock_cycle_detected():
+    san = LockOrderSanitizer()
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    c = san.wrap(raw_lock(), label="C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    assert not san.violations
+    with c:
+        with a:
+            pass
+    assert len(san.violations) == 1
+
+
+def test_duplicate_cycle_reported_once():
+    san = LockOrderSanitizer()
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    with a, b:
+        pass
+    for _ in range(3):
+        with b, a:
+            pass
+    assert len(san.violations) == 1
+
+
+def test_strict_mode_raises():
+    san = LockOrderSanitizer(strict=True)
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    with a, b:
+        pass
+    with pytest.raises(LockOrderError), b:
+        with a:
+            pass
+
+
+def test_rlock_reentrancy_adds_no_edges():
+    san = LockOrderSanitizer()
+    r = san.wrap(threading.RLock(), label="R")
+    other = san.wrap(raw_lock(), label="other")
+    with r:
+        with r:  # re-entrant: must not self-edge or confuse release
+            with other:
+                pass
+    with r:  # still tracked correctly after full release
+        pass
+    assert san.violations == []
+
+
+def test_failed_nonblocking_acquire_not_recorded():
+    san = LockOrderSanitizer()
+    a = san.wrap(raw_lock(), label="A")
+    b = san.wrap(raw_lock(), label="B")
+    with a, b:
+        pass
+    b._raw.acquire()  # someone else holds B
+    try:
+        with a:
+            assert b.acquire(blocking=False) is False
+    finally:
+        b._raw.release()
+    # the failed acquire must not have added a B-held edge anywhere
+    with b, a:
+        pass
+    assert len(san.violations) == 1  # only the real ABBA above
+
+
+def test_install_tracks_condition_and_queue(monkeypatch):
+    """Patched factories cover Condition.wait (RLock protocol) and
+    queue.Queue's lock/condition plumbing without false positives."""
+    san = LockOrderSanitizer()
+    san.install()
+    try:
+        cond = threading.Condition()
+        fired = []
+
+        def waiter():
+            with cond:
+                while not fired:
+                    cond.wait(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cond:
+            fired.append(1)
+            cond.notify_all()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+        import queue
+
+        q = queue.Queue(maxsize=2)
+        q.put(1)
+        assert q.get() == 1
+    finally:
+        san.uninstall()
+    assert san.violations == []
+    assert threading.Lock is san._orig_lock  # uninstall restored factories
+
+
+def test_install_detects_abba_across_threads():
+    """The sanitizer catches the inverted order even when the two
+    acquisitions happen on different threads at different times —
+    no actual deadlock needs to occur."""
+    san = LockOrderSanitizer()
+    san.install()
+    try:
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=forward)
+        t.start()
+        t.join()
+        with b:
+            with a:
+                pass
+    finally:
+        san.uninstall()
+    assert len(san.violations) == 1
+
+
+def test_seeded_deadlock_fails_pytest_run(tmp_path):
+    """Acceptance: `pytest --lock-sanitizer` fails a test file whose
+    code contains a real ABBA inversion, and reports the cycle."""
+    test_file = tmp_path / "test_seeded_abba.py"
+    test_file.write_text(
+        textwrap.dedent(
+            """
+            import threading
+
+
+            def test_inverted_lock_order():
+                a = threading.Lock()
+                b = threading.Lock()
+                with a:
+                    with b:
+                        pass
+                with b:
+                    with a:
+                        pass
+            """
+        ),
+        encoding="utf-8",
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-p",
+            "repro.checks.pytest_plugin",
+            "--lock-sanitizer",
+            "-q",
+            str(test_file),
+        ],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+            "HOME": str(tmp_path),
+        },
+        timeout=120,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "potential deadlock" in proc.stdout
+    # ... and the identical run without the flag passes.
+    clean = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-p",
+            "repro.checks.pytest_plugin",
+            "-q",
+            str(test_file),
+        ],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+            "HOME": str(tmp_path),
+        },
+        timeout=120,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr

@@ -41,6 +41,7 @@ def echo_handler(payload):
 
 def expire_lease(task: Task) -> None:
     """Backdate a lease far enough that any positive TTL has expired."""
+    # checks: allow-wall-clock lease files expire by mtime, which is wall-clock epoch seconds
     past = time.time() - 10_000
     os.utime(task.lease_path, (past, past))
 
@@ -128,6 +129,13 @@ class TestWorkQueueLifecycle:
         with pytest.raises(ValueError, match="lease_ttl"):
             WorkQueue(tmp_path, lease_ttl=0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_lease_ttl_rejected(self, tmp_path, bad):
+        # A NaN TTL passes `<= 0` (every NaN comparison is False) and
+        # would silently break all lease-expiry math downstream.
+        with pytest.raises(ValueError, match="finite"):
+            WorkQueue(tmp_path, lease_ttl=bad)
+
 
 class TestOwnership:
     """Leases and failed/ records are attributable to host + pid."""
@@ -203,6 +211,7 @@ class TestConcurrentClaims:
                         claimed.append(task.task_id)
                     queue.results.put(task.task_id, echo_handler(task.payload))
                     queue.complete(task)
+            # checks: allow-broad-except worker thread collects errors for the main-thread assert
             except Exception as exc:
                 errors.append(exc)
 
@@ -234,6 +243,7 @@ class TestConcurrentClaims:
                 for i in range(total):
                     queue.submit(sample_payload(i))
                     queue.submit(sample_payload(i))  # idempotent duplicate
+            # checks: allow-broad-except worker thread collects errors for the main-thread assert
             except Exception as exc:
                 errors.append(exc)
 
@@ -250,6 +260,7 @@ class TestConcurrentClaims:
                         claimed.append(task.task_id)
                     queue.results.put(task.task_id, echo_handler(task.payload))
                     queue.complete(task)
+            # checks: allow-broad-except worker thread collects errors for the main-thread assert
             except Exception as exc:
                 errors.append(exc)
 
@@ -313,6 +324,31 @@ class TestLeaseExpiry:
         expire_lease(task)
         queue.extend(task)  # heartbeat mid-evaluation
         assert queue.requeue_expired() == 0
+        assert queue.active_count() == 1
+
+    def test_ttl_boundary_math_is_wall_clock_exact(self, tmp_path):
+        """Pins the lease arithmetic bit-for-bit: live strictly below
+        ``mtime + ttl``, expired at exactly ``mtime + ttl``, and a
+        heartbeat resets the clock.  The PR 10 monotonic migration
+        deliberately left this math on wall-clock file mtimes (they are
+        epoch seconds shared across hosts) — this test fails if anyone
+        'fixes' it to monotonic."""
+        ttl = 60.0
+        queue = WorkQueue(tmp_path, lease_ttl=ttl)
+        queue.submit(sample_payload())
+        task = queue.claim("boundary-worker")
+        mtime = task.lease_path.stat().st_mtime
+        # one tick before the boundary: still live
+        assert queue.requeue_expired(now=mtime + ttl - 0.001) == 0
+        # exactly at mtime + ttl: expired (expiry uses <=)
+        assert queue.requeue_expired(now=mtime + ttl) == 1
+        # heartbeat: extend() pushes the mtime forward, so the same
+        # relative offset that just expired the old lease spares the
+        # refreshed one
+        reclaimed = queue.claim("boundary-worker")
+        queue.extend(reclaimed)
+        new_mtime = reclaimed.lease_path.stat().st_mtime
+        assert queue.requeue_expired(now=new_mtime + ttl - 0.001) == 0
         assert queue.active_count() == 1
 
     def test_expired_lease_with_result_is_dropped_not_requeued(self, tmp_path):

@@ -73,6 +73,21 @@ class TestSweepJob:
         with pytest.raises(ValueError, match="non-negative"):
             make_job(thetas=(0.1, -0.2))
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_nonfinite_theta_rejected(self, bad):
+        # NaN slips past a bare `< 0` gate (every NaN comparison is
+        # False) and these values arrive over the wire via payloads.
+        with pytest.raises(ValueError, match="finite"):
+            make_job(thetas=(0.1, bad))
+        with pytest.raises(ValueError, match="finite"):
+            make_job(layer_thetas=(("lstm", bad),))
+
+    def test_nonfinite_theta_rejected_from_payload(self):
+        payload = make_job(thetas=(0.1,)).point_payload(0.1)
+        payload["theta"] = float("nan")  # what json.loads('NaN') yields
+        with pytest.raises(ValueError, match="finite"):
+            job_from_payload(payload)
+
     def test_thetas_coerced_to_float_tuple(self):
         job = make_job(thetas=[0, 1])
         assert job.thetas == (0.0, 1.0)

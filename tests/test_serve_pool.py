@@ -159,6 +159,7 @@ class TestReplicaPool:
                 try:
                     reply = state.infer([imdb.dataset.tokens[index].tolist()])
                     outputs[position] = reply["outputs"][0]
+                # checks: allow-broad-except hammer thread collects errors for the main-thread assert
                 except Exception as exc:  # pragma: no cover - test plumbing
                     errors.append(exc)
 
@@ -204,8 +205,8 @@ class TestReplicaPool:
             ]
             for thread in threads:
                 thread.start()
-            deadline = time.time() + 5.0
-            while time.time() < deadline:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
                 with state._pending_cond:
                     if len(state._pending) == len(indices):
                         break
@@ -297,6 +298,7 @@ class TestPoolRetune:
                         reply = state.infer(
                             [imdb.dataset.tokens[index].tolist()]
                         )
+                    # checks: allow-broad-except hammer thread collects errors for the main-thread assert
                     except Exception as exc:  # pragma: no cover
                         with lock:
                             errors.append(exc)
@@ -531,7 +533,7 @@ class TestSessionTTL:
             state.sessions[sid].last_used -= 30.0
             chunk = speech.dataset.features[int(speech.test_idx[0])][:2]
             state.session_feed(sid, chunk.tolist())
-            assert time.time() - state.sessions[sid].last_used < 5.0
+            assert time.monotonic() - state.sessions[sid].last_used < 5.0
         finally:
             state.unwrap()
 

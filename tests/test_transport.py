@@ -125,6 +125,29 @@ class TestRemoteLifecycle:
         assert seen == {1, 2}
 
 
+class TestLeaseTtlValidation:
+    """The coordinator-fetched TTL is validated before it is cached —
+    ``json.loads`` accepts NaN/Infinity, and a poisoned TTL would break
+    every heartbeat-interval comparison silently."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0, "bogus"])
+    def test_bad_ttl_from_wire_is_a_transport_error(self, monkeypatch, bad):
+        client = RemoteWorkQueue("http://127.0.0.1:9", retries=0)
+        monkeypatch.setattr(client, "stats", lambda: {"lease_ttl": bad})
+        with pytest.raises(TransportError, match="lease_ttl"):
+            client.lease_ttl
+
+    def test_bad_refresh_keeps_the_previous_ttl(self, monkeypatch):
+        client = RemoteWorkQueue("http://127.0.0.1:9", retries=0)
+        monkeypatch.setattr(client, "stats", lambda: {"lease_ttl": 60.0})
+        assert client.lease_ttl == 60.0
+        # Age the cache past staleness, then poison the wire: the
+        # stale-but-sane value wins over a fresh-but-invalid one.
+        monkeypatch.setattr(client, "stats", lambda: {"lease_ttl": float("nan")})
+        client._lease_ttl_fetched -= client.lease_ttl_max_age + 1
+        assert client.lease_ttl == 60.0
+
+
 class TestOwnership:
     def test_lease_owner_includes_hostname_and_pid(self, remote):
         remote.submit(sample_payload())
@@ -161,6 +184,7 @@ class TestFailureAndRecovery:
         )
         import os
 
+        # checks: allow-wall-clock lease files expire by mtime, which is wall-clock epoch seconds
         past = time.time() - 10_000
         os.utime(lease_file, (past, past))
         assert not remote.has_live_lease(doomed.task_id)
@@ -410,6 +434,7 @@ class TestConcurrentClaims:
                         task.task_id, echo_handler(task.payload)
                     )
                     client.complete(task)
+            # checks: allow-broad-except worker thread collects errors for the main-thread assert
             except Exception as exc:  # surfaced below; threads mustn't die silently
                 errors.append(exc)
 
